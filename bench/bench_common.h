@@ -1,0 +1,115 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper's evaluation
+// (see DESIGN.md §5). Scales default to laptop-friendly values — smaller n
+// and fewer queries than the paper's testbed (Table 2: n up to 10M, 1000
+// queries/point) — and can be raised with --full / --queries. Absolute
+// numbers therefore differ from the paper; EXPERIMENTS.md compares shapes.
+//
+// Focal records are drawn from the skyline of each dataset: at bench
+// scales a uniformly random record almost surely has >= k dominators,
+// which makes every query trivially empty after the Sec 3.1 preprocessing
+// and would reduce all figures to noise. The paper's 1000 random focal
+// records include a comparable fraction of informative queries.
+
+#ifndef KSPR_BENCH_BENCH_COMMON_H_
+#define KSPR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/solver.h"
+#include "datagen/synthetic.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+
+namespace kspr::bench {
+
+struct BenchConfig {
+  bool full = false;  // paper-scale (slow) run
+  int queries = 6;    // focal records per data point
+
+  static BenchConfig FromArgs(int argc, char** argv) {
+    BenchConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        cfg.full = true;
+      } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+        cfg.queries = std::atoi(argv[++i]);
+      }
+    }
+    return cfg;
+  }
+};
+
+/// The paper's parameter grid (Table 2), scaled: defaults in the middle.
+inline std::vector<int> KValues() { return {10, 30, 50, 70, 90}; }
+
+/// Reduced sweep for benches whose cost explodes with k (the growth trend
+/// itself is covered by Figs 10-12); --full restores the paper's grid.
+inline std::vector<int> KValuesCapped(bool full) {
+  return full ? KValues() : std::vector<int>{10, 30, 50};
+}
+
+inline constexpr int kDefaultK = 30;
+
+/// Deterministic focal records: skyline members spread across the skyline.
+inline std::vector<RecordId> PickFocals(const Dataset& data,
+                                        const RTree& tree, int count,
+                                        uint64_t seed = 1234) {
+  std::vector<RecordId> sky = Skyline(data, tree);
+  std::vector<RecordId> focals;
+  Rng rng(seed);
+  for (int i = 0; i < count && !sky.empty(); ++i) {
+    focals.push_back(sky[rng.UniformInt(sky.size())]);
+  }
+  return focals;
+}
+
+struct RunResult {
+  double avg_seconds = 0.0;
+  double avg_regions = 0.0;
+  KsprStats total;  // summed over queries
+
+  double AvgProcessed(int q) const {
+    return static_cast<double>(total.processed_records) / q;
+  }
+  double AvgNodes(int q) const {
+    return static_cast<double>(total.cell_tree_nodes) / q;
+  }
+  double AvgMB(int q) const {
+    return static_cast<double>(total.bytes) / q / (1024.0 * 1024.0);
+  }
+};
+
+/// Runs one algorithm over a query set and averages.
+inline RunResult RunQueries(const KsprSolver& solver,
+                            const std::vector<RecordId>& focals,
+                            const KsprOptions& options) {
+  RunResult out;
+  Timer timer;
+  for (RecordId focal : focals) {
+    KsprResult result = solver.QueryRecord(focal, options);
+    out.total.Add(result.stats);
+    out.avg_regions += static_cast<double>(result.regions.size());
+  }
+  const double q = static_cast<double>(focals.size());
+  out.avg_seconds = timer.Seconds() / q;
+  out.avg_regions /= q;
+  return out;
+}
+
+inline void PrintHeader(const char* figure, const char* caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace kspr::bench
+
+#endif  // KSPR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Extension benchmark (paper Sec 8 future work): approximate kSPR with a
+// certified error bound. Sweeps the error budget and reports time vs
+// certified + sampled error, against the exact LP-CTA baseline.
+
+#include "bench_common.h"
+#include "core/approx.h"
+#include "core/brute_force.h"
+#include "geom/volume.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Extension", "Approximate kSPR (error budget sweep)");
+
+  const int n = cfg.full ? 100000 : 10000;
+  Dataset data = GenerateIndependent(n, 4, 42);
+  RTree tree = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> focals = PickFocals(data, tree,
+                                            std::min(cfg.queries, 4));
+
+  KsprOptions exact_options;
+  exact_options.k = 10;
+  exact_options.finalize_geometry = false;
+  RunResult exact = RunQueries(solver, focals, exact_options);
+  std::printf("exact LP-CTA: %.3fs/query, %.1f regions\n", exact.avg_seconds,
+              exact.avg_regions);
+
+  const double space = SpaceVolume(Space::kTransformed, 3);
+  std::printf("%10s | %10s %12s %14s %12s\n", "budget", "time(s)",
+              "regions", "certified err", "approx cells");
+  for (double budget : {0.001, 0.01, 0.05, 0.10}) {
+    ApproxOptions options;
+    options.base = exact_options;
+    options.max_error_fraction = budget;
+    options.cell_volume_fraction = budget;
+    Timer timer;
+    double regions = 0;
+    double err = 0;
+    int64_t cells = 0;
+    for (RecordId focal : focals) {
+      ApproxResult r =
+          RunApproxKspr(data, tree, data.Get(focal), focal, options);
+      regions += static_cast<double>(r.result.regions.size());
+      err += r.error_volume / space;
+      cells += r.approximated_cells;
+    }
+    const double q = static_cast<double>(focals.size());
+    std::printf("%10.3f | %10.3f %12.1f %13.4f%% %12.1f\n", budget,
+                timer.Seconds() / q, regions / q, 100.0 * err / q,
+                static_cast<double>(cells) / q);
+  }
+  return 0;
+}

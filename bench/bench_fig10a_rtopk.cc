@@ -1,0 +1,48 @@
+// Fig 10(a): LP-CTA vs the monochromatic reverse top-k method RTOPK [31]
+// in the d = 2 special case (IND data, varying k).
+//
+// Paper shape: LP-CTA is about an order of magnitude faster; RTOPK must
+// compute a switching value for EVERY record that is incomparable to the
+// focal record, while LP-CTA touches a small subset.
+
+#include "baselines/rtopk2d.h"
+#include "bench_common.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 10(a)", "LP-CTA vs RTOPK (IND, d = 2)");
+
+  const int n = cfg.full ? 1000000 : 100000;
+  Dataset data = GenerateIndependent(n, 2, 42);
+  RTree tree = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> focals = PickFocals(data, tree, cfg.queries);
+
+  std::printf("n=%d, queries=%zu\n", n, focals.size());
+  std::printf("%4s %14s %14s | %16s %16s\n", "k", "LP-CTA(s)", "RTOPK(s)",
+              "LP-CTA records", "RTOPK records");
+  for (int k : KValues()) {
+    KsprOptions options;
+    options.k = k;
+    options.algorithm = Algorithm::kLpCta;
+    RunResult lpcta = RunQueries(solver, focals, options);
+
+    Timer timer;
+    int64_t rtopk_records = 0;
+    double rtopk_regions = 0;
+    for (RecordId focal : focals) {
+      KsprResult r = RunRtopk2d(data, data.Get(focal), focal, k);
+      rtopk_records += r.stats.processed_records;
+      rtopk_regions += static_cast<double>(r.regions.size());
+    }
+    const double rtopk_s = timer.Seconds() / focals.size();
+
+    std::printf("%4d %14.4f %14.4f | %16.1f %16.1f\n", k, lpcta.avg_seconds,
+                rtopk_s, lpcta.AvgProcessed(focals.size()),
+                static_cast<double>(rtopk_records) / focals.size());
+  }
+  return 0;
+}

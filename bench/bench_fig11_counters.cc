@@ -1,0 +1,59 @@
+// Fig 11: effect of k (IND, d = 4) on (a) the number of processed records
+// (hyperplanes inserted into the CellTree) and (b) CellTree nodes at
+// termination, for CTA / P-CTA / LP-CTA.
+//
+// Paper shape: P-CTA processes 13-32x fewer records than CTA and builds an
+// ~8x smaller tree; LP-CTA shaves up to a further 3x / 9x.
+
+#include "bench_common.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 11", "Processed records and CellTree nodes vs k (IND)");
+
+  const int n = cfg.full ? 20000 : 2000;
+  Dataset data = GenerateIndependent(n, 4, 42);
+  RTree tree = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> focals = PickFocals(data, tree, cfg.queries);
+  const int q = static_cast<int>(focals.size());
+
+  std::printf("n=%d, queries=%d  (CTA capped at k <= 50: beyond that it\n"
+              "exceeds the time budget, exactly as in the paper)\n", n, q);
+  std::printf("%4s | %10s %10s %10s | %10s %10s %10s\n", "k", "rec(CTA)",
+              "rec(P)", "rec(LP)", "nodes(CTA)", "nodes(P)", "nodes(LP)");
+  for (int k : KValues()) {
+    KsprOptions options;
+    options.k = k;
+    options.finalize_geometry = false;
+    RunResult cta;
+    const bool ran_cta = k <= 50;
+    int cta_q = 1;
+    if (ran_cta) {
+      options.algorithm = Algorithm::kCta;
+      std::vector<RecordId> cta_focals(
+          focals.begin(),
+          focals.begin() + std::min<size_t>(focals.size(), 3));
+      cta_q = static_cast<int>(cta_focals.size());
+      cta = RunQueries(solver, cta_focals, options);
+    }
+    options.algorithm = Algorithm::kPcta;
+    RunResult pcta = RunQueries(solver, focals, options);
+    options.algorithm = Algorithm::kLpCta;
+    RunResult lpcta = RunQueries(solver, focals, options);
+    if (ran_cta) {
+      std::printf("%4d | %10.1f %10.1f %10.1f | %10.1f %10.1f %10.1f\n", k,
+                  cta.AvgProcessed(cta_q), pcta.AvgProcessed(q),
+                  lpcta.AvgProcessed(q), cta.AvgNodes(cta_q),
+                  pcta.AvgNodes(q), lpcta.AvgNodes(q));
+    } else {
+      std::printf("%4d | %10s %10.1f %10.1f | %10s %10.1f %10.1f\n", k, "—",
+                  pcta.AvgProcessed(q), lpcta.AvgProcessed(q), "—",
+                  pcta.AvgNodes(q), lpcta.AvgNodes(q));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig 12: effect of dataset cardinality n (IND, d = 4, k = 30) on
+// (a) response time and (b) space consumption (CellTree footprint).
+//
+// Paper shape: LP-CTA scales best and its gap to P-CTA widens with n; CTA
+// is orders of magnitude slower and eventually infeasible; memory is
+// dominated by the CellTree and stays within commodity budgets.
+
+#include "bench_common.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 12", "Response time and space vs cardinality (IND, d=4)");
+
+  std::vector<int> sizes = cfg.full
+                               ? std::vector<int>{100000, 500000, 1000000}
+                               : std::vector<int>{20000, 50000, 100000,
+                                                  200000};
+  std::printf("%8s | %10s %10s %10s | %9s %9s %9s\n", "n", "CTA(s)",
+              "P-CTA(s)", "LP-CTA(s)", "CTA(MB)", "P(MB)", "LP(MB)");
+  for (int n : sizes) {
+    Dataset data = GenerateIndependent(n, 4, 42);
+    RTree tree = RTree::BulkLoad(data);
+    KsprSolver solver(&data, &tree);
+    std::vector<RecordId> focals = PickFocals(data, tree, cfg.queries);
+    const int q = static_cast<int>(focals.size());
+
+    KsprOptions options;
+    options.k = kDefaultK;
+    options.finalize_geometry = false;
+
+    // CTA becomes impractical quickly (as in the paper: it exceeds 2 hours
+    // beyond small settings); it is included only with --full.
+    RunResult cta;
+    bool ran_cta = cfg.full && n <= 100000;
+    if (ran_cta) {
+      options.algorithm = Algorithm::kCta;
+      cta = RunQueries(solver, focals, options);
+    }
+    options.algorithm = Algorithm::kPcta;
+    RunResult pcta = RunQueries(solver, focals, options);
+    options.algorithm = Algorithm::kLpCta;
+    RunResult lpcta = RunQueries(solver, focals, options);
+
+    if (ran_cta) {
+      std::printf("%8d | %10.3f %10.3f %10.3f | %9.2f %9.2f %9.2f\n", n,
+                  cta.avg_seconds, pcta.avg_seconds, lpcta.avg_seconds,
+                  cta.AvgMB(q), pcta.AvgMB(q), lpcta.AvgMB(q));
+    } else {
+      std::printf("%8d | %10s %10.3f %10.3f | %9s %9.2f %9.2f\n", n, "—",
+                  pcta.avg_seconds, lpcta.avg_seconds, "—", pcta.AvgMB(q),
+                  lpcta.AvgMB(q));
+    }
+  }
+  return 0;
+}

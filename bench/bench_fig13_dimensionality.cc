@@ -1,0 +1,39 @@
+// Fig 13: effect of dimensionality d (IND, k = 30) on (a) response time of
+// P-CTA / LP-CTA and (b) the number of regions in the kSPR result.
+//
+// Paper shape: the result size grows quickly with d (records become
+// score-wise less distinguishable), and response time follows.
+
+#include "bench_common.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 13", "Response time and result size vs d (IND)");
+
+  const int n = cfg.full ? 100000 : 2000;
+  std::printf("%3s | %10s %10s | %12s\n", "d", "P-CTA(s)", "LP-CTA(s)",
+              "result size");
+  for (int d = 2; d <= 7; ++d) {
+    Dataset data = GenerateIndependent(n, d, 42);
+    RTree tree = RTree::BulkLoad(data);
+    KsprSolver solver(&data, &tree);
+    // Result sizes explode with d (that is the point of the figure); keep
+    // the high-d rows affordable with fewer queries.
+    const int queries = d >= 6 ? 1 : std::min(cfg.queries, 4);
+    std::vector<RecordId> focals = PickFocals(data, tree, queries);
+
+    KsprOptions options;
+    options.k = kDefaultK;
+    options.finalize_geometry = false;
+    options.algorithm = Algorithm::kPcta;
+    RunResult pcta = RunQueries(solver, focals, options);
+    options.algorithm = Algorithm::kLpCta;
+    RunResult lpcta = RunQueries(solver, focals, options);
+    std::printf("%3d | %10.3f %10.3f | %12.2f\n", d, pcta.avg_seconds,
+                lpcta.avg_seconds, lpcta.avg_regions);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig 15: P-CTA vs LP-CTA on the real-like datasets (HOTEL, HOUSE, NBA),
+// varying k, plus the respective result sizes (Fig 15(d)).
+//
+// Paper shape: HOTEL is slowest (largest n and most result regions); NBA
+// and HOUSE land close together (NBA has 14x fewer records but an order of
+// magnitude more result regions).
+
+#include "bench_common.h"
+#include "datagen/real_like.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 15", "Real-like datasets (P-CTA vs LP-CTA)");
+
+  struct Set {
+    const char* name;
+    Dataset data;
+    RTree tree;
+    std::vector<RecordId> focals;
+  };
+  // The preference-space dimensionality (d' = 3 / 5 / 7) drives the cost;
+  // HOUSE and NBA are scaled down accordingly (use --full for more).
+  const int queries = std::min(cfg.queries, 3);
+  std::vector<Set> sets;
+  {
+    Set s;
+    s.name = "HOTEL";
+    s.data = GenerateHotelLike(cfg.full ? 418843 : 20000);
+    s.tree = RTree::BulkLoad(s.data);
+    s.focals = PickFocals(s.data, s.tree, queries);
+    sets.push_back(std::move(s));
+  }
+  {
+    Set s;
+    s.name = "HOUSE";
+    s.data = GenerateHouseLike(cfg.full ? 315265 : 4000);
+    s.tree = RTree::BulkLoad(s.data);
+    s.focals = PickFocals(s.data, s.tree, queries);
+    sets.push_back(std::move(s));
+  }
+  {
+    Set s;
+    s.name = "NBA";
+    s.data = GenerateNbaLike(cfg.full ? 21960 : 2000);
+    s.tree = RTree::BulkLoad(s.data);
+    s.focals = PickFocals(s.data, s.tree, queries);
+    sets.push_back(std::move(s));
+  }
+
+  for (Set& s : sets) {
+    std::printf("\n(%s, n=%d, d=%d)\n", s.name, s.data.size(), s.data.dim());
+    std::printf("%4s %12s %12s %14s\n", "k", "P-CTA(s)", "LP-CTA(s)",
+                "result size");
+    KsprSolver solver(&s.data, &s.tree);
+    // d' = 7 (NBA) cells are expensive; cap its sweep by default.
+    std::vector<int> ks = (s.data.dim() >= 8 && !cfg.full)
+                              ? std::vector<int>{10, 30}
+                              : KValuesCapped(cfg.full);
+    for (int k : ks) {
+      KsprOptions options;
+      options.k = k;
+      options.finalize_geometry = false;
+      options.algorithm = Algorithm::kPcta;
+      RunResult pcta = RunQueries(solver, s.focals, options);
+      options.algorithm = Algorithm::kLpCta;
+      RunResult lpcta = RunQueries(solver, s.focals, options);
+      std::printf("%4d %12.3f %12.3f %14.1f\n", k, pcta.avg_seconds,
+                  lpcta.avg_seconds, lpcta.avg_regions);
+    }
+  }
+  return 0;
+}

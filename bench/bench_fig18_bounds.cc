@@ -1,0 +1,89 @@
+// Fig 18: effectiveness of the look-ahead bound tiers in LP-CTA —
+// record_bounds (Sec 6.1) vs group_bounds (Sec 6.2) vs fast_bounds
+// (Sec 6.3) — varying k and d.
+//
+// Paper shape: group bounds save 19-56% over record bounds; fast bounds a
+// further 16-64%.
+//
+// Extra ablation (Sec 6.4): per-batch vs per-split look-ahead scheduling.
+
+#include "bench_common.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+namespace {
+
+void RunRow(const KsprSolver& solver, const std::vector<RecordId>& focals,
+            int k) {
+  double secs[3];
+  const BoundMode modes[3] = {BoundMode::kFast, BoundMode::kGroup,
+                              BoundMode::kRecord};
+  for (int i = 0; i < 3; ++i) {
+    KsprOptions options;
+    options.k = k;
+    options.finalize_geometry = false;
+    options.algorithm = Algorithm::kLpCta;
+    options.bound_mode = modes[i];
+    secs[i] = RunQueries(solver, focals, options).avg_seconds;
+  }
+  std::printf("%12.3f %12.3f %12.3f\n", secs[0], secs[1], secs[2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 18", "record vs group vs fast bounds in LP-CTA (IND)");
+
+  const int n = cfg.full ? 100000 : 5000;
+  const int queries = std::min(cfg.queries, 3);
+
+  std::printf("(a) varying k (d = 4)\n");
+  {
+    Dataset data = GenerateIndependent(n, 4, 42);
+    RTree tree = RTree::BulkLoad(data);
+    KsprSolver solver(&data, &tree);
+    std::vector<RecordId> focals = PickFocals(data, tree, queries);
+    std::printf("%4s %12s %12s %12s\n", "k", "fast(s)", "group(s)",
+                "record(s)");
+    for (int k : KValuesCapped(cfg.full)) {
+      std::printf("%4d ", k);
+      RunRow(solver, focals, k);
+    }
+  }
+
+  std::printf("(b) varying d (k = %d)\n", kDefaultK);
+  for (int d = 2; d <= (cfg.full ? 7 : 5); ++d) {
+    Dataset data = GenerateIndependent(n, d, 42);
+    RTree tree = RTree::BulkLoad(data);
+    KsprSolver solver(&data, &tree);
+    std::vector<RecordId> focals =
+        PickFocals(data, tree, d >= 6 ? std::min(queries, 2) : queries);
+    std::printf("%4d ", d);
+    RunRow(solver, focals, kDefaultK);
+  }
+
+  std::printf("(extra) look-ahead scheduling (d = 4, k = %d)\n", kDefaultK);
+  {
+    Dataset data = GenerateIndependent(n, 4, 42);
+    RTree tree = RTree::BulkLoad(data);
+    KsprSolver solver(&data, &tree);
+    std::vector<RecordId> focals = PickFocals(data, tree, cfg.queries);
+    for (auto [label, per_split, stride] :
+         {std::tuple{"per-batch", false, 0}, std::tuple{"stride-16", false, 16},
+          std::tuple{"per-split", true, 0}}) {
+      KsprOptions options;
+      options.k = kDefaultK;
+      options.finalize_geometry = false;
+      options.algorithm = Algorithm::kLpCta;
+      options.lookahead_per_split = per_split;
+      options.lookahead_stride = stride;
+      RunResult r = RunQueries(solver, focals, options);
+      std::printf("  %-10s %10.3fs/query (bound LPs %.0f)\n", label,
+                  r.avg_seconds,
+                  static_cast<double>(r.total.bound_lps) / focals.size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig 20 (Appendix B): P-CTA vs the k-skyband approach (k-skyband of D fed
+// to plain CTA), IND data, varying k.
+//
+// Paper shape: the k-skyband is an order of magnitude larger than the set
+// of records P-CTA actually processes, making the skyband approach 4-9x
+// slower.
+
+#include "bench_common.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 20", "P-CTA vs k-skyband approach (IND, d = 4)");
+
+  const int n = cfg.full ? 1000000 : 20000;
+  Dataset data = GenerateIndependent(n, 4, 42);
+  RTree tree = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> focals = PickFocals(data, tree, cfg.queries);
+  const int q = static_cast<int>(focals.size());
+
+  std::printf("n=%d, queries=%d\n", n, q);
+  std::printf("%4s | %12s %12s | %12s %12s\n", "k", "P-CTA rec",
+              "skyband rec", "P-CTA(s)", "skyband(s)");
+  for (int k : KValues()) {
+    KsprOptions options;
+    options.k = k;
+    options.finalize_geometry = false;
+    options.algorithm = Algorithm::kPcta;
+    RunResult pcta = RunQueries(solver, focals, options);
+    options.algorithm = Algorithm::kSkybandCta;
+    RunResult band = RunQueries(solver, focals, options);
+    std::printf("%4d | %12.1f %12.1f | %12.3f %12.3f\n", k,
+                pcta.AvgProcessed(q), band.AvgProcessed(q), pcta.avg_seconds,
+                band.avg_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig 22 (Appendix C): processing in the transformed preference space
+// (d' = d - 1) vs the original space (OP-CTA / OLP-CTA, where cells are
+// cones and fast bounds are unavailable), varying k, n, d, plus the
+// real-like datasets.
+//
+// Paper shape: original-space variants are consistently slower — 30% to
+// 3.5x for P-CTA, 30% to 5x for LP-CTA.
+
+#include "bench_common.h"
+#include "datagen/real_like.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+namespace {
+
+void Row(const Dataset& data, const RTree& tree,
+         const std::vector<RecordId>& focals, int k, const char* label) {
+  KsprSolver solver(&data, &tree);
+  double secs[4];
+  const Algorithm algos[4] = {Algorithm::kPcta, Algorithm::kOpCta,
+                              Algorithm::kLpCta, Algorithm::kOlpCta};
+  for (int i = 0; i < 4; ++i) {
+    KsprOptions options;
+    options.k = k;
+    options.finalize_geometry = false;
+    options.algorithm = algos[i];
+    secs[i] = RunQueries(solver, focals, options).avg_seconds;
+  }
+  std::printf("%-10s %10.3f %10.3f %10.3f %10.3f\n", label, secs[0], secs[1],
+              secs[2], secs[3]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 22", "Transformed vs original preference space");
+  std::printf("%-10s %10s %10s %10s %10s\n", "", "P-CTA", "OP-CTA", "LP-CTA",
+              "OLP-CTA");
+
+  const int base_n = cfg.full ? 200000 : 10000;
+
+  std::printf("(a) varying k (IND, d = 4, n = %d)\n", base_n);
+  {
+    Dataset data = GenerateIndependent(base_n, 4, 42);
+    RTree tree = RTree::BulkLoad(data);
+    std::vector<RecordId> focals =
+        PickFocals(data, tree, std::min(cfg.queries, 4));
+    for (int k : KValuesCapped(cfg.full)) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "k=%d", k);
+      Row(data, tree, focals, k, label);
+    }
+  }
+
+  std::printf("(b) varying n (IND, d = 4, k = %d)\n", kDefaultK);
+  for (int n : {20000, 50000, 100000}) {
+    Dataset data = GenerateIndependent(n, 4, 42);
+    RTree tree = RTree::BulkLoad(data);
+    std::vector<RecordId> focals = PickFocals(data, tree, cfg.queries);
+    char label[16];
+    std::snprintf(label, sizeof(label), "n=%d", n);
+    Row(data, tree, focals, kDefaultK, label);
+  }
+
+  std::printf("(c) varying d (IND, n = %d, k = %d)\n", base_n, kDefaultK);
+  for (int d : {3, 4, 5}) {
+    Dataset data = GenerateIndependent(base_n, d, 42);
+    RTree tree = RTree::BulkLoad(data);
+    std::vector<RecordId> focals = PickFocals(data, tree, cfg.queries);
+    char label[16];
+    std::snprintf(label, sizeof(label), "d=%d", d);
+    Row(data, tree, focals, kDefaultK, label);
+  }
+
+  std::printf("(d) real-like datasets (k = 10)\n");
+  {
+    const int queries = std::min(cfg.queries, 3);
+    Dataset hotel = GenerateHotelLike(cfg.full ? 418843 : 20000);
+    RTree th = RTree::BulkLoad(hotel);
+    Row(hotel, th, PickFocals(hotel, th, queries), 10, "HOTEL");
+    Dataset house = GenerateHouseLike(cfg.full ? 315265 : 4000);
+    RTree tu = RTree::BulkLoad(house);
+    Row(house, tu, PickFocals(house, tu, queries), 10, "HOUSE");
+    Dataset nba = GenerateNbaLike(cfg.full ? 21960 : 2000);
+    RTree tn = RTree::BulkLoad(nba);
+    Row(nba, tn, PickFocals(nba, tn, queries), 10, "NBA");
+  }
+  return 0;
+}

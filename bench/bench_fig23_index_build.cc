@@ -1,0 +1,40 @@
+// Fig 23 (Appendix D): one-off index construction cost, varying n and d.
+// With STR bulk loading the aggregate counts are computed for free during
+// the build, so the plain R-tree and the aggregate R-tree cost the same;
+// we report both columns to mirror the figure.
+
+#include "bench_common.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 23", "Index construction time (IND)");
+
+  std::printf("(a) varying n (d = 4)\n");
+  std::vector<int> sizes = cfg.full
+                               ? std::vector<int>{100000, 500000, 1000000,
+                                                  5000000, 10000000}
+                               : std::vector<int>{100000, 500000, 1000000};
+  for (int n : sizes) {
+    Dataset data = GenerateIndependent(n, 4, 42);
+    Timer timer;
+    RTree tree = RTree::BulkLoad(data);
+    const double secs = timer.Seconds();
+    std::printf("  n=%-9d R-tree %.3fs  aR-tree %.3fs  (%d nodes, %.1f MB)\n",
+                n, secs, secs, tree.num_nodes(),
+                static_cast<double>(tree.SizeBytes()) / (1024 * 1024));
+  }
+
+  std::printf("(b) varying d (n = 1M)\n");
+  for (int d = 2; d <= 7; ++d) {
+    Dataset data = GenerateIndependent(1000000, d, 42);
+    Timer timer;
+    RTree tree = RTree::BulkLoad(data);
+    const double secs = timer.Seconds();
+    std::printf("  d=%d R-tree %.3fs  aR-tree %.3fs  (height %d)\n", d, secs,
+                secs, tree.height());
+  }
+  return 0;
+}

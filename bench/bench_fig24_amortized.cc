@@ -1,0 +1,57 @@
+// Fig 24 (Appendix D): response time with the one-off index construction
+// cost amortised over a query workload, varying n and d.
+//
+// Paper shape: amortisation adds well under 1% to per-query time for both
+// P-CTA and LP-CTA (the index is build-once, use-many).
+
+#include "bench_common.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+namespace {
+
+void Row(int n, int d, int queries, const char* label) {
+  Dataset data = GenerateIndependent(n, d, 42);
+  Timer build_timer;
+  RTree tree = RTree::BulkLoad(data);
+  const double build_s = build_timer.Seconds();
+
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> focals = PickFocals(data, tree, queries);
+  // Amortise over the paper's 1000-query workload.
+  const double amortised = build_s / 1000.0;
+
+  for (Algorithm algo : {Algorithm::kPcta, Algorithm::kLpCta}) {
+    KsprOptions options;
+    options.k = kDefaultK;
+    options.finalize_geometry = false;
+    options.algorithm = algo;
+    RunResult r = RunQueries(solver, focals, options);
+    std::printf("  %-8s %-6s query=%8.3fs  +build/1000=%8.5fs  (%+.2f%%)\n",
+                label, algo == Algorithm::kPcta ? "P-CTA" : "LP-CTA",
+                r.avg_seconds, amortised,
+                100.0 * amortised / (r.avg_seconds > 0 ? r.avg_seconds : 1));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Fig 24", "Amortised response time (IND, k = 30)");
+
+  std::printf("(a) varying n (d = 4)\n");
+  for (int n : {20000, 50000, 100000}) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "n=%d", n);
+    Row(n, 4, cfg.queries, label);
+  }
+  std::printf("(b) varying d (n = %d)\n", cfg.full ? 100000 : 5000);
+  for (int d = 2; d <= (cfg.full ? 7 : 5); ++d) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "d=%d", d);
+    Row(cfg.full ? 100000 : 5000, d, d >= 6 ? 2 : cfg.queries, label);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives: the
+// simplex solver, the inscribed-ball feasibility test, vertex enumeration,
+// BBS skyline, and R-tree bulk loading.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "geom/hyperplane.h"
+#include "geom/polytope.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+namespace {
+
+// Constraint sets resembling cell feasibility tests: `m` random record
+// hyperplane sides in dimension `dim`.
+std::vector<LinIneq> MakeCellConstraints(int dim, int m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LinIneq> cons;
+  Vec p(dim + 1);
+  for (int j = 0; j <= dim; ++j) p.v[j] = rng.Uniform();
+  for (int i = 0; i < m; ++i) {
+    Vec r(dim + 1);
+    for (int j = 0; j <= dim; ++j) r.v[j] = rng.Uniform();
+    RecordHyperplane h = MakeHyperplane(p, r, Space::kTransformed);
+    if (h.kind != RecordHyperplane::Kind::kRegular) continue;
+    LinIneq c;
+    if (rng.Uniform() < 0.5) {
+      c.a = h.a;
+      c.b = h.b;
+    } else {
+      c.a = h.a * -1.0;
+      c.b = -h.b;
+    }
+    cons.push_back(c);
+  }
+  return cons;
+}
+
+void BM_FeasibilityTest(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  auto cons = MakeCellConstraints(dim, m, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TestInterior(Space::kTransformed, dim, cons, nullptr));
+  }
+}
+BENCHMARK(BM_FeasibilityTest)
+    ->Args({2, 8})
+    ->Args({3, 8})
+    ->Args({5, 8})
+    ->Args({3, 32})
+    ->Args({3, 128});
+
+void BM_ScoreBoundLp(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  auto cons = MakeCellConstraints(dim, 12, 5);
+  Vec obj(dim);
+  for (int j = 0; j < dim; ++j) obj.v[j] = 0.3 * (j + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaximizeOverCell(Space::kTransformed, dim, obj, 0.0, cons, nullptr));
+  }
+}
+BENCHMARK(BM_ScoreBoundLp)->Arg(2)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_VertexEnumeration(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  auto cons = MakeCellConstraints(dim, 8, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EnumerateVertices(Space::kTransformed, dim, cons));
+  }
+}
+BENCHMARK(BM_VertexEnumeration)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_Skyline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = GenerateIndependent(n, 4, 3);
+  RTree tree = RTree::BulkLoad(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Skyline(data, tree));
+  }
+}
+BENCHMARK(BM_Skyline)->Arg(10000)->Arg(100000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Dataset data = GenerateIndependent(n, 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RTree::BulkLoad(data));
+  }
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace kspr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 1: real dataset inventory, plus summary statistics of our
+// distribution-matched substitutes (DESIGN.md §4).
+
+#include "bench_common.h"
+#include "datagen/real_like.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+namespace {
+
+void Describe(const char* name, const Dataset& data, int n_full,
+              const RTree& tree) {
+  std::vector<RecordId> sky = Skyline(data, tree);
+  std::printf("%-6s d=%d  n(bench)=%-7d n(paper)=%-7d skyline=%zu\n", name,
+              data.dim(), data.size(), n_full, sky.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Table 1", "Real dataset information (substituted generators)");
+
+  std::printf("%-6s %-2s %-9s %-40s %s\n", "name", "d", "n", "attributes",
+              "source (paper)");
+  for (const RealDatasetInfo& info : RealDatasetInventory()) {
+    std::string attrs;
+    for (size_t i = 0; i < info.attributes.size(); ++i) {
+      if (i) attrs += ", ";
+      attrs += info.attributes[i];
+    }
+    if (attrs.size() > 38) attrs = attrs.substr(0, 35) + "...";
+    std::printf("%-6s %-2d %-9d %-40s %s\n", info.name.c_str(), info.d,
+                info.n_full, attrs.c_str(), info.source.c_str());
+  }
+
+  std::printf("\nGenerated substitutes (bench scale%s):\n",
+              cfg.full ? ": full paper cardinality" : "");
+  const int hotel_n = cfg.full ? 418843 : 40000;
+  const int house_n = cfg.full ? 315265 : 30000;
+  const int nba_n = cfg.full ? 21960 : 21960;
+  Dataset hotel = GenerateHotelLike(hotel_n);
+  Dataset house = GenerateHouseLike(house_n);
+  Dataset nba = GenerateNbaLike(nba_n);
+  RTree th = RTree::BulkLoad(hotel);
+  RTree tu = RTree::BulkLoad(house);
+  RTree tn = RTree::BulkLoad(nba);
+  Describe("HOTEL", hotel, 418843, th);
+  Describe("HOUSE", house, 315265, tu);
+  Describe("NBA", nba, 21960, tn);
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Command-line kSPR runner: generate (or load) a dataset, run any of the
+// algorithms, and print the regions — handy for quick experiments.
+//
+//   kspr_cli [--n 10000] [--d 4] [--k 10] [--dist ind|cor|anti]
+//            [--algo cta|pcta|lpcta|opcta|olpcta|skyband]
+//            [--focal ID] [--seed S] [--volume] [--csv FILE]
+//
+// With --csv the dataset is read from a headerless CSV of d numeric
+// columns (larger = better) instead of being generated.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/solver.h"
+#include "datagen/synthetic.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+
+using namespace kspr;
+
+namespace {
+
+Dataset LoadCsv(const std::string& path, int dim) {
+  Dataset data(dim);
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    Vec r(dim);
+    std::string cell;
+    for (int j = 0; j < dim; ++j) {
+      if (!std::getline(ss, cell, ',')) {
+        std::fprintf(stderr, "row with fewer than %d columns\n", dim);
+        std::exit(1);
+      }
+      r.v[j] = std::atof(cell.c_str());
+    }
+    data.Add(r);
+  }
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 10000;
+  int d = 4;
+  int k = 10;
+  uint64_t seed = 42;
+  RecordId focal = kInvalidRecord;
+  Distribution dist = Distribution::kIndependent;
+  Algorithm algo = Algorithm::kLpCta;
+  bool volume = false;
+  std::string csv;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--n")) {
+      n = std::atoi(next("--n"));
+    } else if (!std::strcmp(argv[i], "--d")) {
+      d = std::atoi(next("--d"));
+    } else if (!std::strcmp(argv[i], "--k")) {
+      k = std::atoi(next("--k"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--focal")) {
+      focal = std::atoi(next("--focal"));
+    } else if (!std::strcmp(argv[i], "--volume")) {
+      volume = true;
+    } else if (!std::strcmp(argv[i], "--csv")) {
+      csv = next("--csv");
+    } else if (!std::strcmp(argv[i], "--dist")) {
+      std::string v = next("--dist");
+      dist = v == "cor"    ? Distribution::kCorrelated
+             : v == "anti" ? Distribution::kAntiCorrelated
+                           : Distribution::kIndependent;
+    } else if (!std::strcmp(argv[i], "--algo")) {
+      std::string v = next("--algo");
+      if (v == "cta") algo = Algorithm::kCta;
+      else if (v == "pcta") algo = Algorithm::kPcta;
+      else if (v == "lpcta") algo = Algorithm::kLpCta;
+      else if (v == "opcta") algo = Algorithm::kOpCta;
+      else if (v == "olpcta") algo = Algorithm::kOlpCta;
+      else if (v == "skyband") algo = Algorithm::kSkybandCta;
+      else {
+        std::fprintf(stderr, "unknown --algo %s\n", v.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  Dataset data =
+      csv.empty() ? GenerateSynthetic(dist, n, d, seed) : LoadCsv(csv, d);
+  RTree tree = RTree::BulkLoad(data);
+  if (focal == kInvalidRecord) {
+    focal = Skyline(data, tree).front();  // an informative default
+  }
+
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = k;
+  options.algorithm = algo;
+  options.compute_volume = volume;
+
+  KsprResult result = solver.QueryRecord(focal, options);
+  std::printf("# %s focal=%d k=%d algo=%d regions=%zu processed=%lld "
+              "nodes=%lld\n",
+              data.Summary().c_str(), focal, k, static_cast<int>(algo),
+              result.regions.size(),
+              static_cast<long long>(result.stats.processed_records),
+              static_cast<long long>(result.stats.cell_tree_nodes));
+  if (volume) {
+    std::printf("# P(top-%d) = %.6f\n", k, result.TopKProbability());
+  }
+  for (size_t i = 0; i < result.regions.size(); ++i) {
+    const Region& region = result.regions[i];
+    std::printf("region %zu rank=[%d,%d] witness=%s", i, region.rank_lb,
+                region.rank_ub, region.witness.ToString().c_str());
+    if (region.volume >= 0) std::printf(" volume=%.6f", region.volume);
+    std::printf("\n");
+    for (const LinIneq& c : region.constraints) {
+      std::printf("  ineq:");
+      for (int j = 0; j < region.dim; ++j) std::printf(" %+.6f", c.a[j]);
+      std::printf(" < %.6f\n", c.b);
+    }
+  }
+  return 0;
+}

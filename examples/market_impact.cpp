@@ -1,0 +1,73 @@
+// Market-impact analysis (paper Sec 1): for each candidate product, compute
+// the probability that it makes the top-k shortlist of a random customer —
+// the summed volume of its kSPR regions over the preference-space volume —
+// and compare candidates. Also demonstrates querying a HYPOTHETICAL product
+// (one not in the catalogue) to evaluate a design before launch.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/solver.h"
+#include "datagen/real_like.h"
+#include "index/rtree.h"
+
+int main() {
+  using namespace kspr;
+
+  // A hotel-like catalogue (stars, price-value, rooms, facilities).
+  Dataset data = GenerateHotelLike(/*n=*/2000, /*seed=*/99);
+  RTree index = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &index);
+
+  KsprOptions options;
+  options.k = 10;
+  options.compute_volume = true;
+  options.volume_samples = 4000;
+
+  // Evaluate the market impact of the 8 hotels with the largest attribute
+  // sums (the plausible "premium" segment).
+  std::vector<RecordId> candidates(data.size());
+  for (RecordId i = 0; i < data.size(); ++i) candidates[i] = i;
+  std::sort(candidates.begin(), candidates.end(), [&](RecordId a, RecordId b) {
+    return data.Get(a).Sum() > data.Get(b).Sum();
+  });
+  candidates.resize(8);
+
+  std::printf("Market impact of premium hotels (k = %d, n = %d):\n",
+              options.k, data.size());
+  std::printf("%6s %7s %7s %7s %7s | %8s %8s\n", "hotel", "stars", "value",
+              "rooms", "facil.", "regions", "P(top-k)");
+  for (RecordId c : candidates) {
+    KsprResult result = solver.QueryRecord(c, options);
+    std::printf("%6d %7.2f %7.2f %7.2f %7.2f | %8zu %8.4f\n", c,
+                data.At(c, 0), data.At(c, 1), data.At(c, 2), data.At(c, 3),
+                result.regions.size(), result.TopKProbability());
+  }
+
+  // A hypothetical new hotel: great value and facilities, mid-size.
+  Vec proposal{0.75, 0.9, 0.5, 0.9};
+  KsprResult what_if = solver.Query(proposal, options);
+  std::printf("\nHypothetical launch (stars=%.2f value=%.2f rooms=%.2f "
+              "facilities=%.2f):\n  %zu regions, P(top-%d) = %.4f\n",
+              proposal[0], proposal[1], proposal[2], proposal[3],
+              what_if.regions.size(), options.k, what_if.TopKProbability());
+
+  // Customer-profile readout: the average weight vector inside the
+  // proposal's regions tells marketing whom to target.
+  if (!what_if.regions.empty()) {
+    Vec centroid(3);
+    double total = 0.0;
+    for (const Region& region : what_if.regions) {
+      const double v = region.volume > 0 ? region.volume : 1e-9;
+      for (int j = 0; j < 3; ++j) centroid.v[j] += region.witness[j] * v;
+      total += v;
+    }
+    for (int j = 0; j < 3; ++j) centroid.v[j] /= total;
+    const double w4 = 1.0 - centroid.Sum();
+    std::printf("  typical interested customer weights: stars %.2f, "
+                "value %.2f, rooms %.2f, facilities %.2f\n",
+                centroid[0], centroid[1], centroid[2], w4);
+  }
+  return 0;
+}

@@ -1,0 +1,259 @@
+#include "baselines/imaxrank.h"
+
+#include <cassert>
+#include <vector>
+
+#include "core/cta.h"
+#include "geom/hyperplane.h"
+#include "geom/polytope.h"
+
+namespace kspr {
+
+namespace {
+
+struct Box {
+  Vec lo;
+  Vec hi;
+
+  Vec Corner(int mask, int dim) const {
+    Vec c(dim);
+    for (int j = 0; j < dim; ++j) {
+      c.v[j] = (mask >> j) & 1 ? hi[j] : lo[j];
+    }
+    return c;
+  }
+
+  // Entirely outside the simplex sum(w) <= 1?
+  bool OutsideSimplex(int dim) const {
+    double s = 0.0;
+    for (int j = 0; j < dim; ++j) s += lo[j];
+    return s >= 1.0;
+  }
+};
+
+class IMaxRankRunner {
+ public:
+  IMaxRankRunner(const Dataset& data, const Vec& p, RecordId focal_id,
+                 const IMaxRankOptions& options)
+      : data_(data),
+        options_(options),
+        prep_(PrepareQuery(data, p, focal_id, options.k)),
+        dim_(data.dim() - 1),
+        p_(p) {}
+
+  KsprResult Run() {
+    if (prep_.ResultEmpty()) return std::move(result_);
+
+    // Map every surviving record to a hyperplane.
+    for (RecordId rid = 0; rid < data_.size(); ++rid) {
+      if (prep_.skip[rid]) continue;
+      RecordHyperplane h =
+          MakeHyperplane(p_, data_.Get(rid), Space::kTransformed);
+      if (h.kind == RecordHyperplane::Kind::kAlwaysNegative) continue;
+      if (h.kind == RecordHyperplane::Kind::kAlwaysPositive) {
+        ++base_pos_;
+        continue;
+      }
+      planes_.push_back(h);
+      ++result_.stats.processed_records;
+    }
+    if (base_pos_ + 1 > prep_.k_effective) return std::move(result_);
+
+    Box root;
+    root.lo = Vec(dim_);
+    root.hi = Vec(dim_);
+    for (int j = 0; j < dim_; ++j) root.hi.v[j] = 1.0;
+    std::vector<int> all(planes_.size());
+    for (size_t i = 0; i < planes_.size(); ++i) all[i] = static_cast<int>(i);
+    Refine(root, all, base_pos_, 0);
+
+    result_.stats.result_regions =
+        static_cast<int64_t>(result_.regions.size());
+    return std::move(result_);
+  }
+
+ private:
+  // Classification of a hyperplane against a box by corner evaluation.
+  enum class Side { kPositive, kNegative, kCut };
+
+  Side Classify(const RecordHyperplane& h, const Box& box) const {
+    bool any_pos = false;
+    bool any_neg = false;
+    for (int mask = 0; mask < (1 << dim_); ++mask) {
+      const double v = h.Eval(box.Corner(mask, dim_));
+      if (v > 0) any_pos = true;
+      if (v < 0) any_neg = true;
+      if (any_pos && any_neg) return Side::kCut;
+    }
+    return any_pos ? Side::kPositive : Side::kNegative;
+  }
+
+  void Refine(const Box& box, const std::vector<int>& candidates,
+              int pos_cover, int depth) {
+    if (box.OutsideSimplex(dim_)) return;
+    if (pos_cover + 1 > prep_.k_effective) return;  // quad-tree pruning
+
+    std::vector<int> cutting;
+    int pos_here = pos_cover;
+    for (int idx : candidates) {
+      switch (Classify(planes_[idx], box)) {
+        case Side::kPositive:
+          ++pos_here;
+          break;
+        case Side::kNegative:
+          break;
+        case Side::kCut:
+          cutting.push_back(idx);
+          break;
+      }
+    }
+    if (pos_here + 1 > prep_.k_effective) return;
+
+    const int max_depth =
+        options_.max_depth > 0 ? options_.max_depth : 16 / dim_;
+    if (static_cast<int>(cutting.size()) > options_.cut_threshold &&
+        depth < max_depth) {
+      // Split into 2^dim children.
+      for (int mask = 0; mask < (1 << dim_); ++mask) {
+        Box child;
+        child.lo = Vec(dim_);
+        child.hi = Vec(dim_);
+        for (int j = 0; j < dim_; ++j) {
+          const double mid = (box.lo[j] + box.hi[j]) / 2.0;
+          child.lo.v[j] = (mask >> j) & 1 ? mid : box.lo[j];
+          child.hi.v[j] = (mask >> j) & 1 ? box.hi[j] : mid;
+        }
+        Refine(child, cutting, pos_here, depth + 1);
+      }
+      ++result_.stats.cell_tree_nodes;  // counts quad-tree splits
+      return;
+    }
+    ProcessLeaf(box, cutting, pos_here);
+  }
+
+  struct Cell {
+    std::vector<LinIneq> cons;  // box sides + hyperplane sides
+    int pos = 0;
+    std::vector<Vec> vertices;
+  };
+
+  // Materialises the arrangement of `cutting` inside `box` with exact
+  // geometry, cell by cell (the [23] leaf processing).
+  void ProcessLeaf(const Box& box, const std::vector<int>& cutting,
+                   int pos_cover) {
+    Cell root;
+    for (int j = 0; j < dim_; ++j) {
+      LinIneq lo;  // w_j >= lo
+      lo.a = Vec(dim_);
+      lo.a.v[j] = -1.0;
+      lo.b = -box.lo[j];
+      root.cons.push_back(lo);
+      LinIneq hi;  // w_j <= hi
+      hi.a = Vec(dim_);
+      hi.a.v[j] = 1.0;
+      hi.b = box.hi[j];
+      root.cons.push_back(hi);
+    }
+    root.vertices = EnumerateVertices(Space::kTransformed, dim_, root.cons);
+    if (root.vertices.empty()) return;  // box fully outside the simplex
+
+    std::vector<Cell> cells = {std::move(root)};
+    for (int idx : cutting) {
+      const RecordHyperplane& h = planes_[idx];
+      std::vector<Cell> next;
+      next.reserve(cells.size());
+      for (Cell& cell : cells) {
+        bool any_pos = false;
+        bool any_neg = false;
+        for (const Vec& v : cell.vertices) {
+          const double val = h.Eval(v);
+          if (val > 1e-9) any_pos = true;
+          if (val < -1e-9) any_neg = true;
+        }
+        if (any_pos && !any_neg) {
+          ++cell.pos;
+          if (pos_cover + cell.pos + 1 <= prep_.k_effective) {
+            next.push_back(std::move(cell));
+          }
+          continue;
+        }
+        if (!any_pos) {  // entirely on the negative side
+          next.push_back(std::move(cell));
+          continue;
+        }
+        // Split: exact halfspace intersection on both sides.
+        Cell neg = cell;
+        LinIneq neg_side;  // a.w <= b
+        neg_side.a = h.a;
+        neg_side.b = h.b;
+        neg.cons.push_back(neg_side);
+        neg.vertices = EnumerateVertices(Space::kTransformed, dim_, neg.cons);
+
+        Cell pos = std::move(cell);
+        LinIneq pos_side;  // a.w >= b
+        pos_side.a = h.a * -1.0;
+        pos_side.b = -h.b;
+        pos.cons.push_back(pos_side);
+        pos.vertices = EnumerateVertices(Space::kTransformed, dim_, pos.cons);
+        ++pos.pos;
+
+        if (HasInterior(neg)) next.push_back(std::move(neg));
+        if (HasInterior(pos) &&
+            pos_cover + pos.pos + 1 <= prep_.k_effective) {
+          next.push_back(std::move(pos));
+        }
+      }
+      cells = std::move(next);
+      if (cells.empty()) return;
+    }
+
+    for (Cell& cell : cells) {
+      const int rank = pos_cover + cell.pos + 1;
+      if (rank > prep_.k_effective) continue;
+      if (!HasInterior(cell)) continue;
+      Region region;
+      region.space = Space::kTransformed;
+      region.dim = dim_;
+      region.constraints = std::move(cell.cons);
+      region.rank_lb = rank + prep_.num_dominators;
+      region.rank_ub = region.rank_lb;
+      region.vertices = std::move(cell.vertices);
+      // Witness: vertex centroid (interior for full-dimensional cells).
+      region.witness = Vec(dim_);
+      if (!region.vertices.empty()) {
+        for (const Vec& v : region.vertices) {
+          for (int j = 0; j < dim_; ++j) region.witness.v[j] += v[j];
+        }
+        for (int j = 0; j < dim_; ++j) {
+          region.witness.v[j] /= static_cast<double>(region.vertices.size());
+        }
+      }
+      result_.regions.push_back(std::move(region));
+    }
+  }
+
+  bool HasInterior(const Cell& cell) {
+    FeasibilityResult f =
+        TestInterior(Space::kTransformed, dim_, cell.cons, &result_.stats);
+    return f.feasible;
+  }
+
+  const Dataset& data_;
+  const IMaxRankOptions& options_;
+  QueryPrep prep_;
+  const int dim_;
+  Vec p_;
+  int base_pos_ = 0;
+  std::vector<RecordHyperplane> planes_;
+  KsprResult result_;
+};
+
+}  // namespace
+
+KsprResult RunIMaxRank(const Dataset& data, const Vec& p, RecordId focal_id,
+                       const IMaxRankOptions& options) {
+  IMaxRankRunner runner(data, p, focal_id, options);
+  return runner.Run();
+}
+
+}  // namespace kspr

@@ -1,0 +1,105 @@
+#include "baselines/rtopk2d.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/cta.h"
+#include "geom/hyperplane.h"
+
+namespace kspr {
+
+KsprResult RunRtopk2d(const Dataset& data, const Vec& p, RecordId focal_id,
+                      int k) {
+  assert(data.dim() == 2);
+  KsprResult result;
+  QueryPrep prep = PrepareQuery(data, p, focal_id, k);
+  if (prep.ResultEmpty()) return result;
+
+  // Every surviving record contributes a switching value. Event +1 means
+  // the record is above p to the right of the event.
+  struct Event {
+    double a;
+    int delta;
+  };
+  std::vector<Event> events;
+  int above_at_zero = 0;
+
+  for (RecordId rid = 0; rid < data.size(); ++rid) {
+    if (prep.skip[rid]) continue;
+    ++result.stats.processed_records;
+    RecordHyperplane h = MakeHyperplane(p, data.Get(rid), Space::kTransformed);
+    if (h.kind == RecordHyperplane::Kind::kAlwaysNegative) continue;
+    if (h.kind == RecordHyperplane::Kind::kAlwaysPositive) {
+      ++above_at_zero;  // above on the whole segment
+      continue;
+    }
+    const double a = h.a[0];  // +-1 after normalisation
+    const double w_switch = h.b / a;
+    // Above p at w -> 0+?  sign(a*0 - b) with b == 0 broken by slope.
+    const bool above0 = (h.b != 0.0) ? (-h.b > 0) : (a > 0);
+    if (above0) ++above_at_zero;
+    if (w_switch > 0.0 && w_switch < 1.0) {
+      events.push_back({w_switch, a > 0 ? +1 : -1});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) { return x.a < y.a; });
+
+  const int k_eff = prep.k_effective;
+  int above = above_at_zero;
+  double interval_start = 0.0;
+  bool in_result = above + 1 <= k_eff;
+  int rank_lb = above + 1;
+  int rank_ub = above + 1;
+
+  auto emit = [&](double lo, double hi) {
+    if (hi - lo <= 0) return;
+    Region region;
+    region.space = Space::kTransformed;
+    region.dim = 1;
+    LinIneq left;  // w > lo
+    left.a = Vec(1);
+    left.a.v[0] = -1.0;
+    left.b = -lo;
+    LinIneq right;  // w < hi
+    right.a = Vec(1);
+    right.a.v[0] = 1.0;
+    right.b = hi;
+    region.constraints = {left, right};
+    region.witness = Vec(1);
+    region.witness.v[0] = (lo + hi) / 2.0;
+    region.rank_lb = rank_lb + prep.num_dominators;
+    region.rank_ub = rank_ub + prep.num_dominators;
+    region.vertices = {Vec{lo}, Vec{hi}};
+    result.regions.push_back(std::move(region));
+  };
+
+  size_t i = 0;
+  while (i < events.size()) {
+    const double a = events[i].a;
+    // Coalesce simultaneous events.
+    int delta = 0;
+    while (i < events.size() && events[i].a == a) {
+      delta += events[i].delta;
+      ++i;
+    }
+    const int new_above = above + delta;
+    const bool new_in = new_above + 1 <= k_eff;
+    if (in_result && !new_in) {
+      emit(interval_start, a);
+    } else if (!in_result && new_in) {
+      interval_start = a;
+      rank_lb = rank_ub = new_above + 1;
+    } else if (in_result && new_in) {
+      rank_lb = std::min(rank_lb, new_above + 1);
+      rank_ub = std::max(rank_ub, new_above + 1);
+    }
+    above = new_above;
+    in_result = new_in;
+  }
+  if (in_result) emit(interval_start, 1.0);
+  result.stats.result_regions = static_cast<int64_t>(result.regions.size());
+  return result;
+}
+
+}  // namespace kspr

@@ -1,0 +1,27 @@
+// Monochromatic reverse top-k (RTOPK, Vlachou et al. [31]) — the paper's
+// d = 2 competitor (Fig 10(a)).
+//
+// With two attributes the scoring function is a r_1 + (1-a) r_2, so the
+// preference space is the segment a in (0, 1) — exactly our transformed
+// space for d = 2. For every record that neither dominates nor is
+// dominated by p there is one switching value of a where the relative
+// order of the two flips; sweeping the sorted switching values maintains
+// the number of records scoring above p per interval.
+
+#ifndef KSPR_BASELINES_RTOPK2D_H_
+#define KSPR_BASELINES_RTOPK2D_H_
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "core/region.h"
+
+namespace kspr {
+
+/// Requires data.dim() == 2. Regions are maximal intervals of the 1-D
+/// transformed preference space where p ranks in the top-k.
+KsprResult RunRtopk2d(const Dataset& data, const Vec& p, RecordId focal_id,
+                      int k);
+
+}  // namespace kspr
+
+#endif  // KSPR_BASELINES_RTOPK2D_H_

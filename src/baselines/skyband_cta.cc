@@ -1,0 +1,19 @@
+#include "baselines/skyband_cta.h"
+
+#include "core/cta.h"
+#include "index/bbs.h"
+
+namespace kspr {
+
+KsprResult RunSkybandCta(const Dataset& data, const RTree& tree,
+                         const Vec& p, RecordId focal_id,
+                         const KsprOptions& options) {
+  // Records with >= k dominators can never push the focal record out of a
+  // top-k cell (see Lemma 6 and the discussion at the end of Sec 5), so the
+  // k-skyband is a sufficient input set for CTA.
+  std::vector<RecordId> band = KSkyband(data, tree, options.k);
+  return RunCtaOnSubset(data, p, focal_id, band, options,
+                        Space::kTransformed);
+}
+
+}  // namespace kspr

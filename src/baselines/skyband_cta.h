@@ -1,0 +1,20 @@
+// k-skyband baseline (paper Appendix B): feed the k-skyband of D — a
+// superset of the records P-CTA would process (Lemma 6) — to plain CTA.
+
+#ifndef KSPR_BASELINES_SKYBAND_CTA_H_
+#define KSPR_BASELINES_SKYBAND_CTA_H_
+
+#include "common/dataset.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "index/rtree.h"
+
+namespace kspr {
+
+KsprResult RunSkybandCta(const Dataset& data, const RTree& tree,
+                         const Vec& p, RecordId focal_id,
+                         const KsprOptions& options);
+
+}  // namespace kspr
+
+#endif  // KSPR_BASELINES_SKYBAND_CTA_H_

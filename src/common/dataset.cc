@@ -1,0 +1,52 @@
+#include "common/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace kspr {
+
+bool Dataset::Dominates(RecordId a, RecordId b) const {
+  const double* ra = Row(a);
+  const double* rb = Row(b);
+  bool strict = false;
+  for (int i = 0; i < dim_; ++i) {
+    if (ra[i] < rb[i]) return false;
+    if (ra[i] > rb[i]) strict = true;
+  }
+  return strict;
+}
+
+bool Dataset::Dominates(const Vec& a, const Vec& b) {
+  assert(a.dim == b.dim);
+  bool strict = false;
+  for (int i = 0; i < a.dim; ++i) {
+    if (a.v[i] < b.v[i]) return false;
+    if (a.v[i] > b.v[i]) strict = true;
+  }
+  return strict;
+}
+
+void Dataset::NormalizeToUnitBox() {
+  if (empty()) return;
+  const RecordId n = size();
+  for (int j = 0; j < dim_; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (RecordId i = 0; i < n; ++i) {
+      lo = std::min(lo, At(i, j));
+      hi = std::max(hi, At(i, j));
+    }
+    const double range = hi - lo;
+    for (RecordId i = 0; i < n; ++i) {
+      double& x = values_[static_cast<size_t>(i) * dim_ + j];
+      x = range > 0 ? (x - lo) / range : 0.5;
+    }
+  }
+}
+
+std::string Dataset::Summary() const {
+  return "Dataset(n=" + std::to_string(size()) +
+         ", d=" + std::to_string(dim_) + ")";
+}
+
+}  // namespace kspr

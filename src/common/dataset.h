@@ -1,0 +1,89 @@
+// In-memory column-major-agnostic record storage.
+//
+// A Dataset owns n records of fixed dimensionality d stored contiguously
+// (row major). Attribute values follow the paper's convention: LARGER IS
+// BETTER in every dimension, and weights are positive, so the score
+// S(r) = r . w is monotonically increasing in every attribute.
+
+#ifndef KSPR_COMMON_DATASET_H_
+#define KSPR_COMMON_DATASET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/vec.h"
+
+namespace kspr {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset of dimensionality `dim`.
+  explicit Dataset(int dim) : dim_(dim) {
+    assert(dim >= 1 && dim <= kMaxDim);
+  }
+
+  int dim() const { return dim_; }
+  RecordId size() const { return static_cast<RecordId>(values_.size() / dim_); }
+  bool empty() const { return values_.empty(); }
+
+  /// Appends a record; returns its id.
+  RecordId Add(const Vec& r) {
+    assert(r.dim == dim_);
+    for (int i = 0; i < dim_; ++i) values_.push_back(r[i]);
+    return size() - 1;
+  }
+
+  double At(RecordId id, int attr) const {
+    assert(id >= 0 && id < size() && attr >= 0 && attr < dim_);
+    return values_[static_cast<size_t>(id) * dim_ + attr];
+  }
+
+  /// Materialises record `id` as a Vec.
+  Vec Get(RecordId id) const {
+    Vec r(dim_);
+    const double* base = &values_[static_cast<size_t>(id) * dim_];
+    for (int i = 0; i < dim_; ++i) r.v[i] = base[i];
+    return r;
+  }
+
+  /// Raw pointer to the first attribute of record `id`.
+  const double* Row(RecordId id) const {
+    return &values_[static_cast<size_t>(id) * dim_];
+  }
+
+  /// Score of record `id` under a full d-dimensional weight vector.
+  double Score(RecordId id, const Vec& w) const {
+    assert(w.dim == dim_);
+    const double* base = Row(id);
+    double s = 0.0;
+    for (int i = 0; i < dim_; ++i) s += base[i] * w.v[i];
+    return s;
+  }
+
+  /// True iff record a dominates record b: a >= b in all dims, > in one.
+  /// (Larger is better.)
+  bool Dominates(RecordId a, RecordId b) const;
+
+  /// Dominance between arbitrary vectors with this dataset's convention.
+  static bool Dominates(const Vec& a, const Vec& b);
+
+  /// Rescales every attribute linearly to [0, 1] (per-dimension min/max).
+  /// No-op on an empty dataset.
+  void NormalizeToUnitBox();
+
+  /// Human-readable one-line summary ("n=... d=...").
+  std::string Summary() const;
+
+ private:
+  int dim_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_COMMON_DATASET_H_

@@ -1,0 +1,41 @@
+// Deterministic random number generation for reproducible datasets,
+// workloads and Monte-Carlo volume estimation.
+
+#ifndef KSPR_COMMON_RNG_H_
+#define KSPR_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace kspr {
+
+/// xoshiro256** generator. Deterministic across platforms, unlike
+/// std::mt19937 paired with std::*_distribution.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_COMMON_RNG_H_

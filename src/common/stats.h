@@ -1,0 +1,77 @@
+// Instrumentation counters reported by all kSPR algorithms. These back the
+// side metrics in the paper's evaluation (processed records, CellTree nodes,
+// space consumption, LP calls, I/O reads).
+
+#ifndef KSPR_COMMON_STATS_H_
+#define KSPR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kspr {
+
+struct KsprStats {
+  /// Records whose hyperplanes were inserted into the CellTree
+  /// (Fig 11(a), Fig 20(a)).
+  int64_t processed_records = 0;
+
+  /// Total CellTree nodes created (Fig 11(b)).
+  int64_t cell_tree_nodes = 0;
+
+  /// CellTree nodes alive (not eliminated/reported) at termination.
+  int64_t live_leaves = 0;
+
+  /// Calls into the simplex solver, split by purpose.
+  int64_t feasibility_lps = 0;   // cell nonemptiness tests (Sec 4.2)
+  int64_t bound_lps = 0;         // score/rank bound LPs (Sec 6)
+  int64_t finalize_lps = 0;      // redundancy tests during finalisation
+
+  /// Feasibility tests short-circuited by the cached witness point
+  /// (Sec 4.3.2) or by the dominance-graph shortcut (Sec 5).
+  int64_t witness_hits = 0;
+  int64_t dominance_shortcuts = 0;
+
+  /// Constraints passed to the LP solver, before and after Lemma-2
+  /// elimination of inconsequential halfspaces (Fig 17(a)).
+  int64_t constraints_full = 0;
+  int64_t constraints_used = 0;
+
+  /// Cells reported early by look-ahead bounds / pruned early (Sec 6).
+  int64_t lookahead_reported = 0;
+  int64_t lookahead_pruned = 0;
+
+  /// Batches processed by P-CTA / LP-CTA.
+  int64_t batches = 0;
+
+  /// Approximate CellTree memory footprint in bytes (Fig 12(b)).
+  int64_t bytes = 0;
+
+  /// Simulated page reads on the data index (Appendix A).
+  int64_t page_reads = 0;
+
+  /// Number of regions in the reported result (Figs 13(b), 14(b), 15(d)).
+  int64_t result_regions = 0;
+
+  void Add(const KsprStats& o) {
+    processed_records += o.processed_records;
+    cell_tree_nodes += o.cell_tree_nodes;
+    live_leaves += o.live_leaves;
+    feasibility_lps += o.feasibility_lps;
+    bound_lps += o.bound_lps;
+    finalize_lps += o.finalize_lps;
+    witness_hits += o.witness_hits;
+    dominance_shortcuts += o.dominance_shortcuts;
+    constraints_full += o.constraints_full;
+    constraints_used += o.constraints_used;
+    lookahead_reported += o.lookahead_reported;
+    lookahead_pruned += o.lookahead_pruned;
+    batches += o.batches;
+    bytes += o.bytes;
+    page_reads += o.page_reads;
+    result_regions += o.result_regions;
+  }
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_COMMON_STATS_H_

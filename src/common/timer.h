@@ -1,0 +1,31 @@
+// Wall-clock timer used by the benchmark harness.
+
+#ifndef KSPR_COMMON_TIMER_H_
+#define KSPR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace kspr {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_COMMON_TIMER_H_

@@ -1,0 +1,38 @@
+// Core identifiers and numeric tolerances shared across the library.
+
+#ifndef KSPR_COMMON_TYPES_H_
+#define KSPR_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace kspr {
+
+/// Index of a record within a Dataset.
+using RecordId = int32_t;
+
+inline constexpr RecordId kInvalidRecord = -1;
+
+/// Numeric tolerances. The preference space is normalised to [0,1]^{d'} and
+/// hyperplane coefficient vectors are scale-normalised at construction, so
+/// absolute tolerances are meaningful.
+namespace tol {
+
+/// Simplex pivot tolerance.
+inline constexpr double kPivot = 1e-11;
+
+/// A cell is considered nonempty iff the radius of its largest inscribed
+/// ball exceeds this value.
+inline constexpr double kInterior = 1e-9;
+
+/// Strict-side test for a cached witness point against a new hyperplane:
+/// |a.w - b| must exceed this for the witness to be conclusive.
+inline constexpr double kWitness = 1e-8;
+
+/// Generic geometric comparisons (vertex dedup, constraint satisfaction).
+inline constexpr double kGeom = 1e-7;
+
+}  // namespace tol
+
+}  // namespace kspr
+
+#endif  // KSPR_COMMON_TYPES_H_

@@ -1,0 +1,115 @@
+// Small fixed-capacity vector type used for points and weight vectors.
+//
+// All preference-space and data-space computations in this library work in
+// at most kMaxDim dimensions (the paper evaluates d in [2, 8]); a fixed-size
+// array avoids heap traffic in the LP / geometry hot paths.
+
+#ifndef KSPR_COMMON_VEC_H_
+#define KSPR_COMMON_VEC_H_
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+namespace kspr {
+
+/// Maximum data dimensionality supported by the library (NBA has d = 8).
+inline constexpr int kMaxDim = 8;
+
+/// A point / weight vector with runtime dimension `dim` (<= kMaxDim).
+/// Components beyond `dim` are kept zero so that dot products over the full
+/// array remain correct.
+struct Vec {
+  std::array<double, kMaxDim> v{};
+  int dim = 0;
+
+  Vec() = default;
+  explicit Vec(int d) : dim(d) { assert(d >= 0 && d <= kMaxDim); }
+  Vec(std::initializer_list<double> init) {
+    assert(static_cast<int>(init.size()) <= kMaxDim);
+    dim = static_cast<int>(init.size());
+    int i = 0;
+    for (double x : init) v[i++] = x;
+  }
+
+  double& operator[](int i) {
+    assert(i >= 0 && i < dim);
+    return v[i];
+  }
+  double operator[](int i) const {
+    assert(i >= 0 && i < dim);
+    return v[i];
+  }
+
+  /// Dot product; both vectors must have the same dimension.
+  double Dot(const Vec& o) const {
+    assert(dim == o.dim);
+    double s = 0.0;
+    for (int i = 0; i < dim; ++i) s += v[i] * o.v[i];
+    return s;
+  }
+
+  double NormL2() const {
+    double s = 0.0;
+    for (int i = 0; i < dim; ++i) s += v[i] * v[i];
+    return std::sqrt(s);
+  }
+
+  double NormLInf() const {
+    double s = 0.0;
+    for (int i = 0; i < dim; ++i) s = std::max(s, std::abs(v[i]));
+    return s;
+  }
+
+  double Sum() const {
+    double s = 0.0;
+    for (int i = 0; i < dim; ++i) s += v[i];
+    return s;
+  }
+
+  Vec operator+(const Vec& o) const {
+    assert(dim == o.dim);
+    Vec r(dim);
+    for (int i = 0; i < dim; ++i) r.v[i] = v[i] + o.v[i];
+    return r;
+  }
+  Vec operator-(const Vec& o) const {
+    assert(dim == o.dim);
+    Vec r(dim);
+    for (int i = 0; i < dim; ++i) r.v[i] = v[i] - o.v[i];
+    return r;
+  }
+  Vec operator*(double s) const {
+    Vec r(dim);
+    for (int i = 0; i < dim; ++i) r.v[i] = v[i] * s;
+    return r;
+  }
+
+  bool operator==(const Vec& o) const {
+    if (dim != o.dim) return false;
+    for (int i = 0; i < dim; ++i) {
+      if (v[i] != o.v[i]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    std::string s = "(";
+    for (int i = 0; i < dim; ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(v[i]);
+    }
+    s += ")";
+    return s;
+  }
+};
+
+/// Euclidean distance between two equally-dimensioned vectors.
+inline double Distance(const Vec& a, const Vec& b) { return (a - b).NormL2(); }
+
+}  // namespace kspr
+
+#endif  // KSPR_COMMON_VEC_H_

@@ -1,0 +1,57 @@
+// Approximate kSPR with a certified error bound — the extension the paper
+// names as future work ("approximate kSPR algorithms, with accuracy
+// guarantees, for the purpose of faster processing", Sec 8).
+//
+// Idea: run the progressive CellTree processing, but when a cell is still
+// undecided (its dataset-wide rank bounds straddle k) and its bounding box
+// in preference space is already SMALL, stop refining it: classify the
+// whole cell by the exact rank at its witness point and charge the cell's
+// box volume to an error budget. The returned regions are then correct
+// except on a set of weight vectors of measure at most `error_volume`
+// (each misclassified point lies in one of the approximated cells, whose
+// total measure is accounted exactly).
+//
+// The error budget is spent smallest-cells-first; once exhausted,
+// processing continues exactly, so the bound always holds.
+
+#ifndef KSPR_CORE_APPROX_H_
+#define KSPR_CORE_APPROX_H_
+
+#include "common/dataset.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "index/rtree.h"
+
+namespace kspr {
+
+struct ApproxOptions {
+  /// Base query options; `algorithm` is ignored (the approximate engine is
+  /// LP-CTA-shaped).
+  KsprOptions base;
+
+  /// Maximum total measure of misclassified weight vectors, as a FRACTION
+  /// of the preference-space volume (e.g. 0.01 = 1%).
+  double max_error_fraction = 0.01;
+
+  /// A cell is eligible for approximation once its per-axis bounding box
+  /// volume falls below this fraction of the space volume.
+  double cell_volume_fraction = 1e-3;
+};
+
+struct ApproxResult {
+  KsprResult result;
+  /// Certified bound on the measure of misclassified weight vectors
+  /// (absolute volume, compare against SpaceVolume).
+  double error_volume = 0.0;
+  /// Cells classified by witness rank instead of exact processing.
+  int64_t approximated_cells = 0;
+};
+
+/// Runs the approximate query in the transformed preference space.
+ApproxResult RunApproxKspr(const Dataset& data, const RTree& tree,
+                           const Vec& p, RecordId focal_id,
+                           const ApproxOptions& options);
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_APPROX_H_

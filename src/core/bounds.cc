@@ -1,0 +1,264 @@
+#include "core/bounds.h"
+
+#include <cassert>
+#include <limits>
+
+namespace kspr {
+
+Vec ScoreObjective(Space space, const Vec& x, double* constant) {
+  if (space == Space::kOriginal) {
+    *constant = 0.0;
+    return x;
+  }
+  const int d = x.dim;
+  Vec obj(d - 1);
+  for (int i = 0; i < d - 1; ++i) obj.v[i] = x[i] - x[d - 1];
+  *constant = x[d - 1];
+  return obj;
+}
+
+namespace {
+
+enum class Decision {
+  kAbove,    // scores above p everywhere in the cell: lb and ub advance
+  kBelow,    // scores below p everywhere: no effect
+  kCovered,  // score interval inside p's interval: only ub advances
+  kUnknown,
+};
+
+// Shared state of one rank-bound computation.
+struct Traversal {
+  const BoundsContext* ctx;
+  const std::vector<LinIneq>* cons;
+  int k;
+  RankBounds bounds;
+
+  // Transformed-space interval method: p's score range over the cell.
+  double sp_min = 0.0;
+  double sp_max = 0.0;
+  // Fast min/max weight vectors (full d dims), valid when use_fast.
+  bool use_fast = false;
+  Vec w_lo;
+  Vec w_hi;
+
+  bool original_space() const { return ctx->space == Space::kOriginal; }
+
+  // ---- transformed-space interval comparisons -------------------------
+  Decision DecideInterval(double lo, double hi) const {
+    if (lo > sp_max) return Decision::kAbove;
+    if (hi < sp_min) return Decision::kBelow;
+    if (sp_min <= lo && hi <= sp_max) return Decision::kCovered;
+    return Decision::kUnknown;
+  }
+
+  // Fast (O(d)) score interval of a box [lo, hi] in data space.
+  Decision FastDecide(const Vec& lo, const Vec& hi) const {
+    if (!use_fast) return Decision::kUnknown;
+    return DecideInterval(w_lo.Dot(lo), w_hi.Dot(hi));
+  }
+
+  // True when the entry is more likely to resolve as kBelow than kAbove,
+  // based on its (cheap) fast interval; used to order the two tight LPs so
+  // that the common case needs only one.
+  bool LikelyBelow(const Vec& lo, const Vec& hi) const {
+    if (!use_fast) return false;
+    return w_lo.Dot(lo) + w_hi.Dot(hi) < sp_min + sp_max;
+  }
+
+  // Tight (one- or two-LP) score interval of a box.
+  Decision TightDecide(const Vec& lo, const Vec& hi) const {
+    if (original_space()) {
+      // Difference objective S(x) - S(p); every cell contains the origin,
+      // so plain intervals are useless (Appendix C).
+      double c0;
+      Vec diff_lo = lo - ctx->p;
+      Vec obj_lo = ScoreObjective(ctx->space, diff_lo, &c0);
+      BoundResult r_lo = MinimizeOverCell(ctx->space, ctx->pref_dim, obj_lo,
+                                          c0, *cons, ctx->stats);
+      if (r_lo.ok && r_lo.value > 0) return Decision::kAbove;
+      Vec diff_hi = hi - ctx->p;
+      Vec obj_hi = ScoreObjective(ctx->space, diff_hi, &c0);
+      BoundResult r_hi = MaximizeOverCell(ctx->space, ctx->pref_dim, obj_hi,
+                                          c0, *cons, ctx->stats);
+      if (r_hi.ok && r_hi.value <= 0) return Decision::kBelow;
+      return Decision::kUnknown;
+    }
+    // Lazy evaluation: the min-score LP alone decides kAbove and the
+    // max-score LP alone decides kBelow; solve the likelier one first so
+    // the common case needs a single LP.
+    if (LikelyBelow(lo, hi)) {
+      double c1;
+      Vec obj_hi = ScoreObjective(ctx->space, hi, &c1);
+      BoundResult r_hi = MaximizeOverCell(ctx->space, ctx->pref_dim, obj_hi,
+                                          c1, *cons, ctx->stats);
+      if (!r_hi.ok) return Decision::kUnknown;
+      if (r_hi.value < sp_min) return Decision::kBelow;
+      double c0;
+      Vec obj_lo = ScoreObjective(ctx->space, lo, &c0);
+      BoundResult r_lo = MinimizeOverCell(ctx->space, ctx->pref_dim, obj_lo,
+                                          c0, *cons, ctx->stats);
+      if (!r_lo.ok) return Decision::kUnknown;
+      return DecideInterval(r_lo.value, r_hi.value);
+    }
+    double c0;
+    Vec obj_lo = ScoreObjective(ctx->space, lo, &c0);
+    BoundResult r_lo = MinimizeOverCell(ctx->space, ctx->pref_dim, obj_lo, c0,
+                                        *cons, ctx->stats);
+    if (!r_lo.ok) return Decision::kUnknown;
+    if (r_lo.value > sp_max) return Decision::kAbove;
+    double c1;
+    Vec obj_hi = ScoreObjective(ctx->space, hi, &c1);
+    BoundResult r_hi = MaximizeOverCell(ctx->space, ctx->pref_dim, obj_hi, c1,
+                                        *cons, ctx->stats);
+    if (!r_hi.ok) return Decision::kUnknown;
+    return DecideInterval(r_lo.value, r_hi.value);
+  }
+
+  void Apply(Decision d, int count) {
+    switch (d) {
+      case Decision::kAbove:
+        bounds.lb += count;
+        bounds.ub += count;
+        break;
+      case Decision::kCovered:
+        bounds.ub += count;
+        break;
+      case Decision::kBelow:
+      case Decision::kUnknown:
+        break;
+    }
+  }
+
+  // Tight (LP-based) refinement is worthwhile only while the cell can
+  // still be reported early: once ub > k, LPs can no longer flip the
+  // outcome to "report", and the lower bound keeps growing through the
+  // cheap O(d) fast checks. This keeps the per-cell LP budget proportional
+  // to k instead of to the number of straddling records.
+  bool RefinementPays() const { return bounds.ub <= k; }
+
+  // Lemma-5 pruning: everything weakly dominated by a pivot of the cell
+  // scores below p throughout the cell.
+  bool PivotDominated(const Mbr& box) const {
+    if (ctx->pivots == nullptr) return false;
+    for (const Vec& piv : *ctx->pivots) {
+      if (box.WeaklyDominatedBy(piv)) return true;
+    }
+    return false;
+  }
+  bool PivotDominated(const Vec& r) const {
+    if (ctx->pivots == nullptr) return false;
+    for (const Vec& piv : *ctx->pivots) {
+      if (WeaklyDominates(piv, r)) return true;
+    }
+    return false;
+  }
+
+  void VisitNode(int node_id) {
+    if (bounds.lb > k) return;  // cell will be pruned regardless
+    const RTree::Node& node = ctx->tree->Fetch(node_id);
+    if (node.leaf) {
+      for (int i = node.first; i < node.first + node.num_children; ++i) {
+        const RecordId rid = ctx->tree->RecordAt(i);
+        if (rid == ctx->focal_id) continue;
+        const Vec r = ctx->data->Get(rid);
+        if (PivotDominated(r)) continue;  // kBelow, no LP needed
+        Decision d = FastDecide(r, r);
+        if (d == Decision::kUnknown && RefinementPays()) {
+          d = TightDecide(r, r);
+        }
+        // A record whose interval merely overlaps p's may or may not score
+        // above p inside the cell: advance only the upper bound.
+        Apply(d == Decision::kUnknown ? Decision::kCovered : d, 1);
+        if (bounds.lb > k) return;
+      }
+      return;
+    }
+    for (int c = node.first; c < node.first + node.num_children; ++c) {
+      if (bounds.lb > k) return;
+      const RTree::Node& child = ctx->tree->Fetch(c);
+      if (PivotDominated(child.mbr)) continue;  // kBelow, no LP needed
+      Decision d = FastDecide(child.mbr.lo, child.mbr.hi);
+      if (d == Decision::kUnknown && ctx->mode != BoundMode::kRecord &&
+          RefinementPays()) {
+        d = TightDecide(child.mbr.lo, child.mbr.hi);
+      }
+      if (d == Decision::kUnknown) {
+        VisitNode(c);
+      } else {
+        Apply(d, child.count);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+RankBounds ComputeRankBounds(const BoundsContext& ctx,
+                             const std::vector<LinIneq>& cell_cons, int k) {
+  Traversal t;
+  t.ctx = &ctx;
+  t.cons = &cell_cons;
+  t.k = k;
+
+  if (ctx.space == Space::kTransformed) {
+    // p's score interval over the cell.
+    double c0;
+    Vec obj = ScoreObjective(ctx.space, ctx.p, &c0);
+    BoundResult lo = MinimizeOverCell(ctx.space, ctx.pref_dim, obj, c0,
+                                      cell_cons, ctx.stats);
+    BoundResult hi = MaximizeOverCell(ctx.space, ctx.pref_dim, obj, c0,
+                                      cell_cons, ctx.stats);
+    if (!lo.ok || !hi.ok) {
+      // Numerical trouble: return vacuous (but valid) bounds.
+      RankBounds rb;
+      rb.lb = 1;
+      rb.ub = ctx.data->size() + 1;
+      return rb;
+    }
+    t.sp_min = lo.value;
+    t.sp_max = hi.value;
+
+    if (ctx.mode == BoundMode::kFast) {
+      // Min/max vectors (Sec 6.3): per-axis extremes of w over the cell,
+      // plus the extremes of sum(w) for the implied d-th weight.
+      const int dp = ctx.pref_dim;
+      t.w_lo = Vec(dp + 1);
+      t.w_hi = Vec(dp + 1);
+      bool ok = true;
+      for (int j = 0; j < dp && ok; ++j) {
+        Vec axis(dp);
+        axis.v[j] = 1.0;
+        BoundResult mn =
+            MinimizeOverCell(ctx.space, dp, axis, 0.0, cell_cons, ctx.stats);
+        BoundResult mx =
+            MaximizeOverCell(ctx.space, dp, axis, 0.0, cell_cons, ctx.stats);
+        ok = mn.ok && mx.ok;
+        if (ok) {
+          t.w_lo.v[j] = mn.value;
+          t.w_hi.v[j] = mx.value;
+        }
+      }
+      if (ok) {
+        Vec ones(dp);
+        for (int j = 0; j < dp; ++j) ones.v[j] = 1.0;
+        BoundResult smn =
+            MinimizeOverCell(ctx.space, dp, ones, 0.0, cell_cons, ctx.stats);
+        BoundResult smx =
+            MaximizeOverCell(ctx.space, dp, ones, 0.0, cell_cons, ctx.stats);
+        ok = smn.ok && smx.ok;
+        if (ok) {
+          t.w_lo.v[dp] = std::max(0.0, 1.0 - smx.value);
+          t.w_hi.v[dp] = std::max(0.0, 1.0 - smn.value);
+        }
+      }
+      t.use_fast = ok;
+    }
+  }
+  // Original space: intervals replaced by the difference objective inside
+  // TightDecide; fast bounds unavailable (Appendix C).
+
+  if (!ctx.tree->empty()) t.VisitNode(ctx.tree->root());
+  return t.bounds;
+}
+
+}  // namespace kspr

@@ -1,0 +1,92 @@
+#include "core/brute_force.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "geom/volume.h"
+
+namespace kspr {
+
+Vec ExpandWeight(Space space, int data_dim, const Vec& w_pref) {
+  if (space == Space::kOriginal) return w_pref;
+  Vec w(data_dim);
+  double sum = 0.0;
+  for (int j = 0; j < data_dim - 1; ++j) {
+    w.v[j] = w_pref[j];
+    sum += w_pref[j];
+  }
+  w.v[data_dim - 1] = 1.0 - sum;
+  return w;
+}
+
+int RankAt(const Dataset& data, const Vec& p, RecordId focal_id,
+           const Vec& w_full) {
+  const double sp = p.Dot(w_full);
+  int rank = 1;
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (i == focal_id) continue;
+    if (data.Score(i, w_full) > sp) ++rank;
+  }
+  return rank;
+}
+
+double MinScoreMargin(const Dataset& data, const Vec& p, RecordId focal_id,
+                      const Vec& w_full) {
+  const double sp = p.Dot(w_full);
+  double margin = std::numeric_limits<double>::infinity();
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (i == focal_id) continue;
+    const double diff = std::abs(data.Score(i, w_full) - sp);
+    if (diff == 0.0) continue;  // exact tie everywhere: ignored by kSPR
+    margin = std::min(margin, diff);
+  }
+  return margin;
+}
+
+OracleCheck VerifyResult(const Dataset& data, const Vec& p, RecordId focal_id,
+                         int k, const KsprResult& result, Space space,
+                         int samples, uint64_t seed) {
+  OracleCheck check;
+  Rng rng(seed);
+  const int pref_dim = space == Space::kTransformed ? data.dim() - 1
+                                                    : data.dim();
+  for (int s = 0; s < samples; ++s) {
+    Vec w_pref = SampleSpacePoint(space, pref_dim, &rng);
+
+    // Skip samples too close to the space boundary: regions are open and a
+    // strict-containment test there is ill-conditioned.
+    bool near_boundary = false;
+    double sum = 0.0;
+    for (int j = 0; j < pref_dim; ++j) {
+      sum += w_pref[j];
+      if (w_pref[j] < 1e-5) near_boundary = true;
+    }
+    if (space == Space::kTransformed && 1.0 - sum < 1e-5) {
+      near_boundary = true;
+    }
+    if (near_boundary) {
+      ++check.skipped;
+      continue;
+    }
+
+    const Vec w_full = ExpandWeight(space, data.dim(), w_pref);
+    // Skip samples near a rank boundary (hyperplane of the arrangement).
+    if (MinScoreMargin(data, p, focal_id, w_full) < 1e-7) {
+      ++check.skipped;
+      continue;
+    }
+
+    const bool expected = RankAt(data, p, focal_id, w_full) <= k;
+    int containing = 0;
+    for (const Region& region : result.regions) {
+      if (region.Contains(w_pref)) ++containing;
+    }
+    if (containing > 1) ++check.overlaps;
+    if ((containing > 0) != expected) ++check.mismatches;
+    ++check.samples;
+  }
+  return check;
+}
+
+}  // namespace kspr

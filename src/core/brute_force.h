@@ -1,0 +1,49 @@
+// Brute-force oracle used by tests and by the sampling-based verification
+// harness: the exact rank of the focal record at any weight vector is a
+// linear scan of the dataset.
+
+#ifndef KSPR_CORE_BRUTE_FORCE_H_
+#define KSPR_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "common/vec.h"
+#include "core/region.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+
+/// Expands a preference-space point into a full d-dimensional weight
+/// vector: transformed space appends w_d = 1 - sum(w); original space
+/// returns the point unchanged.
+Vec ExpandWeight(Space space, int data_dim, const Vec& w_pref);
+
+/// Exact rank of p at the full weight vector: 1 + |{ r : S(r) > S(p) }|.
+/// `focal_id` (when valid) is excluded from the count.
+int RankAt(const Dataset& data, const Vec& p, RecordId focal_id,
+           const Vec& w_full);
+
+/// Smallest |S(r) - S(p)| over all records (excluding the focal record and
+/// exact ties); samples this close to a rank boundary are ambiguous and
+/// skipped by VerifyResult.
+double MinScoreMargin(const Dataset& data, const Vec& p, RecordId focal_id,
+                      const Vec& w_full);
+
+struct OracleCheck {
+  int samples = 0;    // informative samples actually checked
+  int skipped = 0;    // samples near a hyperplane or the space boundary
+  int mismatches = 0; // membership disagreed with the exact rank
+  int overlaps = 0;   // sample contained in more than one region
+};
+
+/// Samples `samples` weight vectors from `space` and verifies that
+/// membership in `result`'s regions matches rank(p) <= k exactly.
+OracleCheck VerifyResult(const Dataset& data, const Vec& p, RecordId focal_id,
+                         int k, const KsprResult& result, Space space,
+                         int samples, uint64_t seed = 0xbadc0de);
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_BRUTE_FORCE_H_

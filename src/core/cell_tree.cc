@@ -1,0 +1,356 @@
+#include "core/cell_tree.h"
+
+#include <cassert>
+
+#include "common/types.h"
+
+namespace kspr {
+
+CellTree::CellTree(HyperplaneStore* store, int k_tree,
+                   const KsprOptions* options, KsprStats* stats)
+    : store_(store), k_tree_(k_tree), options_(options), stats_(stats) {
+  Node root;
+  nodes_.push_back(root);
+  stats_->cell_tree_nodes = 1;
+  if (base_rank() > k_tree_) nodes_[0].eliminated = true;  // k <= 0
+}
+
+void CellTree::InsertHyperplane(RecordId rid,
+                                const std::vector<RecordId>* dominators) {
+  last_new_leaves_.clear();
+  if (RootDead()) return;
+  const RecordHyperplane& h = store_->Get(rid);
+  switch (h.kind) {
+    case RecordHyperplane::Kind::kAlwaysNegative:
+      return;  // never outscores the focal record: no cell is affected
+    case RecordHyperplane::Kind::kAlwaysPositive:
+      // Outscores the focal record everywhere (a dominator that survived
+      // preprocessing): every cell's rank grows by one.
+      ++base_positives_;
+      if (base_rank() > k_tree_) Kill(0);
+      return;
+    case RecordHyperplane::Kind::kRegular:
+      break;
+  }
+  assert(path_cons_.empty() && cover_cons_.empty() && neg_on_path_.empty());
+  InsertRec(0, rid, h, 0, dominators);
+  path_cons_.clear();
+  cover_cons_.clear();
+  neg_on_path_.clear();
+}
+
+FeasibilityResult CellTree::TestSide(const RecordHyperplane& h,
+                                     bool positive_side) {
+  const int dim = store_->pref_dim();
+  std::vector<LinIneq> cons = path_cons_;
+  if (!options_->use_lemma2) {
+    cons.insert(cons.end(), cover_cons_.begin(), cover_cons_.end());
+  }
+  LinIneq side;
+  if (positive_side) {
+    side.a = h.a * -1.0;
+    side.b = -h.b;
+  } else {
+    side.a = h.a;
+    side.b = h.b;
+  }
+  cons.push_back(side);
+  stats_->constraints_full += static_cast<int64_t>(
+      path_cons_.size() + cover_cons_.size() + 1 + dim + 1);
+  return TestInterior(store_->space(), dim, cons, stats_);
+}
+
+void CellTree::PushNegContribution(RecordId rid) { ++neg_on_path_[rid]; }
+
+void CellTree::PopNegContribution(RecordId rid) {
+  auto it = neg_on_path_.find(rid);
+  assert(it != neg_on_path_.end());
+  if (--it->second == 0) neg_on_path_.erase(it);
+}
+
+void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
+                         int pos_above,
+                         const std::vector<RecordId>* dominators) {
+  Node& n = nodes_[nid];
+  if (n.dead()) return;
+  if (!n.leaf() && nodes_[n.left].dead() && nodes_[n.right].dead()) {
+    Kill(nid);
+    return;
+  }
+
+  const int pos_here = pos_above + (n.edge.rid != kInvalidRecord &&
+                                            n.edge.positive
+                                        ? 1
+                                        : 0) +
+                       n.cover_pos;
+  if (base_rank() + pos_here > k_tree_) {
+    Kill(nid);
+    return;
+  }
+
+  // Sec 5 shortcut: if a processed dominator of rid contributes a negative
+  // halfspace to this node's full halfspace set, h- covers the node.
+  if (options_->use_dominance_shortcut && dominators != nullptr) {
+    for (RecordId dom : *dominators) {
+      if (neg_on_path_.contains(dom)) {
+        ++stats_->dominance_shortcuts;
+        n.cover.push_back({rid, false});
+        return;
+      }
+    }
+  }
+
+  // Witness shortcut (Sec 4.3.2): decide on which side the cached interior
+  // point lies; that side is guaranteed nonempty.
+  int witness_side = 0;  // +1: witness in h+, -1: witness in h-
+  if (options_->use_witness_cache && n.has_witness) {
+    const double m = h.Eval(n.witness);
+    if (m > tol::kWitness) {
+      witness_side = 1;
+    } else if (m < -tol::kWitness) {
+      witness_side = -1;
+    }
+    if (witness_side != 0) ++stats_->witness_hits;
+  }
+
+  bool neg_nonempty;
+  bool pos_nonempty;
+  Vec neg_witness;
+  Vec pos_witness;
+  bool have_neg_witness = false;
+  bool have_pos_witness = false;
+
+  if (witness_side == -1) {
+    neg_nonempty = true;
+    neg_witness = n.witness;
+    have_neg_witness = true;
+  } else {
+    FeasibilityResult f = TestSide(h, /*positive_side=*/false);
+    neg_nonempty = f.feasible;
+    if (f.feasible) {
+      neg_witness = f.witness;
+      have_neg_witness = true;
+      if (!n.has_witness) {
+        n.has_witness = true;
+        n.witness = f.witness;
+      }
+    }
+  }
+
+  if (!neg_nonempty) {
+    // Case I: the node lies entirely inside h+.
+    n.cover.push_back({rid, true});
+    ++n.cover_pos;
+    if (base_rank() + pos_here + 1 > k_tree_) Kill(nid);
+    return;
+  }
+
+  if (witness_side == 1) {
+    pos_nonempty = true;
+    pos_witness = n.witness;
+    have_pos_witness = true;
+  } else {
+    FeasibilityResult f = TestSide(h, /*positive_side=*/true);
+    pos_nonempty = f.feasible;
+    if (f.feasible) {
+      pos_witness = f.witness;
+      have_pos_witness = true;
+      if (!n.has_witness) {
+        n.has_witness = true;
+        n.witness = f.witness;
+      }
+    }
+  }
+
+  if (!pos_nonempty) {
+    // Case II: the node lies entirely inside h-.
+    n.cover.push_back({rid, false});
+    return;
+  }
+
+  // Case III: h cuts through the node.
+  if (n.leaf()) {
+    Node left;
+    left.parent = nid;
+    left.edge = {rid, false};
+    if (have_neg_witness) {
+      left.has_witness = true;
+      left.witness = neg_witness;
+    }
+    Node right;
+    right.parent = nid;
+    right.edge = {rid, true};
+    if (have_pos_witness) {
+      right.has_witness = true;
+      right.witness = pos_witness;
+    }
+    const int left_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(left));
+    const int right_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(right));
+    stats_->cell_tree_nodes += 2;
+    // Re-fetch: deque references stay valid, but keep the intent explicit.
+    Node& parent = nodes_[nid];
+    parent.left = left_id;
+    parent.right = right_id;
+    last_new_leaves_.push_back(left_id);
+    last_new_leaves_.push_back(right_id);
+    // The h+ child may already exceed k.
+    if (base_rank() + pos_here + 1 > k_tree_) Kill(right_id);
+    return;
+  }
+
+  // Internal node: descend into both children, maintaining the path scope.
+  for (int child_id : {n.left, n.right}) {
+    Node& child = nodes_[child_id];
+    if (child.dead()) continue;
+    LinIneq edge_ineq = store_->AsStrictIneq(child.edge);
+    path_cons_.push_back(edge_ineq);
+    if (!child.edge.positive) PushNegContribution(child.edge.rid);
+    const size_t cover_mark = cover_cons_.size();
+    size_t neg_cover = 0;
+    for (const HalfspaceRef& ref : child.cover) {
+      if (!options_->use_lemma2) {
+        cover_cons_.push_back(store_->AsStrictIneq(ref));
+      }
+      if (!ref.positive) {
+        PushNegContribution(ref.rid);
+        ++neg_cover;
+      }
+    }
+    InsertRec(child_id, rid, h, pos_here, dominators);
+    // Unwind. The child's cover may have grown during the call (case I/II
+    // on the child itself) — pop exactly what we pushed.
+    path_cons_.pop_back();
+    cover_cons_.resize(cover_mark);
+    const Node& child_after = nodes_[child_id];
+    if (!child_after.edge.positive) PopNegContribution(child_after.edge.rid);
+    size_t popped = 0;
+    for (const HalfspaceRef& ref : child_after.cover) {
+      if (!ref.positive && popped < neg_cover) {
+        PopNegContribution(ref.rid);
+        ++popped;
+      }
+      if (popped == neg_cover) break;
+    }
+  }
+  if (nodes_[nodes_[nid].left].dead() && nodes_[nodes_[nid].right].dead()) {
+    Kill(nid);
+  }
+}
+
+void CellTree::Kill(int nid) {
+  Node& n = nodes_[nid];
+  if (n.dead()) return;
+  n.eliminated = true;
+}
+
+void CellTree::PropagateDeath(int nid) {
+  int cur = nodes_[nid].parent;
+  while (cur >= 0) {
+    Node& n = nodes_[cur];
+    if (n.dead()) break;
+    if (n.leaf()) break;
+    if (!nodes_[n.left].dead() || !nodes_[n.right].dead()) break;
+    n.eliminated = true;
+    cur = n.parent;
+  }
+}
+
+void CellTree::MarkReported(int node_id) {
+  Node& n = nodes_[node_id];
+  assert(n.leaf() && !n.dead());
+  n.reported = true;
+  PropagateDeath(node_id);
+}
+
+void CellTree::MarkEliminated(int node_id) {
+  Kill(node_id);
+  PropagateDeath(node_id);
+}
+
+void CellTree::CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id) {
+  struct Frame {
+    int nid;
+    int pos;  // positives above & including this node's edge + covers
+  };
+  // Iterative DFS maintaining path/neg/pos record stacks.
+  std::vector<HalfspaceRef> path;
+  std::vector<RecordId> neg_records;
+  std::vector<RecordId> pos_records;
+
+  // Recursive lambda over the tree; depth is bounded by inserted planes.
+  auto dfs = [&](auto&& self, int nid, int pos_above) -> void {
+    Node& n = nodes_[nid];
+    if (n.dead()) return;
+    int pos_here = pos_above;
+    const size_t path_mark = path.size();
+    const size_t neg_mark = neg_records.size();
+    const size_t pos_mark = pos_records.size();
+    if (n.edge.rid != kInvalidRecord) {
+      path.push_back(n.edge);
+      if (n.edge.positive) {
+        ++pos_here;
+        pos_records.push_back(n.edge.rid);
+      } else {
+        neg_records.push_back(n.edge.rid);
+      }
+    }
+    for (const HalfspaceRef& ref : n.cover) {
+      if (ref.positive) {
+        ++pos_here;
+        pos_records.push_back(ref.rid);
+      } else {
+        neg_records.push_back(ref.rid);
+      }
+    }
+    const int rank = base_rank() + pos_here;
+    if (rank > k_tree_) {
+      Kill(nid);
+      PropagateDeath(nid);
+    } else if (n.leaf()) {
+      if (nid >= min_node_id) {
+        LeafInfo info;
+        info.node_id = nid;
+        info.rank = rank;
+        info.path.assign(path.begin(), path.end());
+        info.neg_records = neg_records;
+        info.pos_records = pos_records;
+        info.has_witness = n.has_witness;
+        info.witness = n.witness;
+        out->push_back(std::move(info));
+      }
+    } else {
+      self(self, n.left, pos_here);
+      self(self, n.right, pos_here);
+      if (nodes_[n.left].dead() && nodes_[n.right].dead()) Kill(nid);
+    }
+    path.resize(path_mark);
+    neg_records.resize(neg_mark);
+    pos_records.resize(pos_mark);
+  };
+  dfs(dfs, 0, 0);
+}
+
+std::vector<LinIneq> CellTree::PathConstraints(int node_id) {
+  std::vector<LinIneq> cons;
+  int cur = node_id;
+  while (cur >= 0) {
+    const Node& n = nodes_[cur];
+    if (n.edge.rid != kInvalidRecord) {
+      cons.push_back(store_->AsStrictIneq(n.edge));
+    }
+    cur = n.parent;
+  }
+  return cons;
+}
+
+int64_t CellTree::SizeBytes() const {
+  int64_t bytes = static_cast<int64_t>(nodes_.size()) * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += static_cast<int64_t>(n.cover.capacity()) * sizeof(HalfspaceRef);
+  }
+  return bytes;
+}
+
+}  // namespace kspr

@@ -1,0 +1,153 @@
+// The CellTree data structure (paper Sec 4).
+//
+// A binary tree that incrementally maintains the arrangement of the
+// hyperplanes inserted so far. Leaves correspond to arrangement cells;
+// every cell is represented IMPLICITLY by the halfspaces labelling the
+// edges on its root path plus the cover sets of its ancestors — exact
+// geometry is never computed during insertion.
+//
+// Implements all the optimisations of Sec 4.3:
+//  * top-down insertion with case I/II/III classification,
+//  * Lemma-2 elimination of inconsequential halfspaces from LPs,
+//  * witness-point caching to skip feasibility tests,
+//  * the dominance-graph shortcut of Sec 5 (case-II without any LP),
+//  * lazy subtree elimination once a node's rank exceeds k.
+
+#ifndef KSPR_CORE_CELL_TREE_H_
+#define KSPR_CORE_CELL_TREE_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "common/vec.h"
+#include "core/options.h"
+#include "geom/hyperplane.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+
+class CellTree {
+ public:
+  /// `k_tree` is the tree-local rank threshold (the query k minus the
+  /// number of records dominating the focal record, which are not
+  /// inserted). `store`, `options` and `stats` must outlive the tree.
+  CellTree(HyperplaneStore* store, int k_tree, const KsprOptions* options,
+           KsprStats* stats);
+
+  /// Inserts the hyperplane of record `rid`. `dominators`, when provided,
+  /// lists already-processed records dominating `rid` (enables the Sec 5
+  /// case-II shortcut). Degenerate hyperplanes are handled: always-negative
+  /// ones are ignored; always-positive ones raise the base rank of the
+  /// whole tree.
+  void InsertHyperplane(RecordId rid,
+                        const std::vector<RecordId>* dominators = nullptr);
+
+  /// True when every leaf has been eliminated or reported.
+  bool RootDead() const { return nodes_[0].dead(); }
+
+  int k_tree() const { return k_tree_; }
+
+  /// Rank contribution shared by every cell (1 + always-positive records
+  /// inserted so far). Normally 1 because preprocessing removes dominators.
+  int base_rank() const { return 1 + base_positives_; }
+
+  struct LeafInfo {
+    int node_id = -1;
+    /// Tree-local rank: base_rank() + positive halfspaces covering the leaf.
+    int rank = 0;
+    /// Edge labels on the root path (the candidate bounding halfspaces).
+    std::vector<HalfspaceRef> path;
+    /// Records contributing a negative halfspace to the full defining set
+    /// (the PIVOTS of Sec 5) and those contributing a positive one.
+    std::vector<RecordId> neg_records;
+    std::vector<RecordId> pos_records;
+    bool has_witness = false;
+    Vec witness;
+  };
+
+  /// Collects all live leaves with node_id >= min_node_id. Leaves whose
+  /// rank exceeds k are eliminated on the fly rather than returned.
+  void CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id = 0);
+
+  /// Marks a leaf as part of the kSPR answer; it is removed from all
+  /// subsequent processing.
+  void MarkReported(int node_id);
+
+  /// Eliminates a node (look-ahead pruning).
+  void MarkEliminated(int node_id);
+
+  /// True iff `node_id` is a leaf that is neither eliminated nor reported.
+  bool IsLiveLeaf(int node_id) const {
+    const Node& n = nodes_[node_id];
+    return n.leaf() && !n.dead();
+  }
+
+  /// Strict inequalities of the edge labels on the root path of `node_id`
+  /// (the Lemma-2 candidate bounding set), space bounds excluded.
+  std::vector<LinIneq> PathConstraints(int node_id);
+
+  /// Node ids are assigned monotonically; leaves created after a call to
+  /// NextNodeId() have ids >= the returned value.
+  int NextNodeId() const { return static_cast<int>(nodes_.size()); }
+
+  int64_t NumNodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+  /// Approximate memory footprint (Fig 12(b)).
+  int64_t SizeBytes() const;
+
+  /// Ids of leaves created by splits during the most recent
+  /// InsertHyperplane call (consumed by per-split look-ahead).
+  const std::vector<int>& last_new_leaves() const { return last_new_leaves_; }
+
+ private:
+  struct Node {
+    int32_t parent = -1;
+    int32_t left = -1;   // child inside h-
+    int32_t right = -1;  // child inside h+
+    HalfspaceRef edge;   // label of the edge from the parent (root: invalid)
+    std::vector<HalfspaceRef> cover;
+    int16_t cover_pos = 0;  // positive halfspaces in `cover`
+    bool eliminated = false;
+    bool reported = false;
+    bool has_witness = false;
+    Vec witness;
+
+    bool leaf() const { return left < 0 && right < 0; }
+    bool dead() const { return eliminated || reported; }
+  };
+
+  void InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
+                 int pos_above, const std::vector<RecordId>* dominators);
+
+  /// Feasibility of (path constraints) ∩ (side of h) using the Lemma-2
+  /// constraint set (or the full set when the ablation disables it).
+  FeasibilityResult TestSide(const RecordHyperplane& h, bool positive_side);
+
+  void Kill(int nid);
+  /// Propagates death upward while both children of the parent are dead.
+  void PropagateDeath(int nid);
+
+  void PushNegContribution(RecordId rid);
+  void PopNegContribution(RecordId rid);
+
+  HyperplaneStore* store_;
+  int k_tree_;
+  const KsprOptions* options_;
+  KsprStats* stats_;
+  int base_positives_ = 0;
+
+  std::deque<Node> nodes_;
+
+  // Descent-scoped state for the current insertion.
+  std::vector<LinIneq> path_cons_;   // edge-label inequalities root..current
+  std::vector<LinIneq> cover_cons_;  // cover-set inequalities (lemma2 off)
+  std::unordered_map<RecordId, int> neg_on_path_;  // negative contributors
+  std::vector<int> last_new_leaves_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_CELL_TREE_H_

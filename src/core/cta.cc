@@ -1,0 +1,113 @@
+#include "core/cta.h"
+
+#include <cassert>
+
+namespace kspr {
+
+QueryPrep PrepareQuery(const Dataset& data, const Vec& p, RecordId focal_id,
+                       int k) {
+  QueryPrep prep;
+  prep.p = p;
+  prep.focal_id = focal_id;
+  prep.skip.assign(data.size(), 0);
+  const int d = data.dim();
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (i == focal_id) {
+      prep.skip[i] = 1;
+      continue;
+    }
+    const double* r = data.Row(i);
+    bool r_ge = true;  // r >= p componentwise
+    bool p_ge = true;  // p >= r componentwise
+    for (int j = 0; j < d; ++j) {
+      if (r[j] < p[j]) r_ge = false;
+      if (p[j] < r[j]) p_ge = false;
+    }
+    if (r_ge && p_ge) {
+      prep.skip[i] = 1;  // tie on every attribute: never strictly above
+    } else if (r_ge) {
+      prep.skip[i] = 1;  // dominator
+      ++prep.num_dominators;
+    } else if (p_ge) {
+      prep.skip[i] = 1;  // dominated: never outscores p
+    }
+  }
+  prep.k_effective = k - prep.num_dominators;
+  return prep;
+}
+
+void HarvestRegions(CellTree* tree, HyperplaneStore* store,
+                    const KsprOptions& options, int rank_offset,
+                    KsprResult* result) {
+  std::vector<CellTree::LeafInfo> leaves;
+  tree->CollectLiveLeaves(&leaves);
+  for (const CellTree::LeafInfo& leaf : leaves) {
+    Region region;
+    region.space = store->space();
+    region.dim = store->pref_dim();
+    region.constraints.reserve(leaf.path.size());
+    for (const HalfspaceRef& ref : leaf.path) {
+      region.constraints.push_back(store->AsStrictIneq(ref));
+    }
+    region.rank_lb = leaf.rank + rank_offset;
+    region.rank_ub = leaf.rank + rank_offset;
+    if (leaf.has_witness) region.witness = leaf.witness;
+    if (options.finalize_geometry) {
+      FinalizeRegion(&region, options.compute_volume, options.volume_samples,
+                     &result->stats);
+    }
+    result->regions.push_back(std::move(region));
+  }
+  result->stats.result_regions =
+      static_cast<int64_t>(result->regions.size());
+  result->stats.live_leaves = static_cast<int64_t>(leaves.size());
+  result->stats.bytes += tree->SizeBytes();
+}
+
+namespace {
+
+KsprResult RunCtaImpl(const Dataset& data, const Vec& p, RecordId focal_id,
+                      const std::vector<RecordId>* subset,
+                      const KsprOptions& options, Space space) {
+  KsprResult result;
+  QueryPrep prep = PrepareQuery(data, p, focal_id, options.k);
+  if (prep.ResultEmpty()) return result;
+
+  HyperplaneStore store(&data, p, space);
+  CellTree tree(&store, prep.k_effective, &options, &result.stats);
+
+  auto insert = [&](RecordId rid) {
+    if (prep.skip[rid]) return true;
+    tree.InsertHyperplane(rid);
+    ++result.stats.processed_records;
+    return !tree.RootDead();
+  };
+
+  if (subset != nullptr) {
+    for (RecordId rid : *subset) {
+      if (!insert(rid)) break;
+    }
+  } else {
+    for (RecordId rid = 0; rid < data.size(); ++rid) {
+      if (!insert(rid)) break;
+    }
+  }
+  HarvestRegions(&tree, &store, options, prep.num_dominators, &result);
+  return result;
+}
+
+}  // namespace
+
+KsprResult RunCta(const Dataset& data, const Vec& p, RecordId focal_id,
+                  const KsprOptions& options, Space space) {
+  return RunCtaImpl(data, p, focal_id, /*subset=*/nullptr, options, space);
+}
+
+KsprResult RunCtaOnSubset(const Dataset& data, const Vec& p,
+                          RecordId focal_id,
+                          const std::vector<RecordId>& subset,
+                          const KsprOptions& options, Space space) {
+  return RunCtaImpl(data, p, focal_id, &subset, options, space);
+}
+
+}  // namespace kspr

@@ -1,0 +1,55 @@
+// Cell Tree Approach (CTA, paper Sec 4) and shared query plumbing.
+
+#ifndef KSPR_CORE_CTA_H_
+#define KSPR_CORE_CTA_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "common/vec.h"
+#include "core/cell_tree.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "index/rtree.h"
+
+namespace kspr {
+
+/// Query preprocessing (paper Sec 3.1): records dominating the focal
+/// record always outscore it — drop them and lower k accordingly; records
+/// dominated by (or equal to) the focal record never outscore it — drop
+/// them outright.
+struct QueryPrep {
+  Vec p;              // focal record (full d dimensions)
+  RecordId focal_id;  // id of p within the dataset, or kInvalidRecord
+  int k_effective;    // query k minus the number of dominators
+  std::vector<char> skip;  // per-record: true -> not inserted into the tree
+  int num_dominators = 0;
+
+  bool ResultEmpty() const { return k_effective <= 0; }
+};
+
+QueryPrep PrepareQuery(const Dataset& data, const Vec& p, RecordId focal_id,
+                       int k);
+
+/// Converts the surviving leaves of `tree` into result regions and runs the
+/// finalisation step.
+void HarvestRegions(CellTree* tree, HyperplaneStore* store,
+                    const KsprOptions& options, int rank_offset,
+                    KsprResult* result);
+
+/// Runs plain CTA: inserts every non-skipped record's hyperplane in dataset
+/// order, then harvests. `space` selects the transformed or original
+/// preference space.
+KsprResult RunCta(const Dataset& data, const Vec& p, RecordId focal_id,
+                  const KsprOptions& options, Space space);
+
+/// CTA over an explicit record subset (used by the k-skyband baseline).
+KsprResult RunCtaOnSubset(const Dataset& data, const Vec& p,
+                          RecordId focal_id,
+                          const std::vector<RecordId>& subset,
+                          const KsprOptions& options, Space space);
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_CTA_H_

@@ -1,0 +1,20 @@
+// Look-ahead Progressive Cell Tree Approach (LP-CTA, paper Sec 6).
+
+#ifndef KSPR_CORE_LPCTA_H_
+#define KSPR_CORE_LPCTA_H_
+
+#include "common/dataset.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "index/rtree.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+
+KsprResult RunLpCta(const Dataset& data, const RTree& tree, const Vec& p,
+                    RecordId focal_id, const KsprOptions& options,
+                    Space space = Space::kTransformed);
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_LPCTA_H_

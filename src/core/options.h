@@ -1,0 +1,65 @@
+// Query options for the kSPR solver.
+
+#ifndef KSPR_CORE_OPTIONS_H_
+#define KSPR_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace kspr {
+
+enum class Algorithm {
+  kCta,         // Cell Tree Approach (Sec 4)
+  kPcta,        // Progressive CTA (Sec 5)
+  kLpCta,       // Look-ahead Progressive CTA (Sec 6)
+  kOpCta,       // P-CTA in the original preference space (Appendix C)
+  kOlpCta,      // LP-CTA in the original preference space (Appendix C)
+  kSkybandCta,  // k-skyband records fed to CTA (Appendix B)
+};
+
+/// Which look-ahead bounds LP-CTA uses (Fig 18 ablation).
+enum class BoundMode {
+  kRecord,  // per-record score intervals only (Sec 6.1)
+  kGroup,   // + aggregate R-tree group bounds (Sec 6.2)
+  kFast,    // + fast min/max-vector filtering (Sec 6.3); the default
+};
+
+struct KsprOptions {
+  int k = 10;
+  Algorithm algorithm = Algorithm::kLpCta;
+  BoundMode bound_mode = BoundMode::kFast;
+
+  /// Lemma-2 elimination of inconsequential halfspaces from feasibility
+  /// LPs (Sec 4.3.1). Disabling feeds all defining halfspaces to the
+  /// solver, as in the Fig 17 ablation.
+  bool use_lemma2 = true;
+
+  /// Witness-point caching (Sec 4.3.2).
+  bool use_witness_cache = true;
+
+  /// Dominance-graph shortcut during insertion (Sec 5).
+  bool use_dominance_shortcut = true;
+
+  /// Run look-ahead bounds on every leaf split instead of once per batch
+  /// (the strategy comparison discussed in Sec 6.4).
+  bool lookahead_per_split = false;
+
+  /// Insertions between look-ahead passes within a batch (0 = only after
+  /// each batch, the strategy Sec 6.4 found fastest — our measurements
+  /// agree: mid-batch passes re-examine cells that are split again later).
+  int lookahead_stride = 0;
+
+  /// Finalisation: derive exact vertices for each region (Sec 4.2). The
+  /// paper always includes this step in response times.
+  bool finalize_geometry = true;
+
+  /// Also estimate each region's volume (used by the market-impact
+  /// examples; off by default as the paper does not time it).
+  bool compute_volume = false;
+
+  /// Monte-Carlo samples per region for volume estimation in d' >= 3.
+  int volume_samples = 20000;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_OPTIONS_H_

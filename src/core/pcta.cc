@@ -1,0 +1,265 @@
+#include "core/pcta.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/cell_tree.h"
+#include "core/lpcta.h"
+#include "index/bbs.h"
+#include "index/mbr.h"
+#include "index/dominance.h"
+
+namespace kspr {
+
+namespace {
+
+class ProgressiveEngine {
+ public:
+  ProgressiveEngine(const Dataset& data, const RTree& tree, const Vec& p,
+                    RecordId focal_id, const KsprOptions& options,
+                    Space space, bool lookahead)
+      : data_(data),
+        rtree_(tree),
+        options_(options),
+        lookahead_(lookahead),
+        prep_(PrepareQuery(data, p, focal_id, options.k)),
+        store_(&data, p, space),
+        cell_tree_(&store_, prep_.k_effective, &options, &result_.stats),
+        dg_(&data) {
+    bounds_ctx_.data = &data_;
+    bounds_ctx_.tree = &rtree_;
+    bounds_ctx_.space = space;
+    bounds_ctx_.pref_dim = store_.pref_dim();
+    bounds_ctx_.p = p;
+    bounds_ctx_.focal_id = focal_id;
+    bounds_ctx_.mode = options.bound_mode;
+    bounds_ctx_.stats = &result_.stats;
+  }
+
+  KsprResult Run() {
+    if (prep_.ResultEmpty()) return std::move(result_);
+
+    // First batch: the skyline of D (Invariant 1 of Sec 5).
+    std::vector<RecordId> batch = FilterBatch(Skyline(data_, rtree_));
+    int lookahead_mark = 0;  // root included: the first pass may decide it
+
+    while (!batch.empty()) {
+      ++result_.stats.batches;
+      int since_pass = 0;
+      for (RecordId rid : batch) {
+        dg_.Add(rid);
+        cell_tree_.InsertHyperplane(rid, &dg_.Dominators(rid));
+        processed_.insert(rid);
+        ++result_.stats.processed_records;
+        if (lookahead_ && options_.lookahead_per_split) {
+          for (int leaf_id : cell_tree_.last_new_leaves()) {
+            LookaheadOnLeaf(leaf_id);
+          }
+        } else if (lookahead_ && options_.lookahead_stride > 0 &&
+                   ++since_pass >= options_.lookahead_stride) {
+          // Mid-batch look-ahead: retire decided cells before the rest of
+          // the batch splits them further; the query often terminates
+          // before the skyline batch is exhausted.
+          since_pass = 0;
+          LookaheadPass(lookahead_mark);
+          lookahead_mark = cell_tree_.NextNodeId();
+        }
+        if (cell_tree_.RootDead()) break;
+      }
+      if (cell_tree_.RootDead()) break;
+
+      if (lookahead_ && !options_.lookahead_per_split) {
+        LookaheadPass(lookahead_mark);
+        if (cell_tree_.RootDead()) break;
+      }
+      lookahead_mark = cell_tree_.NextNodeId();
+
+      batch = ReportAndPickNextBatch();
+    }
+
+    // Normally every leaf has been reported or eliminated by now; harvest
+    // picks up stragglers (e.g., when the caller's k exceeds the dataset).
+    HarvestRegions(&cell_tree_, &store_, options_, prep_.num_dominators,
+                   &result_);
+    return std::move(result_);
+  }
+
+ private:
+  std::vector<RecordId> FilterBatch(const std::vector<RecordId>& candidates) {
+    std::vector<RecordId> batch;
+    for (RecordId rid : candidates) {
+      if (!prep_.skip[rid] && !processed_.contains(rid)) batch.push_back(rid);
+    }
+    return batch;
+  }
+
+  // Builds a result region from a live leaf and removes the leaf.
+  void ReportLeaf(const CellTree::LeafInfo& leaf, int rank_lb, int rank_ub) {
+    Region region;
+    region.space = store_.space();
+    region.dim = store_.pref_dim();
+    region.constraints.reserve(leaf.path.size());
+    for (const HalfspaceRef& ref : leaf.path) {
+      region.constraints.push_back(store_.AsStrictIneq(ref));
+    }
+    region.rank_lb = rank_lb;
+    region.rank_ub = rank_ub;
+    if (leaf.has_witness) region.witness = leaf.witness;
+    if (options_.finalize_geometry) {
+      FinalizeRegion(&region, options_.compute_volume, options_.volume_samples,
+                     &result_.stats);
+    }
+    result_.regions.push_back(std::move(region));
+    cell_tree_.MarkReported(leaf.node_id);
+  }
+
+  // Look-ahead (Sec 6): rank bounds over the FULL dataset, compared against
+  // the original k (dominators of p are counted by the traversal itself).
+  void LookaheadOnLeaf(int leaf_id) {
+    if (!cell_tree_.IsLiveLeaf(leaf_id)) return;
+    std::vector<LinIneq> cons = cell_tree_.PathConstraints(leaf_id);
+    RankBounds rb = ComputeRankBounds(bounds_ctx_, cons, options_.k);
+    if (rb.lb > options_.k) {
+      cell_tree_.MarkEliminated(leaf_id);
+      ++result_.stats.lookahead_pruned;
+    } else if (rb.ub <= options_.k) {
+      std::vector<CellTree::LeafInfo> infos;
+      cell_tree_.CollectLiveLeaves(&infos, leaf_id);
+      for (const CellTree::LeafInfo& info : infos) {
+        if (info.node_id == leaf_id) {
+          ReportLeaf(info, rb.lb, rb.ub);
+          ++result_.stats.lookahead_reported;
+          break;
+        }
+      }
+    }
+  }
+
+  void LookaheadPass(int min_node_id) {
+    std::vector<CellTree::LeafInfo> leaves;
+    cell_tree_.CollectLiveLeaves(&leaves, min_node_id);
+    for (const CellTree::LeafInfo& leaf : leaves) {
+      std::vector<LinIneq> cons;
+      cons.reserve(leaf.path.size());
+      for (const HalfspaceRef& ref : leaf.path) {
+        cons.push_back(store_.AsStrictIneq(ref));
+      }
+      std::vector<Vec> pivots;
+      pivots.reserve(leaf.neg_records.size());
+      for (RecordId rid : leaf.neg_records) pivots.push_back(data_.Get(rid));
+      bounds_ctx_.pivots = &pivots;
+      RankBounds rb = ComputeRankBounds(bounds_ctx_, cons, options_.k);
+      bounds_ctx_.pivots = nullptr;
+      if (rb.lb > options_.k) {
+        cell_tree_.MarkEliminated(leaf.node_id);
+        ++result_.stats.lookahead_pruned;
+      } else if (rb.ub <= options_.k) {
+        ReportLeaf(leaf, rb.lb, rb.ub);
+        ++result_.stats.lookahead_reported;
+      }
+    }
+  }
+
+  // Lemma-5 pass: report leaves no unprocessed record can affect, collect
+  // the union of non-pivots of the rest, and derive the next batch from the
+  // recomputed skyline (Sec 5, Fig 6).
+  std::vector<RecordId> ReportAndPickNextBatch() {
+    std::vector<CellTree::LeafInfo> leaves;
+    cell_tree_.CollectLiveLeaves(&leaves);
+    if (leaves.empty()) return {};
+
+    std::unordered_set<RecordId> np;  // union of non-pivot records
+    std::unordered_set<RecordId> fallback;
+    for (const CellTree::LeafInfo& leaf : leaves) {
+      std::vector<Vec> pivots;
+      pivots.reserve(leaf.neg_records.size() + 1);
+      for (RecordId rid : leaf.neg_records) pivots.push_back(data_.Get(rid));
+
+      // Witness caching: if the affecting record found for this leaf in a
+      // previous batch is still unprocessed (pivot sets only grow via
+      // paths, and the leaf id is stable), the leaf is still unreportable
+      // without re-traversing the data index.
+      auto cached = unreportable_witness_.find(leaf.node_id);
+      if (cached != unreportable_witness_.end()) {
+        const RecordId w = cached->second;
+        if (!processed_.contains(w)) {
+          bool dominated = false;
+          for (const Vec& piv : pivots) {
+            if (WeaklyDominates(piv, data_.Get(w))) {
+              dominated = true;
+              break;
+            }
+          }
+          if (!dominated) {
+            for (RecordId rid : leaf.pos_records) np.insert(rid);
+            fallback.insert(w);
+            continue;
+          }
+        }
+        unreportable_witness_.erase(cached);
+      }
+
+      RecordId affecting = kInvalidRecord;
+      if (!ExistsUnprocessedNotDominated(data_, rtree_, pivots, processed_,
+                                         &prep_.skip, &affecting)) {
+        // Final rank is the current rank plus the dominators removed in
+        // preprocessing.
+        ReportLeaf(leaf, leaf.rank + prep_.num_dominators,
+                   leaf.rank + prep_.num_dominators);
+      } else {
+        for (RecordId rid : leaf.pos_records) np.insert(rid);
+        fallback.insert(affecting);
+        unreportable_witness_[leaf.node_id] = affecting;
+      }
+    }
+
+    std::vector<RecordId> batch = FilterBatch(Skyline(data_, rtree_, &np));
+    if (batch.empty()) {
+      // The recomputed skyline consists of processed pivots only; fall back
+      // to the affecting records found by the reportability checks. This
+      // trades Invariant 1 (an efficiency device) for guaranteed progress.
+      for (RecordId rid : fallback) {
+        if (rid != kInvalidRecord && !processed_.contains(rid) &&
+            !prep_.skip[rid]) {
+          batch.push_back(rid);
+        }
+      }
+    }
+    return batch;
+  }
+
+  const Dataset& data_;
+  const RTree& rtree_;
+  const KsprOptions& options_;
+  const bool lookahead_;
+  QueryPrep prep_;
+  HyperplaneStore store_;
+  KsprResult result_;
+  CellTree cell_tree_;
+  DominanceGraph dg_;
+  BoundsContext bounds_ctx_;
+  std::unordered_set<RecordId> processed_;
+  // leaf node id -> last known unprocessed record affecting it.
+  std::unordered_map<int, RecordId> unreportable_witness_;
+};
+
+}  // namespace
+
+KsprResult RunProgressive(const Dataset& data, const RTree& tree,
+                          const Vec& p, RecordId focal_id,
+                          const KsprOptions& options, Space space,
+                          bool lookahead) {
+  ProgressiveEngine engine(data, tree, p, focal_id, options, space, lookahead);
+  return engine.Run();
+}
+
+KsprResult RunLpCta(const Dataset& data, const RTree& tree, const Vec& p,
+                    RecordId focal_id, const KsprOptions& options,
+                    Space space) {
+  return RunProgressive(data, tree, p, focal_id, options, space,
+                        /*lookahead=*/true);
+}
+
+}  // namespace kspr

@@ -1,0 +1,32 @@
+// Progressive Cell Tree Approach (P-CTA, paper Sec 5) and the shared
+// progressive engine that LP-CTA (Sec 6) extends with look-ahead bounds.
+
+#ifndef KSPR_CORE_PCTA_H_
+#define KSPR_CORE_PCTA_H_
+
+#include "common/dataset.h"
+#include "core/cta.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "index/rtree.h"
+
+namespace kspr {
+
+/// Runs P-CTA (`lookahead` = false) or LP-CTA (`lookahead` = true) in the
+/// given preference space.
+KsprResult RunProgressive(const Dataset& data, const RTree& tree,
+                          const Vec& p, RecordId focal_id,
+                          const KsprOptions& options, Space space,
+                          bool lookahead);
+
+inline KsprResult RunPcta(const Dataset& data, const RTree& tree,
+                          const Vec& p, RecordId focal_id,
+                          const KsprOptions& options,
+                          Space space = Space::kTransformed) {
+  return RunProgressive(data, tree, p, focal_id, options, space,
+                        /*lookahead=*/false);
+}
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_PCTA_H_

@@ -1,0 +1,37 @@
+#include "core/region.h"
+
+#include "geom/polytope.h"
+#include "geom/volume.h"
+
+namespace kspr {
+
+bool Region::Contains(const Vec& w, double eps) const {
+  return StrictlyInside(space, dim, constraints, w, eps);
+}
+
+double KsprResult::TotalVolume() const {
+  double v = 0.0;
+  for (const Region& r : regions) {
+    if (r.volume >= 0) v += r.volume;
+  }
+  return v;
+}
+
+double KsprResult::TopKProbability() const {
+  if (regions.empty()) return 0.0;
+  return TotalVolume() / SpaceVolume(regions[0].space, regions[0].dim);
+}
+
+void FinalizeRegion(Region* region, bool compute_volume, int volume_samples,
+                    KsprStats* stats) {
+  region->constraints =
+      RemoveRedundant(region->space, region->dim, region->constraints, stats);
+  region->vertices =
+      EnumerateVertices(region->space, region->dim, region->constraints);
+  if (compute_volume) {
+    region->volume = PolytopeVolume(region->space, region->dim,
+                                    region->constraints, volume_samples);
+  }
+}
+
+}  // namespace kspr

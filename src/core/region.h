@@ -1,0 +1,63 @@
+// kSPR result regions.
+
+#ifndef KSPR_CORE_REGION_H_
+#define KSPR_CORE_REGION_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/vec.h"
+#include "geom/hyperplane.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+
+/// One region of the kSPR answer: an (open) convex cell of the hyperplane
+/// arrangement in which the focal record ranks within the top-k.
+struct Region {
+  Space space = Space::kTransformed;
+  int dim = 0;
+
+  /// Strict defining inequalities (a.w < b), space boundary excluded.
+  /// After finalisation this is the irredundant (bounding) set.
+  std::vector<LinIneq> constraints;
+
+  /// A strictly interior point.
+  Vec witness;
+
+  /// Rank of the focal record inside the region. For cells reported early
+  /// by look-ahead bounds only the enclosing [rank_lb, rank_ub] is known.
+  int rank_lb = 0;
+  int rank_ub = 0;
+
+  /// Exact vertices (set when finalisation ran and did not overflow the
+  /// combination guard).
+  std::vector<Vec> vertices;
+
+  /// Region volume; negative when not computed.
+  double volume = -1.0;
+
+  /// True iff w lies strictly inside the region (and the space).
+  bool Contains(const Vec& w, double eps = 0.0) const;
+};
+
+struct KsprResult {
+  std::vector<Region> regions;
+  KsprStats stats;
+
+  /// Summed volume of all regions; requires compute_volume.
+  double TotalVolume() const;
+
+  /// P(focal in top-k) for a uniform weight vector = total volume divided
+  /// by the preference-space volume.
+  double TopKProbability() const;
+};
+
+/// Finalisation (paper Sec 4.2): strips redundant constraints and, when
+/// tractable, enumerates exact vertices; optionally estimates volume.
+void FinalizeRegion(Region* region, bool compute_volume, int volume_samples,
+                    KsprStats* stats);
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_REGION_H_

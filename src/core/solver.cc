@@ -1,0 +1,45 @@
+#include "core/solver.h"
+
+#include <cassert>
+
+#include "baselines/skyband_cta.h"
+#include "core/cta.h"
+#include "core/lpcta.h"
+#include "core/pcta.h"
+
+namespace kspr {
+
+KsprResult KsprSolver::QueryRecord(RecordId focal_id,
+                                   const KsprOptions& options) const {
+  assert(focal_id >= 0 && focal_id < data_->size());
+  return Dispatch(data_->Get(focal_id), focal_id, options);
+}
+
+KsprResult KsprSolver::Query(const Vec& focal,
+                             const KsprOptions& options) const {
+  assert(focal.dim == data_->dim());
+  return Dispatch(focal, kInvalidRecord, options);
+}
+
+KsprResult KsprSolver::Dispatch(const Vec& focal, RecordId focal_id,
+                                const KsprOptions& options) const {
+  switch (options.algorithm) {
+    case Algorithm::kCta:
+      return RunCta(*data_, focal, focal_id, options, Space::kTransformed);
+    case Algorithm::kPcta:
+      return RunPcta(*data_, *index_, focal, focal_id, options);
+    case Algorithm::kLpCta:
+      return RunLpCta(*data_, *index_, focal, focal_id, options);
+    case Algorithm::kOpCta:
+      return RunProgressive(*data_, *index_, focal, focal_id, options,
+                            Space::kOriginal, /*lookahead=*/false);
+    case Algorithm::kOlpCta:
+      return RunProgressive(*data_, *index_, focal, focal_id, options,
+                            Space::kOriginal, /*lookahead=*/true);
+    case Algorithm::kSkybandCta:
+      return RunSkybandCta(*data_, *index_, focal, focal_id, options);
+  }
+  return {};
+}
+
+}  // namespace kspr

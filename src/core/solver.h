@@ -1,0 +1,48 @@
+// Public entry point of the kSPR library.
+//
+// Usage:
+//   kspr::Dataset data = ...;                  // larger-is-better records
+//   kspr::RTree index = kspr::RTree::BulkLoad(data);
+//   kspr::KsprSolver solver(&data, &index);
+//   kspr::KsprOptions options;
+//   options.k = 10;
+//   kspr::KsprResult result = solver.QueryRecord(/*focal_id=*/42, options);
+//   for (const kspr::Region& region : result.regions) { ... }
+
+#ifndef KSPR_CORE_SOLVER_H_
+#define KSPR_CORE_SOLVER_H_
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "common/vec.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "index/rtree.h"
+
+namespace kspr {
+
+class KsprSolver {
+ public:
+  /// `data` and `index` must outlive the solver. The index must have been
+  /// built over exactly `data`.
+  KsprSolver(const Dataset* data, const RTree* index)
+      : data_(data), index_(index) {}
+
+  /// kSPR query for a focal record that is part of the dataset.
+  KsprResult QueryRecord(RecordId focal_id, const KsprOptions& options) const;
+
+  /// kSPR query for an arbitrary (hypothetical) focal record; `focal` must
+  /// have the dataset's dimensionality.
+  KsprResult Query(const Vec& focal, const KsprOptions& options) const;
+
+ private:
+  KsprResult Dispatch(const Vec& focal, RecordId focal_id,
+                      const KsprOptions& options) const;
+
+  const Dataset* data_;
+  const RTree* index_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_SOLVER_H_

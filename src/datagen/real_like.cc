@@ -1,0 +1,125 @@
+#include "datagen/real_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace kspr {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+}  // namespace
+
+Dataset GenerateHotelLike(int n, uint64_t seed) {
+  Dataset data(4);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    // Stars: skewed towards 2-4.
+    const double u = rng.Uniform();
+    int stars;
+    if (u < 0.08) {
+      stars = 1;
+    } else if (u < 0.30) {
+      stars = 2;
+    } else if (u < 0.68) {
+      stars = 3;
+    } else if (u < 0.92) {
+      stars = 4;
+    } else {
+      stars = 5;
+    }
+    const double s = (stars - 1) / 4.0;
+    // Price-value: good deals anti-correlate with stars.
+    const double value = Clamp01(rng.Normal(0.75 - 0.4 * s, 0.15));
+    // Rooms: lognormal-ish size, mildly correlated with stars.
+    const double rooms =
+        Clamp01(std::log1p(std::exp(rng.Normal(1.0 + 1.5 * s, 0.8))) / 6.0);
+    // Facilities: strongly correlated with stars.
+    const double fac = Clamp01(0.15 + 0.7 * s + rng.Normal(0.0, 0.08));
+    Vec r{s, value, rooms, fac};
+    data.Add(r);
+  }
+  return data;
+}
+
+Dataset GenerateHouseLike(int n, uint64_t seed) {
+  Dataset data(6);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    // Latent household scale (income/size): lognormal.
+    const double scale = std::exp(rng.Normal(0.0, 0.5));
+    Vec r(6);
+    // Per-category multipliers with independent lognormal noise; heating
+    // and gas correlate extra through a climate factor.
+    const double climate = std::exp(rng.Normal(0.0, 0.4));
+    const double base[6] = {0.9, 1.0, 0.7, 0.8, 1.1, 1.0};
+    for (int j = 0; j < 6; ++j) {
+      double v = scale * base[j] * std::exp(rng.Normal(0.0, 0.45));
+      if (j == 0 || j == 3) v *= climate;  // gas, heating
+      r.v[j] = v;
+    }
+    data.Add(r);
+  }
+  data.NormalizeToUnitBox();
+  return data;
+}
+
+Dataset GenerateNbaLike(int n, uint64_t seed) {
+  Dataset data(8);
+  Rng rng(seed);
+  // Attributes: games, rebounds, assists, steals, blocks, turnovers,
+  // personal fouls, points. Turnovers/fouls enter as "larger is better"
+  // after the usual inversion done in the rank-aware literature; we
+  // generate the already-inverted values directly.
+  for (int i = 0; i < n; ++i) {
+    const double ability = std::exp(rng.Normal(-0.7, 0.7));  // heavy tail
+    const double games = Clamp01(rng.Normal(0.65, 0.25));
+    const double role = rng.Uniform();  // 0 guard .. 1 center
+    Vec r(8);
+    r.v[0] = games;
+    // Rebounds grow with role (bigs), assists shrink with role (guards).
+    r.v[1] = Clamp01(ability * (0.15 + 0.8 * role) * games +
+                     rng.Normal(0.0, 0.04));
+    r.v[2] = Clamp01(ability * (0.85 - 0.7 * role) * games +
+                     rng.Normal(0.0, 0.04));
+    r.v[3] = Clamp01(ability * (0.5 - 0.25 * role) * games +
+                     rng.Normal(0.0, 0.03));  // steals
+    r.v[4] = Clamp01(ability * (0.05 + 0.6 * role) * games +
+                     rng.Normal(0.0, 0.03));  // blocks
+    // Inverted turnovers / fouls: stars handle the ball more, so their
+    // inverted value is mid-range; bench players have few opportunities.
+    r.v[5] = Clamp01(1.0 - ability * 0.35 * games + rng.Normal(0.0, 0.05));
+    r.v[6] = Clamp01(1.0 - (0.2 + 0.3 * role) * games +
+                     rng.Normal(0.0, 0.05));
+    r.v[7] = Clamp01(ability * 0.75 * games + rng.Normal(0.0, 0.05));
+    data.Add(r);
+  }
+  return data;
+}
+
+std::vector<RealDatasetInfo> RealDatasetInventory() {
+  return {
+      {"HOTEL",
+       4,
+       418843,
+       {"No. of stars", "Price", "No. of rooms", "No. of facilities"},
+       "hotels-base.com"},
+      {"HOUSE",
+       6,
+       315265,
+       {"Gas", "Electricity", "Water", "Heating", "Insurance",
+        "Property tax"},
+       "ipums.org"},
+      {"NBA",
+       8,
+       21960,
+       {"Games", "Rebounds", "Assists", "Steals", "Blocks", "Turnovers",
+        "Personal fouls", "Points"},
+       "basketball-reference.com"},
+  };
+}
+
+}  // namespace kspr

@@ -1,0 +1,67 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace kspr {
+
+std::string DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kIndependent:
+      return "IND";
+    case Distribution::kCorrelated:
+      return "COR";
+    case Distribution::kAntiCorrelated:
+      return "ANTI";
+  }
+  return "?";
+}
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+}  // namespace
+
+Dataset GenerateSynthetic(Distribution dist, int n, int d, uint64_t seed) {
+  Dataset data(d);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    Vec r(d);
+    switch (dist) {
+      case Distribution::kIndependent:
+        for (int j = 0; j < d; ++j) r.v[j] = rng.Uniform();
+        break;
+      case Distribution::kCorrelated: {
+        // Points concentrated around the main diagonal: records with high
+        // values in one dimension tend to be high in all.
+        const double base = Clamp01(rng.Normal(0.5, 0.18));
+        for (int j = 0; j < d; ++j) {
+          r.v[j] = Clamp01(base + rng.Normal(0.0, 0.05));
+        }
+        break;
+      }
+      case Distribution::kAntiCorrelated: {
+        // Points concentrated around the anti-diagonal plane sum = d/2:
+        // a record good in one dimension tends to be bad in the others.
+        const double plane = Clamp01(rng.Normal(0.5, 0.04));
+        double jitter[kMaxDim];
+        double mean = 0.0;
+        for (int j = 0; j < d; ++j) {
+          jitter[j] = rng.Uniform(-0.35, 0.35);
+          mean += jitter[j];
+        }
+        mean /= d;
+        for (int j = 0; j < d; ++j) {
+          r.v[j] = Clamp01(plane + jitter[j] - mean);
+        }
+        break;
+      }
+    }
+    data.Add(r);
+  }
+  return data;
+}
+
+}  // namespace kspr

@@ -1,0 +1,35 @@
+// Standard synthetic benchmarks for preference queries (Börzsönyi et al.
+// [7]): Independent (IND), Correlated (COR) and Anti-correlated (ANTI).
+// All generators are deterministic in (n, d, seed).
+
+#ifndef KSPR_DATAGEN_SYNTHETIC_H_
+#define KSPR_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/dataset.h"
+
+namespace kspr {
+
+enum class Distribution { kIndependent, kCorrelated, kAntiCorrelated };
+
+std::string DistributionName(Distribution dist);
+
+/// Generates n records with d attributes in [0, 1].
+Dataset GenerateSynthetic(Distribution dist, int n, int d,
+                          uint64_t seed = 42);
+
+inline Dataset GenerateIndependent(int n, int d, uint64_t seed = 42) {
+  return GenerateSynthetic(Distribution::kIndependent, n, d, seed);
+}
+inline Dataset GenerateCorrelated(int n, int d, uint64_t seed = 42) {
+  return GenerateSynthetic(Distribution::kCorrelated, n, d, seed);
+}
+inline Dataset GenerateAntiCorrelated(int n, int d, uint64_t seed = 42) {
+  return GenerateSynthetic(Distribution::kAntiCorrelated, n, d, seed);
+}
+
+}  // namespace kspr
+
+#endif  // KSPR_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,79 @@
+#include "geom/hyperplane.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kspr {
+
+namespace {
+
+// Coefficient magnitudes below this (relative to the record scale) make the
+// hyperplane degenerate: the score gap has constant sign.
+constexpr double kDegenerate = 1e-12;
+
+}  // namespace
+
+RecordHyperplane MakeHyperplane(const Vec& p, const Vec& r, Space space) {
+  assert(p.dim == r.dim);
+  const int d = p.dim;
+  RecordHyperplane h;
+  if (space == Space::kTransformed) {
+    assert(d >= 2);
+    h.a = Vec(d - 1);
+    const double tail = r[d - 1] - p[d - 1];
+    for (int i = 0; i < d - 1; ++i) h.a.v[i] = (r[i] - p[i]) - tail;
+    h.b = -tail;  // p_d - r_d
+  } else {
+    h.a = Vec(d);
+    for (int i = 0; i < d; ++i) h.a.v[i] = r[i] - p[i];
+    h.b = 0.0;
+  }
+
+  const double norm = h.a.NormL2();
+  if (norm < kDegenerate) {
+    // Constant score gap: S(r) - S(p) = -b everywhere.
+    h.kind = (-h.b > kDegenerate) ? RecordHyperplane::Kind::kAlwaysPositive
+                                  : RecordHyperplane::Kind::kAlwaysNegative;
+    return h;
+  }
+  h.kind = RecordHyperplane::Kind::kRegular;
+  const double inv = 1.0 / norm;
+  for (int i = 0; i < h.a.dim; ++i) h.a.v[i] *= inv;
+  h.b *= inv;
+  return h;
+}
+
+HyperplaneStore::HyperplaneStore(const Dataset* data, const Vec& p,
+                                 Space space)
+    : data_(data),
+      p_(p),
+      space_(space),
+      pref_dim_(space == Space::kTransformed ? p.dim - 1 : p.dim),
+      planes_(data->size()),
+      computed_(data->size(), 0) {}
+
+const RecordHyperplane& HyperplaneStore::Get(RecordId rid) {
+  assert(rid >= 0 && rid < data_->size());
+  if (!computed_[rid]) {
+    planes_[rid] = MakeHyperplane(p_, data_->Get(rid), space_);
+    computed_[rid] = 1;
+  }
+  return planes_[rid];
+}
+
+LinIneq HyperplaneStore::AsStrictIneq(const HalfspaceRef& ref) {
+  const RecordHyperplane& h = Get(ref.rid);
+  assert(h.kind == RecordHyperplane::Kind::kRegular);
+  LinIneq c;
+  if (ref.positive) {
+    // a.w > b  <=>  -a.w < -b
+    c.a = h.a * -1.0;
+    c.b = -h.b;
+  } else {
+    c.a = h.a;
+    c.b = h.b;
+  }
+  return c;
+}
+
+}  // namespace kspr

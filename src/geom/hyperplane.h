@@ -1,0 +1,81 @@
+// Mapping from data records to hyperplanes in preference space (Sec 3.2).
+//
+// For the focal record p and a record r, the hyperplane h_r is the locus
+// S(r) = S(p). In the transformed space (d' = d - 1):
+//
+//   S(r) - S(p) = a . w - b,   a_i = (r_i - p_i) - (r_d - p_d),
+//                              b   = p_d - r_d,
+//
+// so the positive halfspace h+ (r outscores p) is { w : a . w > b }.
+// In the original space a_i = r_i - p_i and b = 0 (hyperplanes pass through
+// the origin; cells are cones, Appendix C).
+
+#ifndef KSPR_GEOM_HYPERPLANE_H_
+#define KSPR_GEOM_HYPERPLANE_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "common/vec.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+
+struct RecordHyperplane {
+  enum class Kind {
+    kRegular,
+    kAlwaysPositive,  // S(r) > S(p) for every valid weight vector
+    kAlwaysNegative,  // S(r) <= S(p) for every valid weight vector (or tie)
+  };
+
+  Kind kind = Kind::kRegular;
+  /// Normalised so that ||a||_2 = 1 (kRegular only).
+  Vec a;
+  double b = 0.0;
+
+  /// Signed score gap S(r) - S(p) at w, up to the positive normalisation
+  /// factor: positive iff r outscores p.
+  double Eval(const Vec& w) const { return a.Dot(w) - b; }
+};
+
+/// Builds the hyperplane of record r against focal record p. Both are full
+/// d-dimensional records; the result lives in `space` (dim d-1 or d).
+RecordHyperplane MakeHyperplane(const Vec& p, const Vec& r, Space space);
+
+/// Reference to one side of a record's hyperplane.
+struct HalfspaceRef {
+  RecordId rid = kInvalidRecord;
+  bool positive = false;  // h+ if true
+
+  bool operator==(const HalfspaceRef&) const = default;
+};
+
+/// Lazily-computed hyperplane store for one kSPR query.
+class HyperplaneStore {
+ public:
+  HyperplaneStore(const Dataset* data, const Vec& p, Space space);
+
+  int pref_dim() const { return pref_dim_; }
+  Space space() const { return space_; }
+  const Vec& focal() const { return p_; }
+  const Dataset& data() const { return *data_; }
+
+  const RecordHyperplane& Get(RecordId rid);
+
+  /// The halfspace `ref` as a strict inequality "a.w < b" suitable for
+  /// feasibility tests. Only valid for kRegular hyperplanes.
+  LinIneq AsStrictIneq(const HalfspaceRef& ref);
+
+ private:
+  const Dataset* data_;
+  Vec p_;
+  Space space_;
+  int pref_dim_;
+  std::vector<RecordHyperplane> planes_;
+  std::vector<char> computed_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_GEOM_HYPERPLANE_H_

@@ -1,0 +1,49 @@
+// Exact convex-polytope operations (the qhull replacement).
+//
+// The finalisation step of all kSPR algorithms (paper Sec 4.2) derives the
+// exact geometry of each result cell by intersecting its defining
+// halfspaces. We (1) strip redundant constraints with one LP per constraint
+// and (2) enumerate vertices by solving the d'xd' linear systems of every
+// d'-subset of the remaining facets. After Lemma-2 filtering the constraint
+// sets are small, so this is exact and fast for d' <= 7.
+
+#ifndef KSPR_GEOM_POLYTOPE_H_
+#define KSPR_GEOM_POLYTOPE_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/vec.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+
+/// Solves the dim x dim system A x = rhs by Gaussian elimination with
+/// partial pivoting. Returns false when (numerically) singular.
+bool SolveLinearSystem(int dim, std::vector<Vec> rows, Vec rhs, Vec* out);
+
+/// Removes constraints that are redundant w.r.t. the rest (one
+/// maximisation LP per constraint). Space boundaries participate in the
+/// redundancy decision but are not part of the returned set unless passed
+/// in `cons`.
+std::vector<LinIneq> RemoveRedundant(Space space, int dim,
+                                     const std::vector<LinIneq>& cons,
+                                     KsprStats* stats);
+
+/// Enumerates the vertices of the closed polytope given by `cons` plus the
+/// boundary of `space`. The constraint set should be irredundant (use
+/// RemoveRedundant first); `max_combinations` guards against combinatorial
+/// blow-up — when exceeded, an empty vector is returned and the caller
+/// falls back to a constraint-only representation.
+std::vector<Vec> EnumerateVertices(Space space, int dim,
+                                   const std::vector<LinIneq>& cons,
+                                   long max_combinations = 2'000'000);
+
+/// True iff w satisfies every constraint strictly (margin > eps) and lies
+/// strictly inside `space`.
+bool StrictlyInside(Space space, int dim, const std::vector<LinIneq>& cons,
+                    const Vec& w, double eps);
+
+}  // namespace kspr
+
+#endif  // KSPR_GEOM_POLYTOPE_H_

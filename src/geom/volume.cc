@@ -1,0 +1,106 @@
+#include "geom/volume.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.h"
+#include "geom/polytope.h"
+
+namespace kspr {
+
+double SpaceVolume(Space space, int dim) {
+  if (space == Space::kOriginal) return 1.0;
+  double v = 1.0;
+  for (int i = 2; i <= dim; ++i) v /= i;
+  return v;
+}
+
+double ConvexPolygonArea(const std::vector<Vec>& vertices) {
+  const size_t n = vertices.size();
+  if (n < 3) return 0.0;
+  // Sort by angle around the centroid, then shoelace.
+  Vec c(2);
+  for (const Vec& v : vertices) {
+    c.v[0] += v[0];
+    c.v[1] += v[1];
+  }
+  c.v[0] /= static_cast<double>(n);
+  c.v[1] /= static_cast<double>(n);
+  std::vector<Vec> vs = vertices;
+  std::sort(vs.begin(), vs.end(), [&](const Vec& a, const Vec& b) {
+    return std::atan2(a[1] - c[1], a[0] - c[0]) <
+           std::atan2(b[1] - c[1], b[0] - c[0]);
+  });
+  double area2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Vec& a = vs[i];
+    const Vec& b = vs[(i + 1) % n];
+    area2 += a[0] * b[1] - b[0] * a[1];
+  }
+  return std::abs(area2) / 2.0;
+}
+
+Vec SampleSpacePoint(Space space, int dim, Rng* rng) {
+  Vec w(dim);
+  if (space == Space::kOriginal) {
+    for (int j = 0; j < dim; ++j) w.v[j] = rng->Uniform();
+    return w;
+  }
+  // Uniform over the open simplex { w > 0, sum w < 1 }: normalised
+  // exponentials over dim + 1 coordinates, dropping the last.
+  double total = 0.0;
+  double e[kMaxDim + 1];
+  for (int j = 0; j <= dim; ++j) {
+    double u = rng->Uniform();
+    if (u < 1e-300) u = 1e-300;
+    e[j] = -std::log(u);
+    total += e[j];
+  }
+  for (int j = 0; j < dim; ++j) w.v[j] = e[j] / total;
+  return w;
+}
+
+double PolytopeVolume(Space space, int dim, const std::vector<LinIneq>& cons,
+                      int mc_samples, uint64_t seed) {
+  if (dim == 1) {
+    // Interval: clip [0, limit] by the constraints.
+    double lo = 0.0;
+    double hi = 1.0;
+    for (const LinIneq& c : cons) {
+      const double a = c.a[0];
+      if (std::abs(a) < tol::kPivot) {
+        if (c.b < 0) return 0.0;
+        continue;
+      }
+      const double x = c.b / a;
+      if (a > 0) {
+        hi = std::min(hi, x);
+      } else {
+        lo = std::max(lo, x);
+      }
+    }
+    return std::max(0.0, hi - lo);
+  }
+  if (dim == 2) {
+    std::vector<Vec> vs = EnumerateVertices(space, dim, cons);
+    if (!vs.empty()) return ConvexPolygonArea(vs);
+    // Degenerate / blown-up: fall through to Monte-Carlo.
+  }
+  Rng rng(seed);
+  int inside = 0;
+  for (int s = 0; s < mc_samples; ++s) {
+    Vec w = SampleSpacePoint(space, dim, &rng);
+    bool ok = true;
+    for (const LinIneq& c : cons) {
+      if (c.Margin(w) < 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++inside;
+  }
+  return SpaceVolume(space, dim) * static_cast<double>(inside) /
+         static_cast<double>(mc_samples);
+}
+
+}  // namespace kspr

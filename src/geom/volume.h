@@ -1,0 +1,40 @@
+// Volume of result regions in preference space.
+//
+// The summed volume of the kSPR regions divided by the volume of the
+// preference space gives the probability that the focal record is in the
+// top-k for a uniformly random user (paper Sec 1). We compute the volume
+// exactly for d' <= 2 (interval length / convex-polygon area from the
+// enumerated vertices) and by deterministic Monte-Carlo sampling for
+// higher d' — the geometric blow-up the paper handles with qhull is not
+// needed for the probability use case, and the estimate error is
+// O(1/sqrt(samples)) with a fixed seed for reproducibility.
+
+#ifndef KSPR_GEOM_VOLUME_H_
+#define KSPR_GEOM_VOLUME_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+
+/// Volume of the ambient preference space itself: the (open) unit simplex
+/// 1/d'! in the transformed space, 1 in the original-space unit box.
+double SpaceVolume(Space space, int dim);
+
+/// Exact area of a convex polygon given by unordered vertices (dim == 2).
+double ConvexPolygonArea(const std::vector<Vec>& vertices);
+
+/// Samples a point uniformly from `space`.
+Vec SampleSpacePoint(Space space, int dim, Rng* rng);
+
+/// Volume of the polytope { cons } ∩ space. Exact for dim <= 2, Monte-Carlo
+/// with `mc_samples` draws otherwise.
+double PolytopeVolume(Space space, int dim, const std::vector<LinIneq>& cons,
+                      int mc_samples = 20000, uint64_t seed = 0x5eed);
+
+}  // namespace kspr
+
+#endif  // KSPR_GEOM_VOLUME_H_

@@ -1,0 +1,169 @@
+#include "index/bbs.h"
+
+#include <queue>
+
+namespace kspr {
+
+namespace {
+
+struct HeapEntry {
+  double key;        // MaxSum of the entry; larger pops first
+  bool is_record;
+  int id;            // node id or (leaf position for records, see below)
+  RecordId rid = kInvalidRecord;
+
+  bool operator<(const HeapEntry& o) const { return key < o.key; }
+};
+
+// Pushes the children of `node` (records for leaves).
+void PushChildren(const Dataset& data, const RTree& tree,
+                  const RTree::Node& node, std::priority_queue<HeapEntry>* pq) {
+  if (node.leaf) {
+    for (int i = node.first; i < node.first + node.num_children; ++i) {
+      const RecordId rid = tree.RecordAt(i);
+      HeapEntry e;
+      e.is_record = true;
+      e.id = -1;
+      e.rid = rid;
+      e.key = data.Get(rid).Sum();
+      pq->push(e);
+    }
+  } else {
+    for (int c = node.first; c < node.first + node.num_children; ++c) {
+      HeapEntry e;
+      e.is_record = false;
+      e.id = c;
+      e.key = tree.Fetch(c).mbr.MaxSum();
+      pq->push(e);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RecordId> Skyline(const Dataset& data, const RTree& tree,
+                              const std::unordered_set<RecordId>* exclude) {
+  std::vector<RecordId> sky;
+  if (tree.empty()) return sky;
+
+  auto dominated = [&](const Vec& v) {
+    for (RecordId s : sky) {
+      if (Dataset::Dominates(data.Get(s), v)) return true;
+    }
+    return false;
+  };
+
+  std::priority_queue<HeapEntry> pq;
+  {
+    HeapEntry e;
+    e.is_record = false;
+    e.id = tree.root();
+    e.key = tree.Fetch(tree.root()).mbr.MaxSum();
+    pq.push(e);
+  }
+  while (!pq.empty()) {
+    HeapEntry e = pq.top();
+    pq.pop();
+    if (e.is_record) {
+      const Vec v = data.Get(e.rid);
+      if (dominated(v)) continue;
+      if (exclude != nullptr && exclude->contains(e.rid)) continue;
+      sky.push_back(e.rid);
+    } else {
+      const RTree::Node& node = tree.Fetch(e.id);
+      if (dominated(node.mbr.hi)) continue;
+      PushChildren(data, tree, node, &pq);
+    }
+  }
+  return sky;
+}
+
+std::vector<RecordId> KSkyband(const Dataset& data, const RTree& tree, int k) {
+  std::vector<RecordId> band;
+  if (tree.empty()) return band;
+
+  auto dominator_count = [&](const Vec& v) {
+    int cnt = 0;
+    for (RecordId s : band) {
+      if (Dataset::Dominates(data.Get(s), v) && ++cnt >= k) break;
+    }
+    return cnt;
+  };
+
+  std::priority_queue<HeapEntry> pq;
+  {
+    HeapEntry e;
+    e.is_record = false;
+    e.id = tree.root();
+    e.key = tree.Fetch(tree.root()).mbr.MaxSum();
+    pq.push(e);
+  }
+  while (!pq.empty()) {
+    HeapEntry e = pq.top();
+    pq.pop();
+    if (e.is_record) {
+      if (dominator_count(data.Get(e.rid)) < k) band.push_back(e.rid);
+    } else {
+      const RTree::Node& node = tree.Fetch(e.id);
+      if (dominator_count(node.mbr.hi) >= k) continue;
+      PushChildren(data, tree, node, &pq);
+    }
+  }
+  return band;
+}
+
+int CountDominators(const Dataset& data, RecordId r) {
+  int cnt = 0;
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (i != r && data.Dominates(i, r)) ++cnt;
+  }
+  return cnt;
+}
+
+bool ExistsUnprocessedNotDominated(
+    const Dataset& data, const RTree& tree, const std::vector<Vec>& pivots,
+    const std::unordered_set<RecordId>& processed,
+    const std::vector<char>* skip, RecordId* witness) {
+  if (tree.empty()) return false;
+  std::vector<int> stack = {tree.root()};
+  while (!stack.empty()) {
+    const RTree::Node& node = tree.Fetch(stack.back());
+    stack.pop_back();
+    // Prune: some pivot weakly dominates the whole box (Lemma 5 -- no
+    // record inside can change the cell's rank or extent).
+    bool pruned = false;
+    for (const Vec& piv : pivots) {
+      if (node.mbr.WeaklyDominatedBy(piv)) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) continue;
+    if (node.leaf) {
+      for (int i = node.first; i < node.first + node.num_children; ++i) {
+        const RecordId rid = tree.RecordAt(i);
+        if (processed.contains(rid)) continue;
+        if (skip != nullptr && (*skip)[rid]) continue;
+        const Vec v = data.Get(rid);
+        bool dom = false;
+        for (const Vec& piv : pivots) {
+          if (WeaklyDominates(piv, v)) {
+            dom = true;
+            break;
+          }
+        }
+        if (!dom) {
+          if (witness != nullptr) *witness = rid;
+          return true;
+        }
+      }
+    } else {
+      for (int c = node.first; c < node.first + node.num_children; ++c) {
+        stack.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace kspr

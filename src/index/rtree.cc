@@ -1,0 +1,98 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kspr {
+
+namespace {
+
+// Recursive STR tiling: sorts `ids[begin, end)` by dimension `dim_idx` and
+// splits into `slabs` contiguous runs, recursing on the remaining
+// dimensions. After the deepest level, consecutive runs of `leaf_capacity`
+// ids form leaves.
+void StrSort(const Dataset& data, std::vector<RecordId>& ids, int begin,
+             int end, int dim_idx, int leaf_capacity) {
+  const int n = end - begin;
+  if (n <= leaf_capacity || dim_idx >= data.dim()) return;
+  std::sort(ids.begin() + begin, ids.begin() + end,
+            [&](RecordId a, RecordId b) {
+              return data.At(a, dim_idx) < data.At(b, dim_idx);
+            });
+  const int num_leaves = (n + leaf_capacity - 1) / leaf_capacity;
+  const int remaining_dims = data.dim() - dim_idx;
+  const int slabs = std::max(
+      1, static_cast<int>(std::ceil(
+             std::pow(static_cast<double>(num_leaves),
+                      1.0 / static_cast<double>(remaining_dims)))));
+  const int slab_size = (n + slabs - 1) / slabs;
+  for (int s = begin; s < end; s += slab_size) {
+    StrSort(data, ids, s, std::min(end, s + slab_size), dim_idx + 1,
+            leaf_capacity);
+  }
+}
+
+}  // namespace
+
+RTree RTree::BulkLoad(const Dataset& data, int leaf_capacity, int fanout) {
+  RTree t;
+  const RecordId n = data.size();
+  if (n == 0) return t;
+
+  t.record_ids_.resize(n);
+  for (RecordId i = 0; i < n; ++i) t.record_ids_[i] = i;
+  StrSort(data, t.record_ids_, 0, n, 0, leaf_capacity);
+
+  // Level 0: leaves over consecutive id runs.
+  std::vector<int> level;
+  for (int begin = 0; begin < n; begin += leaf_capacity) {
+    const int end = std::min<int>(n, begin + leaf_capacity);
+    Node node;
+    node.leaf = true;
+    node.first = begin;
+    node.num_children = end - begin;
+    node.count = end - begin;
+    node.mbr = Mbr::Empty(data.dim());
+    for (int i = begin; i < end; ++i) {
+      node.mbr.ExpandToPoint(data.Get(t.record_ids_[i]));
+    }
+    level.push_back(static_cast<int>(t.nodes_.size()));
+    t.nodes_.push_back(node);
+  }
+  t.height_ = 1;
+
+  // Upper levels: group consecutive `fanout` children.
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (size_t begin = 0; begin < level.size();
+         begin += static_cast<size_t>(fanout)) {
+      const size_t end = std::min(level.size(), begin + fanout);
+      Node node;
+      node.leaf = false;
+      node.first = level[begin];
+      node.num_children = static_cast<int32_t>(end - begin);
+      node.mbr = Mbr::Empty(data.dim());
+      node.count = 0;
+      for (size_t i = begin; i < end; ++i) {
+        // Children of one parent are contiguous in nodes_ by construction.
+        assert(i == begin || level[i] == level[i - 1] + 1);
+        node.mbr.ExpandToMbr(t.nodes_[level[i]].mbr);
+        node.count += t.nodes_[level[i]].count;
+      }
+      next.push_back(static_cast<int>(t.nodes_.size()));
+      t.nodes_.push_back(node);
+    }
+    level = std::move(next);
+    ++t.height_;
+  }
+  t.root_ = level[0];
+  return t;
+}
+
+int64_t RTree::SizeBytes() const {
+  return static_cast<int64_t>(nodes_.size() * sizeof(Node) +
+                              record_ids_.size() * sizeof(RecordId));
+}
+
+}  // namespace kspr

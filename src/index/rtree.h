@@ -1,0 +1,70 @@
+// Aggregate R-tree over the dataset (paper Sec 6.2, [24]).
+//
+// Built once per dataset with Sort-Tile-Recursive (STR) bulk loading. Every
+// entry carries its MBR and the number of records in its subtree (G.num),
+// which the LP-CTA look-ahead uses to advance rank bounds by whole groups.
+// Node fetches are optionally routed through a PageTracker to model the
+// disk-resident scenario of Appendix A.
+
+#ifndef KSPR_INDEX_RTREE_H_
+#define KSPR_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "index/mbr.h"
+#include "io/page_tracker.h"
+
+namespace kspr {
+
+class RTree {
+ public:
+  struct Node {
+    Mbr mbr;
+    int32_t count = 0;       // records in subtree (the aggregate)
+    bool leaf = false;
+    int32_t first = 0;       // leaf: index into record_ids_; internal: node id
+    int32_t num_children = 0;
+  };
+
+  /// Bulk-loads the tree. `leaf_capacity`/`fanout` default to values giving
+  /// ~4KB pages for d <= 8 (as in the paper's page-sized nodes).
+  static RTree BulkLoad(const Dataset& data, int leaf_capacity = 64,
+                        int fanout = 64);
+
+  bool empty() const { return nodes_.empty(); }
+  int root() const { return root_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int height() const { return height_; }
+
+  /// Fetches a node, charging a (simulated) page access when a tracker is
+  /// attached.
+  const Node& Fetch(int id) const {
+    if (tracker_ != nullptr) tracker_->Access(id);
+    return nodes_[id];
+  }
+
+  /// Record id at position `i` of a leaf's [first, first + num_children)
+  /// range.
+  RecordId RecordAt(int i) const { return record_ids_[i]; }
+
+  /// Attaches/detaches the page tracker (not owned). Fetches are counted
+  /// while attached.
+  void SetTracker(PageTracker* tracker) const { tracker_ = tracker; }
+
+  /// Approximate size of the structure in bytes.
+  int64_t SizeBytes() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<RecordId> record_ids_;
+  int root_ = -1;
+  int height_ = 0;
+  mutable PageTracker* tracker_ = nullptr;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_INDEX_RTREE_H_

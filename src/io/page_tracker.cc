@@ -1,0 +1,35 @@
+#include "io/page_tracker.h"
+
+namespace kspr {
+
+PageTracker::PageTracker(int buffer_pages, double read_latency_ms)
+    : capacity_(buffer_pages), latency_ms_(read_latency_ms) {}
+
+void PageTracker::Access(int page_id) {
+  ++accesses_;
+  if (capacity_ <= 0) {
+    ++reads_;
+    return;
+  }
+  auto it = resident_.find(page_id);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return;
+  }
+  ++reads_;
+  lru_.push_front(page_id);
+  resident_[page_id] = lru_.begin();
+  if (static_cast<int>(lru_.size()) > capacity_) {
+    resident_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void PageTracker::Reset() {
+  reads_ = 0;
+  accesses_ = 0;
+  lru_.clear();
+  resident_.clear();
+}
+
+}  // namespace kspr

@@ -1,0 +1,43 @@
+// Simulated buffer pool for the disk-based scenario (paper Appendix A).
+//
+// The paper stores data and R-tree on an SSD where a random page read costs
+// 0.2 ms. We treat every R-tree node as one page, run accesses through a
+// small LRU buffer, and charge the configured latency per miss. CPU time is
+// measured for real; I/O time is derived as misses * latency.
+
+#ifndef KSPR_IO_PAGE_TRACKER_H_
+#define KSPR_IO_PAGE_TRACKER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace kspr {
+
+class PageTracker {
+ public:
+  /// `buffer_pages` = 0 disables caching (every access is a read).
+  explicit PageTracker(int buffer_pages = 0, double read_latency_ms = 0.2);
+
+  /// Records an access to `page_id`; counts a read on buffer miss.
+  void Access(int page_id);
+
+  int64_t reads() const { return reads_; }
+  int64_t accesses() const { return accesses_; }
+  double io_millis() const { return static_cast<double>(reads_) * latency_ms_; }
+
+  void Reset();
+
+ private:
+  int capacity_;
+  double latency_ms_;
+  int64_t reads_ = 0;
+  int64_t accesses_ = 0;
+  // LRU list of resident pages (front = most recent) + index into it.
+  std::list<int> lru_;
+  std::unordered_map<int, std::list<int>::iterator> resident_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_IO_PAGE_TRACKER_H_

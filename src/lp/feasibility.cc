@@ -1,0 +1,188 @@
+#include "lp/feasibility.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace kspr {
+
+namespace {
+
+// Scratch problems reused across calls: kSPR issues millions of small LPs
+// and per-call row allocation dominates otherwise. Row coefficient vectors
+// keep their capacity across reuse.
+lp::Problem& ScratchProblem() {
+  thread_local lp::Problem p;
+  return p;
+}
+
+void SetRow(lp::Constraint* row, int width) {
+  row->a.assign(width, 0.0);
+}
+
+// Builds the LP for the inscribed-ball test into the scratch problem.
+// Variables:
+//   x_0..x_{dim-1} = w, x_dim = t+, x_{dim+1} = t-   (t = t+ - t-, free).
+// Rows: a.w + ||a|| (t+ - t-) <= b for every constraint.
+lp::Problem& BuildBallProblem(int dim, const std::vector<LinIneq>& cons) {
+  lp::Problem& p = ScratchProblem();
+  p.num_vars = dim + 2;
+  p.objective.assign(p.num_vars, 0.0);
+  p.objective[dim] = 1.0;
+  p.objective[dim + 1] = -1.0;
+  p.rows.resize(cons.size());
+  size_t used = 0;
+  for (const LinIneq& c : cons) {
+    lp::Constraint& row = p.rows[used];
+    const double norm = c.a.NormL2();
+    if (norm < tol::kPivot) {
+      // Degenerate constraint 0 < b: either trivially true or the cell is
+      // empty. Encode emptiness as an unsatisfiable row.
+      if (c.b > 0) continue;
+      SetRow(&row, p.num_vars);
+      row.a[dim] = 1.0;
+      row.a[dim + 1] = -1.0;
+      row.b = -1.0;  // t <= -1: forces radius below the interior tolerance
+      ++used;
+      continue;
+    }
+    SetRow(&row, p.num_vars);
+    for (int j = 0; j < dim; ++j) row.a[j] = c.a[j];
+    row.a[dim] = norm;
+    row.a[dim + 1] = -norm;
+    row.b = c.b;
+    ++used;
+  }
+  p.rows.resize(used);
+  return p;
+}
+
+lp::Problem& BuildBoundProblem(int dim, const Vec& obj, bool maximize,
+                               const std::vector<LinIneq>& cons) {
+  lp::Problem& p = ScratchProblem();
+  p.num_vars = dim;
+  p.objective.assign(dim, 0.0);
+  for (int j = 0; j < dim; ++j) {
+    p.objective[j] = maximize ? obj[j] : -obj[j];
+  }
+  p.rows.resize(cons.size());
+  size_t used = 0;
+  for (const LinIneq& c : cons) {
+    if (c.a.NormL2() < tol::kPivot) continue;  // trivial row
+    lp::Constraint& row = p.rows[used];
+    SetRow(&row, dim);
+    for (int j = 0; j < dim; ++j) row.a[j] = c.a[j];
+    row.b = c.b;
+    ++used;
+  }
+  p.rows.resize(used);
+  return p;
+}
+
+FeasibilityResult RunBallTest(int dim, const std::vector<LinIneq>& cons,
+                              KsprStats* stats) {
+  if (stats != nullptr) {
+    ++stats->feasibility_lps;
+    stats->constraints_used += static_cast<int64_t>(cons.size());
+  }
+  const lp::Problem& p = BuildBallProblem(dim, cons);
+  lp::Solution s = lp::Solve(p);
+  FeasibilityResult r;
+  if (s.status != lp::Status::kOptimal) {
+    // The ball LP is always feasible (t -> -inf); unbounded means the caller
+    // passed an unbounded cell, which indicates a missing space bound.
+    assert(s.status != lp::Status::kUnbounded);
+    r.feasible = false;
+    return r;
+  }
+  r.radius = s.objective;
+  r.feasible = r.radius > tol::kInterior;
+  if (r.feasible) {
+    r.witness = Vec(dim);
+    for (int j = 0; j < dim; ++j) r.witness.v[j] = s.x[j];
+  }
+  return r;
+}
+
+}  // namespace
+
+void AppendSpaceBounds(Space space, int dim, std::vector<LinIneq>* out) {
+  // w_j > 0  <=>  -w_j < 0
+  for (int j = 0; j < dim; ++j) {
+    LinIneq c;
+    c.a = Vec(dim);
+    c.a.v[j] = -1.0;
+    c.b = 0.0;
+    out->push_back(c);
+  }
+  if (space == Space::kTransformed) {
+    // sum_j w_j < 1 (so that the implied w_d = 1 - sum is positive).
+    LinIneq c;
+    c.a = Vec(dim);
+    for (int j = 0; j < dim; ++j) c.a.v[j] = 1.0;
+    c.b = 1.0;
+    out->push_back(c);
+  } else {
+    // Original space: clip the cone to the open unit box.
+    for (int j = 0; j < dim; ++j) {
+      LinIneq c;
+      c.a = Vec(dim);
+      c.a.v[j] = 1.0;
+      c.b = 1.0;
+      out->push_back(c);
+    }
+  }
+}
+
+FeasibilityResult TestInterior(Space space, int dim,
+                               const std::vector<LinIneq>& cons,
+                               KsprStats* stats) {
+  thread_local std::vector<LinIneq> all;
+  all = cons;
+  AppendSpaceBounds(space, dim, &all);
+  return RunBallTest(dim, all, stats);
+}
+
+FeasibilityResult TestInteriorRaw(int dim, const std::vector<LinIneq>& cons,
+                                  KsprStats* stats) {
+  return RunBallTest(dim, cons, stats);
+}
+
+namespace {
+
+BoundResult Bound(Space space, int dim, const Vec& obj, double obj_const,
+                  const std::vector<LinIneq>& cons, bool maximize,
+                  KsprStats* stats) {
+  if (stats != nullptr) ++stats->bound_lps;
+  thread_local std::vector<LinIneq> all;
+  all = cons;
+  AppendSpaceBounds(space, dim, &all);
+  const lp::Problem& p = BuildBoundProblem(dim, obj, maximize, all);
+  lp::Solution s = lp::Solve(p);
+  BoundResult r;
+  if (s.status != lp::Status::kOptimal) return r;
+  r.ok = true;
+  r.value = (maximize ? s.objective : -s.objective) + obj_const;
+  r.arg = Vec(dim);
+  for (int j = 0; j < dim; ++j) r.arg.v[j] = s.x[j];
+  return r;
+}
+
+}  // namespace
+
+BoundResult MinimizeOverCell(Space space, int dim, const Vec& obj,
+                             double obj_const,
+                             const std::vector<LinIneq>& cons,
+                             KsprStats* stats) {
+  return Bound(space, dim, obj, obj_const, cons, /*maximize=*/false, stats);
+}
+
+BoundResult MaximizeOverCell(Space space, int dim, const Vec& obj,
+                             double obj_const,
+                             const std::vector<LinIneq>& cons,
+                             KsprStats* stats) {
+  return Bound(space, dim, obj, obj_const, cons, /*maximize=*/true, stats);
+}
+
+}  // namespace kspr

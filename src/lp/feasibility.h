@@ -1,0 +1,86 @@
+// LP-based cell feasibility tests and score-bound LPs (paper Sec 4.2, 6.1).
+//
+// A CellTree cell is an OPEN convex polytope: the intersection of strict
+// halfspaces a_i . w < b_i with the (open) preference-space boundary. We
+// decide nonemptiness by maximising the radius t of a ball inscribed in the
+// closed polytope:  a_i . w + ||a_i|| t <= b_i. The open cell is nonempty
+// iff t* > tol::kInterior, and the maximiser w* is a well-centred witness
+// point that we cache on the CellTree node (paper Sec 4.3.2).
+
+#ifndef KSPR_LP_FEASIBILITY_H_
+#define KSPR_LP_FEASIBILITY_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/vec.h"
+#include "lp/simplex.h"
+
+namespace kspr {
+
+/// A linear inequality a . w (<|<=) b over `a.dim` preference weights.
+/// Whether it is interpreted strictly depends on the operation: feasibility
+/// tests use the open interpretation, score bounds the closed one.
+struct LinIneq {
+  Vec a;
+  double b = 0.0;
+
+  /// Signed slack b - a.w (positive strictly inside).
+  double Margin(const Vec& w) const { return b - a.Dot(w); }
+};
+
+/// Which ambient preference space the cell lives in. Space boundary
+/// constraints are appended automatically by the routines below.
+enum class Space {
+  /// Transformed space (Sec 3.2): w_j > 0, sum_j w_j < 1, dim = d - 1.
+  kTransformed,
+  /// Original space (Appendix C): w_j > 0, w_j < 1, dim = d. Cells are
+  /// cones through the origin clipped to the unit box.
+  kOriginal,
+};
+
+/// Appends the boundary inequalities of `space` in dimension `dim`.
+void AppendSpaceBounds(Space space, int dim, std::vector<LinIneq>* out);
+
+struct FeasibilityResult {
+  bool feasible = false;
+  /// Inscribed-ball radius (valid when the LP solved).
+  double radius = 0.0;
+  /// Ball centre; a strictly interior witness point when feasible.
+  Vec witness;
+};
+
+/// Tests whether the open polytope defined by `cons` (strict) intersected
+/// with the open boundary of `space` is nonempty. `stats` may be null.
+FeasibilityResult TestInterior(Space space, int dim,
+                               const std::vector<LinIneq>& cons,
+                               KsprStats* stats);
+
+/// As above but with fully caller-supplied constraints (no implicit space
+/// bounds); used by the iMaxRank quad-tree whose leaves are boxes.
+FeasibilityResult TestInteriorRaw(int dim, const std::vector<LinIneq>& cons,
+                                  KsprStats* stats);
+
+struct BoundResult {
+  bool ok = false;
+  double value = 0.0;
+  Vec arg;
+};
+
+/// Minimises the linear function obj . w + obj_const over the CLOSED cell
+/// (constraints interpreted as <=, space boundary closed). The cell should
+/// be nonempty; `ok` is false on numerical failure.
+BoundResult MinimizeOverCell(Space space, int dim, const Vec& obj,
+                             double obj_const,
+                             const std::vector<LinIneq>& cons,
+                             KsprStats* stats);
+
+/// Maximises obj . w + obj_const over the closed cell.
+BoundResult MaximizeOverCell(Space space, int dim, const Vec& obj,
+                             double obj_const,
+                             const std::vector<LinIneq>& cons,
+                             KsprStats* stats);
+
+}  // namespace kspr
+
+#endif  // KSPR_LP_FEASIBILITY_H_

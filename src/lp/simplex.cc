@@ -1,0 +1,241 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kspr::lp {
+
+namespace {
+
+// Dense tableau stored flat, row-major, with the objective row maintained
+// incrementally during pivots (row index m_). Scratch buffers are reused
+// across calls via thread_local storage: kSPR issues millions of tiny LPs,
+// so allocation churn matters more than asymptotics here.
+class Tableau {
+ public:
+  void Init(const Problem& p) {
+    m_ = static_cast<int>(p.rows.size());
+    n_ = p.num_vars;
+
+    std::vector<int> needs_artificial;
+    needs_artificial.clear();
+    for (int i = 0; i < m_; ++i) {
+      if (p.rows[i].b < 0) needs_artificial.push_back(i);
+    }
+    num_artificial_ = static_cast<int>(needs_artificial.size());
+    cols_ = n_ + m_ + num_artificial_;
+    stride_ = cols_ + 1;  // + RHS column
+
+    t_.assign(static_cast<size_t>(m_ + 1) * stride_, 0.0);
+    basis_.assign(m_, -1);
+    is_basic_.assign(cols_, 0);
+
+    int art = 0;
+    for (int i = 0; i < m_; ++i) {
+      double* row = Row(i);
+      const double sign = p.rows[i].b < 0 ? -1.0 : 1.0;
+      const int len = std::min<int>(n_, static_cast<int>(p.rows[i].a.size()));
+      for (int j = 0; j < len; ++j) row[j] = sign * p.rows[i].a[j];
+      row[cols_] = sign * p.rows[i].b;
+      row[n_ + i] = sign;  // slack (+1) or surplus (-1)
+      if (sign > 0) {
+        SetBasis(i, n_ + i);
+      } else {
+        row[n_ + m_ + art] = 1.0;
+        SetBasis(i, n_ + m_ + art);
+        ++art;
+      }
+    }
+  }
+
+  int num_structural() const { return n_; }
+  int first_artificial() const { return n_ + m_; }
+  bool has_artificials() const { return num_artificial_ > 0; }
+  int cols() const { return cols_; }
+
+  // Loads objective coefficients `c` (size cols_, maximised) into the
+  // objective row as reduced costs z_j = sum_i cB_i T_ij - c_j, and the
+  // current objective value into the RHS slot.
+  void LoadObjective(const double* c) {
+    double* z = Row(m_);
+    for (int j = 0; j <= cols_; ++j) z[j] = 0.0;
+    for (int j = 0; j < cols_; ++j) z[j] = -c[j];
+    for (int i = 0; i < m_; ++i) {
+      const double cb = c[basis_[i]];
+      if (cb == 0.0) continue;
+      const double* row = Row(i);
+      for (int j = 0; j <= cols_; ++j) z[j] += cb * row[j];
+    }
+  }
+
+  // Runs the simplex on the loaded objective. `max_col` restricts entering
+  // columns to indices < max_col (used to bar artificials in phase 2).
+  Status Optimize(int max_col) {
+    constexpr int kMaxIter = 20000;
+    double* z = Row(m_);
+    for (int iter = 0; iter < kMaxIter; ++iter) {
+      // Entering column: Bland (smallest index with negative reduced cost).
+      int entering = -1;
+      for (int j = 0; j < max_col; ++j) {
+        if (!is_basic_[j] && z[j] < -tol::kPivot) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) return Status::kOptimal;
+
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        const double tij = Row(i)[entering];
+        if (tij > tol::kPivot) {
+          const double ratio = Row(i)[cols_] / tij;
+          if (ratio < best_ratio - tol::kPivot ||
+              (ratio < best_ratio + tol::kPivot &&
+               (leaving < 0 || basis_[i] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving < 0) return Status::kUnbounded;
+      Pivot(leaving, entering);
+    }
+    return Status::kStalled;
+  }
+
+  // Removes artificial variables from the basis after phase 1; rows whose
+  // artificial cannot be pivoted out are redundant and neutralised.
+  void DriveOutArtificials() {
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < first_artificial()) continue;
+      double* row = Row(i);
+      int pivot_col = -1;
+      for (int j = 0; j < first_artificial(); ++j) {
+        if (std::abs(row[j]) > tol::kPivot) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col >= 0) {
+        Pivot(i, pivot_col);
+      } else {
+        for (int j = 0; j < cols_; ++j) row[j] = 0.0;
+        row[basis_[i]] = 1.0;
+        row[cols_] = 0.0;
+      }
+    }
+  }
+
+  double ObjectiveValue() const { return RowConst(m_)[cols_]; }
+
+  double BasicValue(int var) const {
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] == var) return RowConst(i)[cols_];
+    }
+    return 0.0;
+  }
+
+ private:
+  double* Row(int i) { return &t_[static_cast<size_t>(i) * stride_]; }
+  const double* RowConst(int i) const {
+    return &t_[static_cast<size_t>(i) * stride_];
+  }
+
+  void SetBasis(int row, int col) {
+    if (basis_[row] >= 0) is_basic_[basis_[row]] = 0;
+    basis_[row] = col;
+    is_basic_[col] = 1;
+  }
+
+  void Pivot(int row, int col) {
+    double* pr = Row(row);
+    const double piv = pr[col];
+    assert(std::abs(piv) > tol::kPivot);
+    const double inv = 1.0 / piv;
+    for (int j = 0; j <= cols_; ++j) pr[j] *= inv;
+    pr[col] = 1.0;
+    for (int i = 0; i <= m_; ++i) {  // includes the objective row
+      if (i == row) continue;
+      double* ri = Row(i);
+      const double f = ri[col];
+      if (f == 0.0) continue;
+      for (int j = 0; j <= cols_; ++j) ri[j] -= f * pr[j];
+      ri[col] = 0.0;
+    }
+    SetBasis(row, col);
+  }
+
+  int m_ = 0;
+  int n_ = 0;
+  int cols_ = 0;
+  int stride_ = 0;
+  int num_artificial_ = 0;
+  std::vector<double> t_;
+  std::vector<int> basis_;
+  std::vector<char> is_basic_;
+};
+
+}  // namespace
+
+Solution Solve(const Problem& problem) {
+  Solution sol;
+  const int n = problem.num_vars;
+  assert(static_cast<int>(problem.objective.size()) == n);
+
+  if (problem.rows.empty()) {
+    for (double cj : problem.objective) {
+      if (cj > tol::kPivot) {
+        sol.status = Status::kUnbounded;
+        return sol;
+      }
+    }
+    sol.status = Status::kOptimal;
+    sol.objective = 0.0;
+    sol.x.assign(n, 0.0);
+    return sol;
+  }
+
+  thread_local Tableau tab;
+  thread_local std::vector<double> cost;
+  tab.Init(problem);
+
+  if (tab.has_artificials()) {
+    // Phase 1: maximize -(sum of artificials).
+    cost.assign(tab.cols(), 0.0);
+    for (int j = tab.first_artificial(); j < tab.cols(); ++j) cost[j] = -1.0;
+    tab.LoadObjective(cost.data());
+    Status s1 = tab.Optimize(tab.cols());
+    if (s1 == Status::kStalled) {
+      sol.status = s1;
+      return sol;
+    }
+    if (tab.ObjectiveValue() < -1e-7) {
+      sol.status = Status::kInfeasible;
+      return sol;
+    }
+    tab.DriveOutArtificials();
+  }
+
+  // Phase 2.
+  cost.assign(tab.cols(), 0.0);
+  for (int j = 0; j < n; ++j) cost[j] = problem.objective[j];
+  tab.LoadObjective(cost.data());
+  Status s2 = tab.Optimize(tab.first_artificial());
+  if (s2 != Status::kOptimal) {
+    sol.status = s2;
+    return sol;
+  }
+  sol.status = Status::kOptimal;
+  sol.x.assign(n, 0.0);
+  for (int j = 0; j < n; ++j) sol.x[j] = tab.BasicValue(j);
+  sol.objective = tab.ObjectiveValue();
+  return sol;
+}
+
+}  // namespace kspr::lp

@@ -1,0 +1,53 @@
+// Dense two-phase primal simplex solver.
+//
+// This replaces lp_solve [1] used by the paper. All LPs in kSPR processing
+// are tiny (at most d' + 2 <= 9 structural variables and a few hundred
+// constraints), so a textbook tableau implementation with Bland's
+// anti-cycling rule is exact, fast, and dependency-free.
+//
+// Problem form:   maximize  c . x
+//                 subject to a_i . x <= b_i   (i = 1..m)
+//                            x >= 0
+//
+// Callers encode ">=" rows by negation and free variables by splitting
+// (the feasibility wrapper in lp/feasibility.h does this for the
+// inscribed-ball slack variable).
+
+#ifndef KSPR_LP_SIMPLEX_H_
+#define KSPR_LP_SIMPLEX_H_
+
+#include <vector>
+
+namespace kspr::lp {
+
+enum class Status {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kStalled,  // iteration guard tripped; should not happen with Bland's rule
+};
+
+/// One row: a . x <= b.
+struct Constraint {
+  std::vector<double> a;
+  double b = 0.0;
+};
+
+struct Problem {
+  int num_vars = 0;
+  std::vector<double> objective;  // size num_vars; maximised
+  std::vector<Constraint> rows;
+};
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  // size num_vars when status == kOptimal
+};
+
+/// Solves the LP. Deterministic; no allocation is retained between calls.
+Solution Solve(const Problem& problem);
+
+}  // namespace kspr::lp
+
+#endif  // KSPR_LP_SIMPLEX_H_

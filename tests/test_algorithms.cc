@@ -1,0 +1,356 @@
+// End-to-end correctness of all kSPR algorithms against the brute-force
+// sampling oracle, plus cross-algorithm agreement and preprocessing tests.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/cta.h"
+#include "core/lpcta.h"
+#include "core/pcta.h"
+#include "core/solver.h"
+#include "datagen/synthetic.h"
+#include "geom/volume.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+
+namespace kspr {
+namespace {
+
+Space SpaceOf(Algorithm algo) {
+  return (algo == Algorithm::kOpCta || algo == Algorithm::kOlpCta)
+             ? Space::kOriginal
+             : Space::kTransformed;
+}
+
+// --------------------------------------------------------------------------
+// Preprocessing.
+
+TEST(PrepareQuery, ClassifiesRecords) {
+  Dataset data(2);
+  data.Add(Vec{0.9, 0.9});  // dominator
+  data.Add(Vec{0.1, 0.1});  // dominated
+  data.Add(Vec{0.8, 0.2});  // incomparable
+  data.Add(Vec{0.5, 0.5});  // tie with p
+  Vec p{0.5, 0.5};
+  QueryPrep prep = PrepareQuery(data, p, kInvalidRecord, 3);
+  EXPECT_EQ(prep.num_dominators, 1);
+  EXPECT_EQ(prep.k_effective, 2);
+  EXPECT_TRUE(prep.skip[0]);
+  EXPECT_TRUE(prep.skip[1]);
+  EXPECT_FALSE(prep.skip[2]);
+  EXPECT_TRUE(prep.skip[3]);
+}
+
+TEST(PrepareQuery, FocalRecordSkipped) {
+  Dataset data(2);
+  data.Add(Vec{0.5, 0.5});
+  QueryPrep prep = PrepareQuery(data, data.Get(0), 0, 1);
+  EXPECT_TRUE(prep.skip[0]);
+  EXPECT_EQ(prep.num_dominators, 0);
+}
+
+TEST(PrepareQuery, TooManyDominatorsEmptyResult) {
+  Dataset data(2);
+  data.Add(Vec{0.9, 0.9});
+  data.Add(Vec{0.8, 0.8});
+  QueryPrep prep = PrepareQuery(data, Vec{0.1, 0.1}, kInvalidRecord, 2);
+  EXPECT_TRUE(prep.ResultEmpty());
+}
+
+// --------------------------------------------------------------------------
+// Oracle-verified sweeps.
+
+struct AlgoCase {
+  Algorithm algo;
+  Distribution dist;
+  int n;
+  int d;
+  int k;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<AlgoCase>& info) {
+  const AlgoCase& c = info.param;
+  std::string algo;
+  switch (c.algo) {
+    case Algorithm::kCta: algo = "CTA"; break;
+    case Algorithm::kPcta: algo = "PCTA"; break;
+    case Algorithm::kLpCta: algo = "LPCTA"; break;
+    case Algorithm::kOpCta: algo = "OPCTA"; break;
+    case Algorithm::kOlpCta: algo = "OLPCTA"; break;
+    case Algorithm::kSkybandCta: algo = "SKYBAND"; break;
+  }
+  return algo + "_" + DistributionName(c.dist) + "_n" + std::to_string(c.n) +
+         "_d" + std::to_string(c.d) + "_k" + std::to_string(c.k) + "_s" +
+         std::to_string(c.seed);
+}
+
+class AlgorithmOracleTest : public ::testing::TestWithParam<AlgoCase> {};
+
+TEST_P(AlgorithmOracleTest, MatchesSamplingOracle) {
+  const AlgoCase& c = GetParam();
+  Dataset data = GenerateSynthetic(c.dist, c.n, c.d, c.seed);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = c.k;
+  options.algorithm = c.algo;
+  options.finalize_geometry = false;  // oracle uses raw constraints
+
+  // Focal records: two random ones plus a skyline record, whose result is
+  // guaranteed nonempty for k >= 1 in most instances.
+  Rng rng(c.seed * 31 + 7);
+  std::vector<RecordId> focals = {
+      static_cast<RecordId>(rng.UniformInt(data.size())),
+      static_cast<RecordId>(rng.UniformInt(data.size())),
+      Skyline(data, tree).front()};
+  int nonempty = 0;
+  for (size_t q = 0; q < focals.size(); ++q) {
+    const RecordId focal = focals[q];
+    KsprResult result = solver.QueryRecord(focal, options);
+    if (!result.regions.empty()) ++nonempty;
+    OracleCheck check =
+        VerifyResult(data, data.Get(focal), focal, c.k, result,
+                     SpaceOf(c.algo), /*samples=*/600, /*seed=*/c.seed + q);
+    EXPECT_EQ(check.mismatches, 0)
+        << "focal=" << focal << " regions=" << result.regions.size()
+        << " checked=" << check.samples;
+    EXPECT_EQ(check.overlaps, 0) << "regions overlap";
+  }
+  EXPECT_GE(nonempty, 1) << "every query returned an empty result";
+}
+
+std::vector<AlgoCase> MakeCases() {
+  std::vector<AlgoCase> cases;
+  const Algorithm algos[] = {Algorithm::kCta,    Algorithm::kPcta,
+                             Algorithm::kLpCta,  Algorithm::kOpCta,
+                             Algorithm::kOlpCta, Algorithm::kSkybandCta};
+  uint64_t seed = 1;
+  for (Algorithm a : algos) {
+    cases.push_back({a, Distribution::kIndependent, 120, 2, 3, seed++});
+    cases.push_back({a, Distribution::kIndependent, 150, 3, 5, seed++});
+    cases.push_back({a, Distribution::kIndependent, 100, 4, 4, seed++});
+    cases.push_back({a, Distribution::kCorrelated, 150, 3, 5, seed++});
+    cases.push_back({a, Distribution::kAntiCorrelated, 80, 3, 4, seed++});
+  }
+  // Higher dimensions for the primary algorithms.
+  cases.push_back({Algorithm::kLpCta, Distribution::kIndependent, 60, 5, 4, 91});
+  cases.push_back({Algorithm::kPcta, Distribution::kIndependent, 60, 5, 4, 92});
+  cases.push_back({Algorithm::kLpCta, Distribution::kIndependent, 40, 6, 3, 93});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlgorithmOracleTest,
+                         ::testing::ValuesIn(MakeCases()), CaseName);
+
+// --------------------------------------------------------------------------
+// Cross-algorithm agreement: the same query must yield region sets covering
+// the same weight vectors, regardless of algorithm.
+
+TEST(CrossAlgorithm, AllAgreeOnMembership) {
+  Dataset data = GenerateIndependent(200, 3, 777);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  const RecordId focal = 17;
+  const int k = 6;
+
+  const Algorithm algos[] = {Algorithm::kCta, Algorithm::kPcta,
+                             Algorithm::kLpCta, Algorithm::kSkybandCta};
+  std::vector<KsprResult> results;
+  for (Algorithm a : algos) {
+    KsprOptions options;
+    options.k = k;
+    options.algorithm = a;
+    options.finalize_geometry = false;
+    results.push_back(solver.QueryRecord(focal, options));
+  }
+  Rng rng(4242);
+  int informative = 0;
+  for (int s = 0; s < 800; ++s) {
+    Vec w = SampleSpacePoint(Space::kTransformed, 2, &rng);
+    const Vec w_full = ExpandWeight(Space::kTransformed, 3, w);
+    if (MinScoreMargin(data, data.Get(focal), focal, w_full) < 1e-7) continue;
+    ++informative;
+    const bool expected = RankAt(data, data.Get(focal), focal, w_full) <= k;
+    for (size_t i = 0; i < results.size(); ++i) {
+      bool in = false;
+      for (const Region& region : results[i].regions) {
+        if (region.Contains(w)) {
+          in = true;
+          break;
+        }
+      }
+      EXPECT_EQ(in, expected) << "algorithm index " << i;
+    }
+  }
+  EXPECT_GT(informative, 700);
+}
+
+// --------------------------------------------------------------------------
+// Ablation flags preserve correctness.
+
+struct FlagCase {
+  bool lemma2;
+  bool witness;
+  bool dominance;
+  bool per_split;
+  BoundMode mode;
+};
+
+class FlagTest : public ::testing::TestWithParam<FlagCase> {};
+
+TEST_P(FlagTest, LpCtaCorrectUnderAllFlagCombinations) {
+  const FlagCase& f = GetParam();
+  Dataset data = GenerateIndependent(150, 3, 555);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 5;
+  options.algorithm = Algorithm::kLpCta;
+  options.use_lemma2 = f.lemma2;
+  options.use_witness_cache = f.witness;
+  options.use_dominance_shortcut = f.dominance;
+  options.lookahead_per_split = f.per_split;
+  options.bound_mode = f.mode;
+  options.finalize_geometry = false;
+  KsprResult result = solver.QueryRecord(11, options);
+  OracleCheck check = VerifyResult(data, data.Get(11), 11, 5, result,
+                                   Space::kTransformed, 500);
+  EXPECT_EQ(check.mismatches, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flags, FlagTest,
+    ::testing::Values(
+        FlagCase{false, true, true, false, BoundMode::kFast},
+        FlagCase{true, false, true, false, BoundMode::kFast},
+        FlagCase{true, true, false, false, BoundMode::kFast},
+        FlagCase{true, true, true, true, BoundMode::kFast},
+        FlagCase{true, true, true, false, BoundMode::kGroup},
+        FlagCase{true, true, true, false, BoundMode::kRecord},
+        FlagCase{false, false, false, false, BoundMode::kRecord}));
+
+// --------------------------------------------------------------------------
+// Behavioural properties from the paper.
+
+TEST(Behaviour, PctaProcessesFewerRecordsThanCta) {
+  Dataset data = GenerateIndependent(400, 3, 2024);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 5;
+  options.finalize_geometry = false;
+
+  options.algorithm = Algorithm::kCta;
+  KsprResult cta = solver.QueryRecord(3, options);
+  options.algorithm = Algorithm::kPcta;
+  KsprResult pcta = solver.QueryRecord(3, options);
+  EXPECT_LE(pcta.stats.processed_records, cta.stats.processed_records);
+}
+
+TEST(Behaviour, PctaNeverProcessesDeepSkybandRecords) {
+  // Lemma 6: P-CTA never processes a record dominated by >= k others.
+  Dataset data = GenerateIndependent(300, 2, 31337);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  const int k = 4;
+  KsprOptions options;
+  options.k = k;
+  options.finalize_geometry = false;
+  options.algorithm = Algorithm::kPcta;
+  KsprSolver solver(&data, &tree);
+  KsprResult result = solver.QueryRecord(7, options);
+  // processed_records counts hyperplane insertions; bound it by the
+  // k-skyband size plus slack for the progress fallback.
+  int skyband = 0;
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (CountDominators(data, i) < k) ++skyband;
+  }
+  EXPECT_LE(result.stats.processed_records, skyband + 5);
+}
+
+TEST(Behaviour, EmptyResultWhenKDominatorsExist) {
+  Dataset data(2);
+  data.Add(Vec{0.9, 0.9});
+  data.Add(Vec{0.8, 0.95});
+  data.Add(Vec{0.3, 0.3});
+  RTree tree = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 2;
+  for (Algorithm a : {Algorithm::kCta, Algorithm::kPcta, Algorithm::kLpCta}) {
+    options.algorithm = a;
+    KsprResult result = solver.Query(Vec{0.2, 0.2}, options);
+    EXPECT_TRUE(result.regions.empty());
+  }
+}
+
+TEST(Behaviour, TopRecordCoversWholeSpaceForK1) {
+  // A record dominating everything has the whole space as its 1SPR region.
+  Dataset data(2);
+  data.Add(Vec{0.99, 0.99});
+  data.Add(Vec{0.5, 0.4});
+  data.Add(Vec{0.2, 0.6});
+  RTree tree = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 1;
+  options.compute_volume = true;
+  options.algorithm = Algorithm::kLpCta;
+  KsprResult result = solver.QueryRecord(0, options);
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_NEAR(result.TopKProbability(), 1.0, 1e-6);
+}
+
+TEST(Behaviour, ResultSizeGrowsWithK) {
+  Dataset data = GenerateAntiCorrelated(150, 3, 5150);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.algorithm = Algorithm::kLpCta;
+  options.finalize_geometry = false;
+  options.compute_volume = false;
+
+  // Compare covered measure via sampling: k = 8 must cover at least as
+  // much as k = 2.
+  options.k = 2;
+  KsprResult small = solver.QueryRecord(60, options);
+  options.k = 8;
+  KsprResult big = solver.QueryRecord(60, options);
+  Rng rng(9);
+  int small_in = 0;
+  int big_in = 0;
+  for (int s = 0; s < 500; ++s) {
+    Vec w = SampleSpacePoint(Space::kTransformed, 2, &rng);
+    for (const Region& region : small.regions) {
+      if (region.Contains(w)) {
+        ++small_in;
+        break;
+      }
+    }
+    for (const Region& region : big.regions) {
+      if (region.Contains(w)) {
+        ++big_in;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(big_in, small_in);
+}
+
+TEST(Behaviour, FinalizationProducesVerticesIn2D) {
+  Dataset data = GenerateIndependent(100, 3, 1);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 5;
+  options.algorithm = Algorithm::kLpCta;
+  options.finalize_geometry = true;
+  KsprResult result = solver.QueryRecord(0, options);
+  for (const Region& region : result.regions) {
+    EXPECT_GE(region.vertices.size(), 3u);  // 2-D cells are polygons
+  }
+}
+
+}  // namespace
+}  // namespace kspr

@@ -1,0 +1,115 @@
+// Tests for the approximate kSPR extension: the certified error bound must
+// hold against the sampling oracle, and a zero budget must degenerate to
+// the exact answer.
+
+#include "core/approx.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "datagen/synthetic.h"
+#include "geom/volume.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+
+namespace kspr {
+namespace {
+
+class ApproxTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproxTest, ErrorBoundHolds) {
+  const int seed = GetParam();
+  Dataset data = GenerateIndependent(200, 3, seed);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  std::vector<RecordId> sky = Skyline(data, tree);
+  const RecordId focal = sky[seed % sky.size()];
+
+  ApproxOptions options;
+  options.base.k = 6;
+  options.base.finalize_geometry = false;
+  options.max_error_fraction = 0.05;
+  options.cell_volume_fraction = 0.01;
+  ApproxResult approx =
+      RunApproxKspr(data, tree, data.Get(focal), focal, options);
+
+  const double space = SpaceVolume(Space::kTransformed, 2);
+  EXPECT_LE(approx.error_volume, options.max_error_fraction * space + 1e-12);
+
+  // Sampled misclassification measure must not exceed the certified bound
+  // (with sampling slack).
+  Rng rng(seed * 13 + 1);
+  int informative = 0;
+  int wrong = 0;
+  for (int s = 0; s < 4000; ++s) {
+    Vec w = SampleSpacePoint(Space::kTransformed, 2, &rng);
+    const Vec w_full = ExpandWeight(Space::kTransformed, 3, w);
+    if (MinScoreMargin(data, data.Get(focal), focal, w_full) < 1e-7) continue;
+    ++informative;
+    const bool expected =
+        RankAt(data, data.Get(focal), focal, w_full) <= options.base.k;
+    bool in = false;
+    for (const Region& region : approx.result.regions) {
+      if (region.Contains(w)) {
+        in = true;
+        break;
+      }
+    }
+    if (in != expected) ++wrong;
+  }
+  ASSERT_GT(informative, 3000);
+  const double wrong_measure =
+      space * static_cast<double>(wrong) / informative;
+  EXPECT_LE(wrong_measure, approx.error_volume + 0.02 * space)
+      << "wrong=" << wrong << " certified=" << approx.error_volume;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxTest, ::testing::Range(1, 8));
+
+TEST(Approx, ZeroBudgetIsExact) {
+  Dataset data = GenerateIndependent(150, 3, 3);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  std::vector<RecordId> sky = Skyline(data, tree);
+  ApproxOptions options;
+  options.base.k = 5;
+  options.base.finalize_geometry = false;
+  options.max_error_fraction = 0.0;
+  ApproxResult approx =
+      RunApproxKspr(data, tree, data.Get(sky[0]), sky[0], options);
+  EXPECT_EQ(approx.approximated_cells, 0);
+  EXPECT_EQ(approx.error_volume, 0.0);
+  OracleCheck check =
+      VerifyResult(data, data.Get(sky[0]), sky[0], 5, approx.result,
+                   Space::kTransformed, 800);
+  EXPECT_EQ(check.mismatches, 0);
+}
+
+TEST(Approx, BudgetIsActuallyUsedOnHardInstances) {
+  // ANTI data produces many small undecided cells: with a generous budget
+  // some cells should be approximated.
+  Dataset data = GenerateAntiCorrelated(400, 3, 9);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  std::vector<RecordId> sky = Skyline(data, tree);
+  ApproxOptions options;
+  options.base.k = 8;
+  options.base.finalize_geometry = false;
+  options.max_error_fraction = 0.10;
+  options.cell_volume_fraction = 0.05;
+  ApproxResult approx =
+      RunApproxKspr(data, tree, data.Get(sky[2]), sky[2], options);
+  EXPECT_GT(approx.approximated_cells, 0);
+  EXPECT_GT(approx.error_volume, 0.0);
+}
+
+TEST(Approx, EmptyForDominatedFocal) {
+  Dataset data = GenerateIndependent(200, 3, 4);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  ApproxOptions options;
+  options.base.k = 2;
+  ApproxResult approx = RunApproxKspr(data, tree, Vec{0.01, 0.01, 0.01},
+                                      kInvalidRecord, options);
+  EXPECT_TRUE(approx.result.regions.empty());
+}
+
+}  // namespace
+}  // namespace kspr

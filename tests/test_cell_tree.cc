@@ -1,0 +1,266 @@
+// Tests for the CellTree: insertion cases, rank bookkeeping, elimination,
+// witness caching, and the paper's worked examples.
+
+#include "core/cell_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/cta.h"
+#include "core/options.h"
+
+namespace kspr {
+namespace {
+
+// The restaurant data of Fig 1(a).
+Dataset RestaurantData() {
+  Dataset data(3);
+  data.Add(Vec{3, 8, 8});  // r1 L'Entrecote
+  data.Add(Vec{9, 4, 4});  // r2 Beirut Grill
+  data.Add(Vec{8, 3, 4});  // r3 El Coyote
+  data.Add(Vec{4, 3, 6});  // r4 La Braceria
+  return data;
+}
+
+const Vec kKyma{5, 5, 7};
+
+TEST(CellTree, RootAloneIsLiveLeaf) {
+  Dataset data = RestaurantData();
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 2;
+  KsprStats stats;
+  CellTree tree(&store, 2, &options, &stats);
+  EXPECT_FALSE(tree.RootDead());
+  std::vector<CellTree::LeafInfo> leaves;
+  tree.CollectLiveLeaves(&leaves);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].rank, 1);
+  EXPECT_TRUE(leaves[0].path.empty());
+}
+
+TEST(CellTree, KZeroKillsRootImmediately) {
+  Dataset data = RestaurantData();
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 0;
+  KsprStats stats;
+  CellTree tree(&store, 0, &options, &stats);
+  EXPECT_TRUE(tree.RootDead());
+}
+
+TEST(CellTree, SingleInsertSplitsRoot) {
+  Dataset data = RestaurantData();
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 4;
+  KsprStats stats;
+  CellTree tree(&store, 4, &options, &stats);
+  tree.InsertHyperplane(0);  // r1's hyperplane cuts the simplex (see Fig 2a)
+  std::vector<CellTree::LeafInfo> leaves;
+  tree.CollectLiveLeaves(&leaves);
+  ASSERT_EQ(leaves.size(), 2u);
+  // One leaf rank 1 (h-), one rank 2 (h+).
+  EXPECT_EQ(leaves[0].rank + leaves[1].rank, 3);
+  EXPECT_EQ(stats.cell_tree_nodes, 3);
+}
+
+TEST(CellTree, RanksMatchBruteForceAfterAllInsertions) {
+  Dataset data = RestaurantData();
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 5;  // keep everything alive
+  KsprStats stats;
+  CellTree tree(&store, 5, &options, &stats);
+  for (RecordId rid = 0; rid < data.size(); ++rid) {
+    tree.InsertHyperplane(rid);
+  }
+  std::vector<CellTree::LeafInfo> leaves;
+  tree.CollectLiveLeaves(&leaves);
+  ASSERT_GE(leaves.size(), 2u);
+  for (const CellTree::LeafInfo& leaf : leaves) {
+    ASSERT_TRUE(leaf.has_witness);
+    const Vec w_full = ExpandWeight(Space::kTransformed, 3, leaf.witness);
+    EXPECT_EQ(leaf.rank, RankAt(data, kKyma, kInvalidRecord, w_full))
+        << "witness " << leaf.witness.ToString();
+  }
+}
+
+TEST(CellTree, EliminationWhenRankExceedsK) {
+  Dataset data = RestaurantData();
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 1;  // only rank-1 cells survive
+  KsprStats stats;
+  CellTree tree(&store, 1, &options, &stats);
+  for (RecordId rid = 0; rid < data.size(); ++rid) {
+    tree.InsertHyperplane(rid);
+  }
+  std::vector<CellTree::LeafInfo> leaves;
+  tree.CollectLiveLeaves(&leaves);
+  for (const CellTree::LeafInfo& leaf : leaves) EXPECT_EQ(leaf.rank, 1);
+}
+
+TEST(CellTree, AlwaysPositiveRaisesBaseRank) {
+  Dataset data(3);
+  data.Add(Vec{6, 6, 8});  // dominates Kyma with equal gaps: degenerate
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 1;
+  KsprStats stats;
+  CellTree tree(&store, 1, &options, &stats);
+  EXPECT_EQ(tree.base_rank(), 1);
+  tree.InsertHyperplane(0);
+  EXPECT_EQ(tree.base_rank(), 2);
+  EXPECT_TRUE(tree.RootDead());  // rank 2 > k = 1 everywhere
+}
+
+TEST(CellTree, AlwaysNegativeIsIgnored) {
+  Dataset data(3);
+  data.Add(Vec{4, 4, 6});  // dominated by Kyma with equal gaps
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 1;
+  KsprStats stats;
+  CellTree tree(&store, 1, &options, &stats);
+  tree.InsertHyperplane(0);
+  EXPECT_FALSE(tree.RootDead());
+  EXPECT_EQ(stats.cell_tree_nodes, 1);  // no split happened
+}
+
+TEST(CellTree, CoverSetUsedForContainedHalfspace) {
+  // Insert the same record twice under different ids: the second insertion
+  // must land in cover sets (same hyperplane cannot cut the same cells).
+  Dataset data(3);
+  data.Add(Vec{3, 8, 8});
+  data.Add(Vec{3, 8, 8});
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 4;
+  KsprStats stats;
+  CellTree tree(&store, 4, &options, &stats);
+  tree.InsertHyperplane(0);
+  const int64_t nodes_after_first = stats.cell_tree_nodes;
+  tree.InsertHyperplane(1);
+  EXPECT_EQ(stats.cell_tree_nodes, nodes_after_first);  // no further splits
+  std::vector<CellTree::LeafInfo> leaves;
+  tree.CollectLiveLeaves(&leaves);
+  ASSERT_EQ(leaves.size(), 2u);
+  for (const CellTree::LeafInfo& leaf : leaves) {
+    // Both records contribute consistently: rank 1 (both negative) or
+    // rank 3 (both positive).
+    EXPECT_TRUE(leaf.rank == 1 || leaf.rank == 3) << leaf.rank;
+  }
+}
+
+Dataset GenerateDataForLemma2() {
+  Dataset data(3);
+  // A ring of records around p = (0.5, 0.5, 0.5) so that many hyperplanes
+  // cut the space and cover sets grow.
+  const double vals[][3] = {
+      {0.6, 0.5, 0.4}, {0.4, 0.55, 0.55}, {0.55, 0.4, 0.55},
+      {0.45, 0.6, 0.45}, {0.52, 0.52, 0.44}, {0.44, 0.5, 0.58},
+      {0.58, 0.46, 0.46}, {0.5, 0.42, 0.6},
+  };
+  for (const auto& v : vals) data.Add(Vec{v[0], v[1], v[2]});
+  return data;
+}
+
+TEST(CellTree, WitnessCacheReducesFeasibilityLps) {
+  Dataset data = RestaurantData();
+  KsprOptions with_cache;
+  with_cache.k = 3;
+  KsprOptions no_cache = with_cache;
+  no_cache.use_witness_cache = false;
+
+  KsprStats stats_cache;
+  {
+    HyperplaneStore store(&data, kKyma, Space::kTransformed);
+    CellTree tree(&store, 3, &with_cache, &stats_cache);
+    for (RecordId rid = 0; rid < data.size(); ++rid) {
+      tree.InsertHyperplane(rid);
+    }
+  }
+  KsprStats stats_plain;
+  {
+    HyperplaneStore store(&data, kKyma, Space::kTransformed);
+    CellTree tree(&store, 3, &no_cache, &stats_plain);
+    for (RecordId rid = 0; rid < data.size(); ++rid) {
+      tree.InsertHyperplane(rid);
+    }
+  }
+  EXPECT_LE(stats_cache.feasibility_lps, stats_plain.feasibility_lps);
+  EXPECT_GT(stats_cache.witness_hits, 0);
+  EXPECT_EQ(stats_plain.witness_hits, 0);
+}
+
+TEST(CellTree, Lemma2ShrinksConstraintSets) {
+  Dataset data = GenerateDataForLemma2();
+  KsprOptions lemma_on;
+  lemma_on.k = 10;
+  KsprOptions lemma_off = lemma_on;
+  lemma_off.use_lemma2 = false;
+
+  auto run = [&](const KsprOptions& options) {
+    KsprStats stats;
+    HyperplaneStore store(&data, Vec{0.5, 0.5, 0.5}, Space::kTransformed);
+    CellTree tree(&store, options.k, &options, &stats);
+    for (RecordId rid = 0; rid < data.size(); ++rid) {
+      tree.InsertHyperplane(rid);
+    }
+    return stats;
+  };
+  KsprStats on = run(lemma_on);
+  KsprStats off = run(lemma_off);
+  // Lemma 2 must not change structure, only LP sizes.
+  EXPECT_EQ(on.cell_tree_nodes, off.cell_tree_nodes);
+  EXPECT_LE(on.constraints_used, off.constraints_used);
+}
+
+TEST(CellTree, MarkReportedRemovesLeaf) {
+  Dataset data = RestaurantData();
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 4;
+  KsprStats stats;
+  CellTree tree(&store, 4, &options, &stats);
+  tree.InsertHyperplane(0);
+  std::vector<CellTree::LeafInfo> leaves;
+  tree.CollectLiveLeaves(&leaves);
+  ASSERT_EQ(leaves.size(), 2u);
+  tree.MarkReported(leaves[0].node_id);
+  tree.MarkReported(leaves[1].node_id);
+  EXPECT_TRUE(tree.RootDead());  // death propagated to the root
+}
+
+TEST(CellTree, PathConstraintsMatchLeafDepth) {
+  Dataset data = RestaurantData();
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 5;
+  KsprStats stats;
+  CellTree tree(&store, 5, &options, &stats);
+  for (RecordId rid = 0; rid < data.size(); ++rid) {
+    tree.InsertHyperplane(rid);
+  }
+  std::vector<CellTree::LeafInfo> leaves;
+  tree.CollectLiveLeaves(&leaves);
+  for (const CellTree::LeafInfo& leaf : leaves) {
+    std::vector<LinIneq> cons = tree.PathConstraints(leaf.node_id);
+    EXPECT_EQ(cons.size(), leaf.path.size());
+  }
+}
+
+TEST(CellTree, NewLeafTrackerReportsSplits) {
+  Dataset data = RestaurantData();
+  HyperplaneStore store(&data, kKyma, Space::kTransformed);
+  KsprOptions options;
+  options.k = 5;
+  KsprStats stats;
+  CellTree tree(&store, 5, &options, &stats);
+  tree.InsertHyperplane(0);
+  EXPECT_EQ(tree.last_new_leaves().size(), 2u);
+}
+
+}  // namespace
+}  // namespace kspr

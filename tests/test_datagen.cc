@@ -1,0 +1,221 @@
+// Tests for the data generators: determinism, ranges, correlation structure
+// and the case-study tables.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/nba_case_study.h"
+#include "datagen/real_like.h"
+#include "datagen/synthetic.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+
+namespace kspr {
+namespace {
+
+double PearsonDim01(const Dataset& data) {
+  // Correlation between the first two attributes.
+  const int n = data.size();
+  double mx = 0, my = 0;
+  for (int i = 0; i < n; ++i) {
+    mx += data.At(i, 0);
+    my += data.At(i, 1);
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (int i = 0; i < n; ++i) {
+    const double dx = data.At(i, 0) - mx;
+    const double dy = data.At(i, 1) - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(Synthetic, Deterministic) {
+  Dataset a = GenerateIndependent(100, 3, 9);
+  Dataset b = GenerateIndependent(100, 3, 9);
+  for (RecordId i = 0; i < a.size(); ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(a.At(i, j), b.At(i, j));
+  }
+  Dataset c = GenerateIndependent(100, 3, 10);
+  bool differs = false;
+  for (RecordId i = 0; i < a.size() && !differs; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (a.At(i, j) != c.At(i, j)) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, SizesAndRanges) {
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAntiCorrelated}) {
+    Dataset data = GenerateSynthetic(dist, 500, 4, 3);
+    EXPECT_EQ(data.size(), 500);
+    EXPECT_EQ(data.dim(), 4);
+    for (RecordId i = 0; i < data.size(); ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_GE(data.At(i, j), 0.0);
+        EXPECT_LE(data.At(i, j), 1.0);
+      }
+    }
+  }
+}
+
+TEST(Synthetic, CorrelationSigns) {
+  Dataset ind = GenerateIndependent(4000, 2, 1);
+  Dataset cor = GenerateCorrelated(4000, 2, 1);
+  Dataset anti = GenerateAntiCorrelated(4000, 2, 1);
+  EXPECT_NEAR(PearsonDim01(ind), 0.0, 0.06);
+  EXPECT_GT(PearsonDim01(cor), 0.7);
+  EXPECT_LT(PearsonDim01(anti), -0.5);
+}
+
+TEST(Synthetic, SkylineSizeOrdering) {
+  // ANTI has the largest skyline, COR the smallest (paper Sec 7.3).
+  const int n = 2000;
+  Dataset ind = GenerateIndependent(n, 3, 4);
+  Dataset cor = GenerateCorrelated(n, 3, 4);
+  Dataset anti = GenerateAntiCorrelated(n, 3, 4);
+  auto sky_size = [](const Dataset& d) {
+    RTree t = RTree::BulkLoad(d, 16, 16);
+    return Skyline(d, t).size();
+  };
+  const size_t s_cor = sky_size(cor);
+  const size_t s_ind = sky_size(ind);
+  const size_t s_anti = sky_size(anti);
+  EXPECT_LT(s_cor, s_ind);
+  EXPECT_LT(s_ind, s_anti);
+}
+
+TEST(Synthetic, DistributionNames) {
+  EXPECT_EQ(DistributionName(Distribution::kIndependent), "IND");
+  EXPECT_EQ(DistributionName(Distribution::kCorrelated), "COR");
+  EXPECT_EQ(DistributionName(Distribution::kAntiCorrelated), "ANTI");
+}
+
+TEST(RealLike, ShapesMatchTable1) {
+  Dataset hotel = GenerateHotelLike(2000);
+  EXPECT_EQ(hotel.dim(), 4);
+  EXPECT_EQ(hotel.size(), 2000);
+  Dataset house = GenerateHouseLike(2000);
+  EXPECT_EQ(house.dim(), 6);
+  Dataset nba = GenerateNbaLike(2000);
+  EXPECT_EQ(nba.dim(), 8);
+}
+
+TEST(RealLike, InventoryMatchesPaper) {
+  auto inv = RealDatasetInventory();
+  ASSERT_EQ(inv.size(), 3u);
+  EXPECT_EQ(inv[0].name, "HOTEL");
+  EXPECT_EQ(inv[0].n_full, 418843);
+  EXPECT_EQ(inv[0].d, 4);
+  EXPECT_EQ(inv[1].name, "HOUSE");
+  EXPECT_EQ(inv[1].n_full, 315265);
+  EXPECT_EQ(inv[1].d, 6);
+  EXPECT_EQ(inv[2].name, "NBA");
+  EXPECT_EQ(inv[2].n_full, 21960);
+  EXPECT_EQ(inv[2].d, 8);
+  EXPECT_EQ(inv[2].attributes.size(), 8u);
+}
+
+TEST(RealLike, HotelStarsDiscreteAndFacilitiesCorrelated) {
+  Dataset hotel = GenerateHotelLike(5000);
+  // Stars take 5 discrete values.
+  std::set<double> stars;
+  for (RecordId i = 0; i < hotel.size(); ++i) stars.insert(hotel.At(i, 0));
+  EXPECT_EQ(stars.size(), 5u);
+  // Facilities (3) correlate positively with stars (0), price-value (1)
+  // negatively.
+  const int n = hotel.size();
+  double c_sf = 0, c_sv = 0, ms = 0, mf = 0, mv = 0;
+  for (RecordId i = 0; i < n; ++i) {
+    ms += hotel.At(i, 0);
+    mf += hotel.At(i, 3);
+    mv += hotel.At(i, 1);
+  }
+  ms /= n;
+  mf /= n;
+  mv /= n;
+  for (RecordId i = 0; i < n; ++i) {
+    c_sf += (hotel.At(i, 0) - ms) * (hotel.At(i, 3) - mf);
+    c_sv += (hotel.At(i, 0) - ms) * (hotel.At(i, 1) - mv);
+  }
+  EXPECT_GT(c_sf, 0.0);
+  EXPECT_LT(c_sv, 0.0);
+}
+
+TEST(RealLike, HouseAttributesPositivelyCorrelated) {
+  Dataset house = GenerateHouseLike(5000);
+  EXPECT_GT(PearsonDim01(house), 0.2);
+}
+
+TEST(RealLike, NbaRoleStructureAnticorrelatesReboundsAssists) {
+  // Raw rebounds and assists both load on the latent ability factor, so
+  // their raw correlation is near zero; CONTROLLING for ability (points as
+  // proxy), the role archetypes make the partial correlation negative.
+  Dataset nba = GenerateNbaLike(5000);
+  const int n = nba.size();
+  auto mean = [&](int a) {
+    double m = 0;
+    for (RecordId i = 0; i < n; ++i) m += nba.At(i, a);
+    return m / n;
+  };
+  const double m_reb = mean(1), m_ast = mean(2), m_pts = mean(7);
+  auto cov = [&](int a, double ma, int b, double mb) {
+    double c = 0;
+    for (RecordId i = 0; i < n; ++i) {
+      c += (nba.At(i, a) - ma) * (nba.At(i, b) - mb);
+    }
+    return c / n;
+  };
+  const double v_pts = cov(7, m_pts, 7, m_pts);
+  const double beta_reb = cov(1, m_reb, 7, m_pts) / v_pts;
+  const double beta_ast = cov(2, m_ast, 7, m_pts) / v_pts;
+  // Covariance of the residuals after regressing on points.
+  double resid_cov = 0;
+  for (RecordId i = 0; i < n; ++i) {
+    const double dp = nba.At(i, 7) - m_pts;
+    const double r_reb = (nba.At(i, 1) - m_reb) - beta_reb * dp;
+    const double r_ast = (nba.At(i, 2) - m_ast) - beta_ast * dp;
+    resid_cov += r_reb * r_ast;
+  }
+  EXPECT_LT(resid_cov / n, 0.0);
+}
+
+TEST(CaseStudy, TablesWellFormed) {
+  for (const NbaSeason& season : {NbaSeason2014_15(), NbaSeason2015_16()}) {
+    EXPECT_EQ(season.data.dim(), 3);
+    EXPECT_EQ(season.data.size(),
+              static_cast<RecordId>(season.players.size()));
+    ASSERT_NE(season.howard, kInvalidRecord);
+    EXPECT_EQ(season.players[season.howard], "Dwight Howard");
+    // Sanity: per-game values in plausible ranges.
+    for (RecordId i = 0; i < season.data.size(); ++i) {
+      EXPECT_GT(season.data.At(i, 0), 5.0);   // points
+      EXPECT_LT(season.data.At(i, 0), 35.0);
+      EXPECT_LT(season.data.At(i, 1), 20.0);  // rebounds
+      EXPECT_LT(season.data.At(i, 2), 15.0);  // assists
+    }
+  }
+}
+
+TEST(CaseStudy, NormalizeToUnitBox) {
+  Dataset data(2);
+  data.Add(Vec{10, 100});
+  data.Add(Vec{20, 300});
+  data.Add(Vec{15, 200});
+  data.NormalizeToUnitBox();
+  EXPECT_NEAR(data.At(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(data.At(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(data.At(2, 0), 0.5, 1e-12);
+  EXPECT_NEAR(data.At(2, 1), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace kspr

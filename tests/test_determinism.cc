@@ -1,0 +1,99 @@
+// Determinism and stats-invariant tests: identical queries must produce
+// identical results, and the instrumentation counters must be mutually
+// consistent.
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "datagen/synthetic.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+
+namespace kspr {
+namespace {
+
+bool SameRegions(const KsprResult& a, const KsprResult& b) {
+  if (a.regions.size() != b.regions.size()) return false;
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    const Region& ra = a.regions[i];
+    const Region& rb = b.regions[i];
+    if (ra.constraints.size() != rb.constraints.size()) return false;
+    if (ra.rank_lb != rb.rank_lb || ra.rank_ub != rb.rank_ub) return false;
+    for (size_t c = 0; c < ra.constraints.size(); ++c) {
+      if (ra.constraints[c].b != rb.constraints[c].b) return false;
+      for (int j = 0; j < ra.dim; ++j) {
+        if (ra.constraints[c].a[j] != rb.constraints[c].a[j]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(DeterminismTest, RepeatedQueriesAreBitIdentical) {
+  Dataset data = GenerateIndependent(250, 3, 2026);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> sky = Skyline(data, tree);
+  KsprOptions options;
+  options.k = 5;
+  options.algorithm = GetParam();
+  KsprResult first = solver.QueryRecord(sky[0], options);
+  KsprResult second = solver.QueryRecord(sky[0], options);
+  EXPECT_TRUE(SameRegions(first, second));
+  EXPECT_EQ(first.stats.processed_records, second.stats.processed_records);
+  EXPECT_EQ(first.stats.cell_tree_nodes, second.stats.cell_tree_nodes);
+  EXPECT_EQ(first.stats.feasibility_lps, second.stats.feasibility_lps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, DeterminismTest,
+                         ::testing::Values(Algorithm::kCta, Algorithm::kPcta,
+                                           Algorithm::kLpCta,
+                                           Algorithm::kOpCta,
+                                           Algorithm::kOlpCta,
+                                           Algorithm::kSkybandCta));
+
+TEST(StatsInvariants, CountersAreConsistent) {
+  Dataset data = GenerateIndependent(400, 3, 11);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> sky = Skyline(data, tree);
+  KsprOptions options;
+  options.k = 6;
+  options.algorithm = Algorithm::kLpCta;
+  KsprResult r = solver.QueryRecord(sky[0], options);
+
+  // Lemma-2: the solver never sees more constraints than the full sets.
+  EXPECT_LE(r.stats.constraints_used, r.stats.constraints_full);
+  // Each feasibility test consumes at least the space bounds.
+  EXPECT_GE(r.stats.constraints_used, r.stats.feasibility_lps);
+  // A binary tree with cell_tree_nodes nodes has (n + 1) / 2 leaves; the
+  // node counter is always odd (root + pairs of children).
+  EXPECT_EQ(r.stats.cell_tree_nodes % 2, 1);
+  // Every region is a reported leaf; reported + eliminated <= total nodes.
+  EXPECT_LE(r.stats.result_regions, r.stats.cell_tree_nodes);
+  // Progressive algorithms batch at least once when the result is
+  // nonempty.
+  if (!r.regions.empty()) EXPECT_GE(r.stats.batches, 1);
+}
+
+TEST(StatsInvariants, WitnessCacheOnlyReducesWork) {
+  Dataset data = GenerateIndependent(300, 4, 17);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> sky = Skyline(data, tree);
+  KsprOptions with;
+  with.k = 5;
+  with.algorithm = Algorithm::kPcta;
+  KsprOptions without = with;
+  without.use_witness_cache = false;
+  KsprResult a = solver.QueryRecord(sky[1], with);
+  KsprResult b = solver.QueryRecord(sky[1], without);
+  EXPECT_LE(a.stats.feasibility_lps, b.stats.feasibility_lps);
+  // Structure must not change.
+  EXPECT_EQ(a.regions.size(), b.regions.size());
+}
+
+}  // namespace
+}  // namespace kspr

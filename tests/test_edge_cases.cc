@@ -1,0 +1,181 @@
+// Edge cases across the public API: degenerate datasets, extreme k,
+// duplicate records, and option combinations.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/solver.h"
+#include "datagen/synthetic.h"
+#include "geom/volume.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+
+namespace kspr {
+namespace {
+
+KsprOptions Opt(Algorithm algo, int k) {
+  KsprOptions o;
+  o.algorithm = algo;
+  o.k = k;
+  return o;
+}
+
+const Algorithm kMainAlgos[] = {Algorithm::kCta, Algorithm::kPcta,
+                                Algorithm::kLpCta, Algorithm::kSkybandCta};
+
+TEST(EdgeCases, SingleRecordDataset) {
+  Dataset data(2);
+  data.Add(Vec{0.5, 0.5});
+  RTree tree = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &tree);
+  for (Algorithm algo : kMainAlgos) {
+    KsprResult r = solver.QueryRecord(0, Opt(algo, 1));
+    // The only record is trivially top-1 everywhere: one region covering
+    // the whole space.
+    ASSERT_EQ(r.regions.size(), 1u) << static_cast<int>(algo);
+    EXPECT_EQ(r.regions[0].rank_lb, 1);
+  }
+}
+
+TEST(EdgeCases, KGreaterThanDatasetSize) {
+  Dataset data = GenerateIndependent(20, 3, 9);
+  RTree tree = RTree::BulkLoad(data, 4, 4);
+  KsprSolver solver(&data, &tree);
+  for (Algorithm algo : kMainAlgos) {
+    KsprResult r = solver.QueryRecord(3, Opt(algo, 50));
+    // p is within the top-50 of 20 records everywhere.
+    ASSERT_FALSE(r.regions.empty()) << static_cast<int>(algo);
+    double covered = 0;
+    for (const Region& region : r.regions) {
+      covered += PolytopeVolume(region.space, region.dim,
+                                region.constraints, 4000);
+    }
+    EXPECT_NEAR(covered, SpaceVolume(Space::kTransformed, 2), 0.02);
+  }
+}
+
+TEST(EdgeCases, AllRecordsIdentical) {
+  Dataset data(3);
+  for (int i = 0; i < 10; ++i) data.Add(Vec{0.4, 0.4, 0.4});
+  RTree tree = RTree::BulkLoad(data, 4, 4);
+  KsprSolver solver(&data, &tree);
+  for (Algorithm algo : kMainAlgos) {
+    // Ties never outscore p: p is top-1 everywhere.
+    KsprResult r = solver.QueryRecord(0, Opt(algo, 1));
+    ASSERT_EQ(r.regions.size(), 1u) << static_cast<int>(algo);
+  }
+}
+
+TEST(EdgeCases, DuplicateFocalValues) {
+  // Duplicates of p plus one better and one worse record.
+  Dataset data(2);
+  data.Add(Vec{0.5, 0.5});
+  data.Add(Vec{0.5, 0.5});
+  data.Add(Vec{0.9, 0.9});
+  data.Add(Vec{0.1, 0.1});
+  RTree tree = RTree::BulkLoad(data, 4, 4);
+  KsprSolver solver(&data, &tree);
+  for (Algorithm algo : kMainAlgos) {
+    KsprResult r1 = solver.QueryRecord(0, Opt(algo, 1));
+    EXPECT_TRUE(r1.regions.empty());  // the dominator always wins
+    KsprResult r2 = solver.QueryRecord(0, Opt(algo, 2));
+    ASSERT_EQ(r2.regions.size(), 1u);  // top-2 everywhere (ties ignored)
+  }
+}
+
+TEST(EdgeCases, TwoDimensionalMinimum) {
+  // d = 2 means a 1-dimensional preference space; all algorithms must
+  // handle pref_dim == 1.
+  Dataset data = GenerateIndependent(60, 2, 31);
+  RTree tree = RTree::BulkLoad(data, 8, 8);
+  KsprSolver solver(&data, &tree);
+  for (Algorithm algo : kMainAlgos) {
+    KsprOptions options = Opt(algo, 4);
+    options.finalize_geometry = false;
+    KsprResult r = solver.QueryRecord(5, options);
+    OracleCheck check = VerifyResult(data, data.Get(5), 5, 4, r,
+                                     Space::kTransformed, 400);
+    EXPECT_EQ(check.mismatches, 0) << static_cast<int>(algo);
+  }
+}
+
+TEST(EdgeCases, MaxDimensionality) {
+  // d = 8 (the NBA shape): pref_dim 7 == kMaxDim - 1.
+  Dataset data = GenerateIndependent(30, 8, 77);
+  RTree tree = RTree::BulkLoad(data, 8, 8);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options = Opt(Algorithm::kLpCta, 3);
+  options.finalize_geometry = false;
+  KsprResult r = solver.QueryRecord(2, options);
+  OracleCheck check = VerifyResult(data, data.Get(2), 2, 3, r,
+                                   Space::kTransformed, 200);
+  EXPECT_EQ(check.mismatches, 0);
+}
+
+TEST(EdgeCases, HypotheticalFocalBeatsEverything) {
+  Dataset data = GenerateIndependent(100, 3, 5);
+  RTree tree = RTree::BulkLoad(data, 8, 8);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options = Opt(Algorithm::kLpCta, 1);
+  options.compute_volume = true;
+  KsprResult r = solver.Query(Vec{2.0, 2.0, 2.0}, options);
+  ASSERT_EQ(r.regions.size(), 1u);
+  EXPECT_NEAR(r.TopKProbability(), 1.0, 1e-9);
+}
+
+TEST(EdgeCases, HypotheticalFocalLosesEverywhere) {
+  Dataset data = GenerateIndependent(100, 3, 5);
+  RTree tree = RTree::BulkLoad(data, 8, 8);
+  KsprSolver solver(&data, &tree);
+  KsprResult r = solver.Query(Vec{-1.0, -1.0, -1.0},
+                              Opt(Algorithm::kLpCta, 5));
+  EXPECT_TRUE(r.regions.empty());
+}
+
+TEST(EdgeCases, FinalizeOffLeavesRawConstraints) {
+  Dataset data = GenerateIndependent(100, 3, 6);
+  RTree tree = RTree::BulkLoad(data, 8, 8);
+  KsprSolver solver(&data, &tree);
+  KsprOptions raw = Opt(Algorithm::kLpCta, 5);
+  raw.finalize_geometry = false;
+  KsprOptions fin = Opt(Algorithm::kLpCta, 5);
+  std::vector<RecordId> sky = Skyline(data, tree);
+  KsprResult r_raw = solver.QueryRecord(sky[0], raw);
+  KsprResult r_fin = solver.QueryRecord(sky[0], fin);
+  ASSERT_EQ(r_raw.regions.size(), r_fin.regions.size());
+  // Finalisation may only remove (redundant) constraints.
+  size_t raw_cons = 0;
+  size_t fin_cons = 0;
+  for (const Region& r : r_raw.regions) raw_cons += r.constraints.size();
+  for (const Region& r : r_fin.regions) fin_cons += r.constraints.size();
+  EXPECT_LE(fin_cons, raw_cons);
+  for (const Region& r : r_raw.regions) EXPECT_TRUE(r.vertices.empty());
+}
+
+TEST(EdgeCases, StatsArePopulated) {
+  Dataset data = GenerateIndependent(500, 3, 8);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  std::vector<RecordId> sky = Skyline(data, tree);
+  KsprOptions options = Opt(Algorithm::kLpCta, 5);
+  KsprResult r = solver.QueryRecord(sky[0], options);
+  EXPECT_GT(r.stats.processed_records, 0);
+  EXPECT_GT(r.stats.cell_tree_nodes, 0);
+  EXPECT_GT(r.stats.feasibility_lps, 0);
+  EXPECT_GT(r.stats.bound_lps, 0);
+  EXPECT_GT(r.stats.bytes, 0);
+  EXPECT_EQ(r.stats.result_regions,
+            static_cast<int64_t>(r.regions.size()));
+}
+
+TEST(EdgeCases, ZeroKReturnsEmpty) {
+  Dataset data = GenerateIndependent(50, 2, 3);
+  RTree tree = RTree::BulkLoad(data, 8, 8);
+  KsprSolver solver(&data, &tree);
+  for (Algorithm algo : kMainAlgos) {
+    EXPECT_TRUE(solver.QueryRecord(0, Opt(algo, 0)).regions.empty());
+  }
+}
+
+}  // namespace
+}  // namespace kspr

@@ -1,0 +1,257 @@
+// Tests for hyperplane mapping, vertex enumeration, redundancy removal and
+// volume computation.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/hyperplane.h"
+#include "geom/polytope.h"
+#include "geom/volume.h"
+
+namespace kspr {
+namespace {
+
+LinIneq Ineq(std::initializer_list<double> a, double b) {
+  LinIneq c;
+  c.a = Vec(a);
+  c.b = b;
+  return c;
+}
+
+// --------------------------------------------------------------------------
+// Hyperplanes.
+
+TEST(Hyperplane, TransformedSpaceSign) {
+  // Restaurants from Fig 1: p = Kyma (5,5,7), r1 = L'Entrecote (3,8,8).
+  Vec p{5, 5, 7};
+  Vec r{3, 8, 8};
+  RecordHyperplane h = MakeHyperplane(p, r, Space::kTransformed);
+  ASSERT_EQ(h.kind, RecordHyperplane::Kind::kRegular);
+  // At w = (w1, w2), S(r) - S(p) has the sign of h.Eval(w).
+  // Take w1 = 0.6, w2 = 0.2 (w3 = 0.2): S(r) = 0.6*3+0.2*8+0.2*8 = 5.0,
+  // S(p) = 0.6*5+0.2*5+0.2*7 = 5.4 -> r below p.
+  EXPECT_LT(h.Eval(Vec{0.6, 0.2}), 0.0);
+  // w = (0.1, 0.6): S(r) = 0.3+4.8+2.4 = 7.5 > S(p) = 0.5+3.0+2.1 = 5.6.
+  EXPECT_GT(h.Eval(Vec{0.1, 0.6}), 0.0);
+}
+
+TEST(Hyperplane, EvalMatchesScoreGapSign) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int d = 2 + static_cast<int>(rng.UniformInt(5));
+    Vec p(d), r(d);
+    for (int j = 0; j < d; ++j) {
+      p.v[j] = rng.Uniform();
+      r.v[j] = rng.Uniform();
+    }
+    RecordHyperplane h = MakeHyperplane(p, r, Space::kTransformed);
+    // Random weight vector in the simplex.
+    Vec w(d);
+    double total = 0.0;
+    for (int j = 0; j < d; ++j) {
+      w.v[j] = rng.Uniform() + 1e-3;
+      total += w.v[j];
+    }
+    for (int j = 0; j < d; ++j) w.v[j] /= total;
+    const double gap = r.Dot(w) - p.Dot(w);
+    Vec w_pref(d - 1);
+    for (int j = 0; j < d - 1; ++j) w_pref.v[j] = w.v[j];
+    if (h.kind == RecordHyperplane::Kind::kRegular) {
+      if (std::abs(gap) > 1e-9) {
+        EXPECT_EQ(gap > 0, h.Eval(w_pref) > 0)
+            << "trial " << trial << " gap " << gap;
+      }
+    } else if (h.kind == RecordHyperplane::Kind::kAlwaysPositive) {
+      EXPECT_GT(gap, -1e-12);
+    } else {
+      EXPECT_LT(gap, 1e-12);
+    }
+  }
+}
+
+TEST(Hyperplane, OriginalSpacePassesThroughOrigin) {
+  Vec p{5, 5, 7};
+  Vec r{9, 4, 4};
+  RecordHyperplane h = MakeHyperplane(p, r, Space::kOriginal);
+  ASSERT_EQ(h.kind, RecordHyperplane::Kind::kRegular);
+  EXPECT_NEAR(h.b, 0.0, 1e-12);
+  EXPECT_EQ(h.a.dim, 3);
+  // S(r) > S(p) iff (r - p) . w > 0.
+  Vec w{0.5, 0.25, 0.25};
+  EXPECT_EQ(h.Eval(w) > 0, r.Dot(w) > p.Dot(w));
+}
+
+TEST(Hyperplane, DominatorIsAlwaysPositive) {
+  Vec p{1, 1, 1};
+  Vec r{2, 2, 2};  // dominates p with equal per-dim gaps -> degenerate
+  RecordHyperplane h = MakeHyperplane(p, r, Space::kTransformed);
+  EXPECT_EQ(h.kind, RecordHyperplane::Kind::kAlwaysPositive);
+}
+
+TEST(Hyperplane, TieIsAlwaysNegative) {
+  Vec p{3, 4};
+  RecordHyperplane h = MakeHyperplane(p, p, Space::kTransformed);
+  EXPECT_EQ(h.kind, RecordHyperplane::Kind::kAlwaysNegative);
+}
+
+TEST(Hyperplane, NormalisedCoefficients) {
+  Vec p{0, 0};
+  Vec r{10, -10};
+  RecordHyperplane h = MakeHyperplane(p, r, Space::kTransformed);
+  ASSERT_EQ(h.kind, RecordHyperplane::Kind::kRegular);
+  EXPECT_NEAR(h.a.NormL2(), 1.0, 1e-12);
+}
+
+TEST(HyperplaneStore, LazyAndStable) {
+  Dataset data(2);
+  data.Add(Vec{1, 2});
+  data.Add(Vec{2, 1});
+  HyperplaneStore store(&data, Vec{1.5, 1.5}, Space::kTransformed);
+  EXPECT_EQ(store.pref_dim(), 1);
+  const RecordHyperplane& h0 = store.Get(0);
+  const RecordHyperplane& h0_again = store.Get(0);
+  EXPECT_EQ(&h0, &h0_again);
+  // AsStrictIneq(h+) flips the sign.
+  LinIneq pos = store.AsStrictIneq({0, true});
+  LinIneq neg = store.AsStrictIneq({0, false});
+  EXPECT_NEAR(pos.a[0], -neg.a[0], 1e-12);
+  EXPECT_NEAR(pos.b, -neg.b, 1e-12);
+}
+
+// --------------------------------------------------------------------------
+// Linear systems & vertex enumeration.
+
+TEST(LinearSystem, Solves2x2) {
+  std::vector<Vec> rows = {Vec{2, 1}, Vec{1, -1}};
+  Vec rhs{5, 1};
+  Vec x;
+  ASSERT_TRUE(SolveLinearSystem(2, rows, rhs, &x));
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(LinearSystem, DetectsSingular) {
+  std::vector<Vec> rows = {Vec{1, 1}, Vec{2, 2}};
+  Vec rhs{1, 2};
+  Vec x;
+  EXPECT_FALSE(SolveLinearSystem(2, rows, rhs, &x));
+}
+
+TEST(Vertices, UnitSimplex2D) {
+  // No extra constraints: the transformed space itself, a right triangle.
+  std::vector<Vec> vs = EnumerateVertices(Space::kTransformed, 2, {});
+  ASSERT_EQ(vs.size(), 3u);
+}
+
+TEST(Vertices, BoxCorners3D) {
+  // Original space: unit cube, 8 corners.
+  std::vector<Vec> vs = EnumerateVertices(Space::kOriginal, 3, {});
+  EXPECT_EQ(vs.size(), 8u);
+}
+
+TEST(Vertices, HalvedTriangle) {
+  // Cut the 2D simplex with w0 < 0.5: quadrilateral.
+  std::vector<LinIneq> cons = {Ineq({1, 0}, 0.5)};
+  std::vector<Vec> vs = EnumerateVertices(Space::kTransformed, 2, cons);
+  EXPECT_EQ(vs.size(), 4u);
+}
+
+TEST(Vertices, GuardReturnsEmpty) {
+  std::vector<LinIneq> cons;
+  for (int i = 0; i < 40; ++i) {
+    cons.push_back(Ineq({1.0, static_cast<double>(i) / 40.0, 0.3, 0.4, 0.5},
+                        2.0 + i));
+  }
+  std::vector<Vec> vs =
+      EnumerateVertices(Space::kTransformed, 5, cons, /*max_combinations=*/10);
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(Redundancy, RemovesLooseConstraint) {
+  // w0 < 0.9 is redundant given w0 < 0.5.
+  std::vector<LinIneq> cons = {Ineq({1, 0}, 0.5), Ineq({1, 0}, 0.9)};
+  std::vector<LinIneq> kept =
+      RemoveRedundant(Space::kTransformed, 2, cons, nullptr);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_NEAR(kept[0].b, 0.5, 1e-12);
+}
+
+TEST(Redundancy, KeepsOneOfDuplicates) {
+  std::vector<LinIneq> cons = {Ineq({1, 0}, 0.5), Ineq({1, 0}, 0.5)};
+  std::vector<LinIneq> kept =
+      RemoveRedundant(Space::kTransformed, 2, cons, nullptr);
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+TEST(Redundancy, SpaceBoundsMakeEverythingRedundant) {
+  // w0 < 2 can never bind inside the simplex.
+  std::vector<LinIneq> cons = {Ineq({1, 0}, 2.0)};
+  EXPECT_TRUE(RemoveRedundant(Space::kTransformed, 2, cons, nullptr).empty());
+}
+
+TEST(StrictlyInside, RespectsConstraintsAndSpace) {
+  std::vector<LinIneq> cons = {Ineq({1, 0}, 0.5)};
+  EXPECT_TRUE(
+      StrictlyInside(Space::kTransformed, 2, cons, Vec{0.2, 0.3}, 1e-9));
+  EXPECT_FALSE(
+      StrictlyInside(Space::kTransformed, 2, cons, Vec{0.6, 0.3}, 1e-9));
+  EXPECT_FALSE(
+      StrictlyInside(Space::kTransformed, 2, cons, Vec{0.4, 0.7}, 1e-9));
+}
+
+// --------------------------------------------------------------------------
+// Volumes.
+
+TEST(Volume, SpaceVolumes) {
+  EXPECT_NEAR(SpaceVolume(Space::kTransformed, 1), 1.0, 1e-12);
+  EXPECT_NEAR(SpaceVolume(Space::kTransformed, 2), 0.5, 1e-12);
+  EXPECT_NEAR(SpaceVolume(Space::kTransformed, 3), 1.0 / 6, 1e-12);
+  EXPECT_NEAR(SpaceVolume(Space::kOriginal, 4), 1.0, 1e-12);
+}
+
+TEST(Volume, PolygonArea) {
+  std::vector<Vec> square = {Vec{0, 0}, Vec{1, 0}, Vec{1, 1}, Vec{0, 1}};
+  EXPECT_NEAR(ConvexPolygonArea(square), 1.0, 1e-12);
+  std::vector<Vec> tri = {Vec{0, 0}, Vec{1, 0}, Vec{0, 1}};
+  EXPECT_NEAR(ConvexPolygonArea(tri), 0.5, 1e-12);
+}
+
+TEST(Volume, Interval1D) {
+  std::vector<LinIneq> cons = {Ineq({1}, 0.75), Ineq({-1}, -0.25)};
+  EXPECT_NEAR(PolytopeVolume(Space::kTransformed, 1, cons), 0.5, 1e-12);
+}
+
+TEST(Volume, EmptyInterval1D) {
+  std::vector<LinIneq> cons = {Ineq({1}, 0.25), Ineq({-1}, -0.75)};
+  EXPECT_NEAR(PolytopeVolume(Space::kTransformed, 1, cons), 0.0, 1e-12);
+}
+
+TEST(Volume, FullSimplex2D) {
+  EXPECT_NEAR(PolytopeVolume(Space::kTransformed, 2, {}), 0.5, 1e-9);
+}
+
+TEST(Volume, MonteCarlo3DHalfCube) {
+  // Original space, cut the cube at w0 < 0.5: volume 0.5.
+  std::vector<LinIneq> cons = {Ineq({1, 0, 0}, 0.5)};
+  const double v = PolytopeVolume(Space::kOriginal, 3, cons, 40000);
+  EXPECT_NEAR(v, 0.5, 0.02);
+}
+
+TEST(Volume, SimplexSamplerStaysInSimplex) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    Vec w = SampleSpacePoint(Space::kTransformed, 3, &rng);
+    double sum = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GT(w[j], 0.0);
+      sum += w[j];
+    }
+    EXPECT_LT(sum, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace kspr

@@ -1,0 +1,221 @@
+// Integration tests: the paper's worked examples end to end through the
+// public API (Fig 1 restaurants, Sec 7.2 NBA case study, market-impact
+// probabilities, disk-mode stats).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/solver.h"
+#include "datagen/nba_case_study.h"
+#include "datagen/synthetic.h"
+#include "geom/volume.h"
+#include "index/rtree.h"
+#include "io/page_tracker.h"
+
+namespace kspr {
+namespace {
+
+// Fig 1(a): restaurants, focal record Kyma, k = 3.
+struct RestaurantFixture {
+  Dataset data{3};
+  RecordId kyma;
+  RTree tree;
+
+  RestaurantFixture() {
+    data.Add(Vec{3, 8, 8});  // L'Entrecote
+    data.Add(Vec{9, 4, 4});  // Beirut Grill
+    data.Add(Vec{8, 3, 4});  // El Coyote
+    data.Add(Vec{4, 3, 6});  // La Braceria
+    kyma = data.Add(Vec{5, 5, 7});
+    tree = RTree::BulkLoad(data);
+  }
+};
+
+TEST(RestaurantExample, KymaTop3MatchesOracle) {
+  RestaurantFixture fx;
+  KsprSolver solver(&fx.data, &fx.tree);
+  KsprOptions options;
+  options.k = 3;
+  options.compute_volume = true;
+  KsprResult result = solver.QueryRecord(fx.kyma, options);
+  ASSERT_FALSE(result.regions.empty());
+  // Sampled oracle probability (cf. the sanity run: ~0.933).
+  OracleCheck check = VerifyResult(fx.data, fx.data.Get(fx.kyma), fx.kyma, 3,
+                                   result, Space::kTransformed, 2000);
+  EXPECT_EQ(check.mismatches, 0);
+  EXPECT_GT(result.TopKProbability(), 0.9);
+  EXPECT_LT(result.TopKProbability(), 0.96);
+}
+
+TEST(RestaurantExample, KymaIsTop1Somewhere) {
+  RestaurantFixture fx;
+  KsprSolver solver(&fx.data, &fx.tree);
+  KsprOptions options;
+  options.k = 1;
+  options.compute_volume = true;
+  KsprResult result = solver.QueryRecord(fx.kyma, options);
+  // Kyma has the best ambiance-heavy profile: with w3 dominant it wins.
+  ASSERT_FALSE(result.regions.empty());
+  EXPECT_GT(result.TopKProbability(), 0.0);
+}
+
+TEST(RestaurantExample, RanksAreBetweenBounds) {
+  RestaurantFixture fx;
+  KsprSolver solver(&fx.data, &fx.tree);
+  KsprOptions options;
+  options.k = 3;
+  KsprResult result = solver.QueryRecord(fx.kyma, options);
+  for (const Region& region : result.regions) {
+    EXPECT_GE(region.rank_lb, 1);
+    EXPECT_LE(region.rank_lb, region.rank_ub);
+    EXPECT_LE(region.rank_ub, 3);
+    // The witness point's true rank lies within the reported bounds.
+    const Vec w_full =
+        ExpandWeight(Space::kTransformed, 3, region.witness);
+    const int rank = RankAt(fx.data, fx.data.Get(fx.kyma), fx.kyma, w_full);
+    EXPECT_GE(rank, region.rank_lb);
+    EXPECT_LE(rank, region.rank_ub);
+  }
+}
+
+// --------------------------------------------------------------------------
+// NBA case study (Sec 7.2, Fig 9): Dwight Howard's kSPR region for k = 3
+// shifts from points-heavy preferences (2014-15) to rebounds-heavy ones
+// (2015-16).
+
+double RegionCentroidWeight(const KsprResult& result, int axis) {
+  // Volume-weighted centroid coordinate across regions (requires volumes).
+  double total_v = 0.0;
+  double acc = 0.0;
+  for (const Region& region : result.regions) {
+    double cx = 0.0;
+    if (!region.vertices.empty()) {
+      for (const Vec& v : region.vertices) cx += v[axis];
+      cx /= static_cast<double>(region.vertices.size());
+    } else {
+      cx = region.witness[axis];
+    }
+    const double v = region.volume > 0 ? region.volume : 1e-9;
+    acc += cx * v;
+    total_v += v;
+  }
+  return total_v > 0 ? acc / total_v : 0.0;
+}
+
+TEST(NbaCaseStudy, HowardRegionFlipsFromPointsToRebounds) {
+  KsprOptions options;
+  options.k = 3;
+  options.compute_volume = true;
+
+  NbaSeason s14 = NbaSeason2014_15();
+  RTree t14 = RTree::BulkLoad(s14.data);
+  KsprSolver solver14(&s14.data, &t14);
+  KsprResult r14 = solver14.QueryRecord(s14.howard, options);
+  ASSERT_FALSE(r14.regions.empty()) << "Howard not top-3 anywhere in 14-15";
+
+  NbaSeason s15 = NbaSeason2015_16();
+  RTree t15 = RTree::BulkLoad(s15.data);
+  KsprSolver solver15(&s15.data, &t15);
+  KsprResult r15 = solver15.QueryRecord(s15.howard, options);
+  ASSERT_FALSE(r15.regions.empty()) << "Howard not top-3 anywhere in 15-16";
+
+  // w1 = points weight, w2 = rebounds weight (transformed space).
+  const double w1_14 = RegionCentroidWeight(r14, 0);
+  const double w2_14 = RegionCentroidWeight(r14, 1);
+  const double w1_15 = RegionCentroidWeight(r15, 0);
+  const double w2_15 = RegionCentroidWeight(r15, 1);
+  // 2014-15: points matter more than in 2015-16; rebounds the reverse.
+  EXPECT_GT(w1_14, w1_15);
+  EXPECT_LT(w2_14, w2_15);
+}
+
+TEST(NbaCaseStudy, OracleAgreement) {
+  NbaSeason season = NbaSeason2015_16();
+  RTree tree = RTree::BulkLoad(season.data);
+  KsprSolver solver(&season.data, &tree);
+  KsprOptions options;
+  options.k = 3;
+  KsprResult result = solver.QueryRecord(season.howard, options);
+  OracleCheck check =
+      VerifyResult(season.data, season.data.Get(season.howard),
+                   season.howard, 3, result, Space::kTransformed, 1500);
+  EXPECT_EQ(check.mismatches, 0);
+}
+
+// --------------------------------------------------------------------------
+// Market impact: summed region volume = top-k probability for uniform w.
+
+TEST(MarketImpact, ProbabilityMatchesSampledMeasure) {
+  Dataset data = GenerateIndependent(120, 3, 321);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 8;
+  options.compute_volume = true;
+  // Use a skyline-ish record for a nonempty result.
+  RecordId best = 0;
+  for (RecordId i = 1; i < data.size(); ++i) {
+    if (data.Get(i).Sum() > data.Get(best).Sum()) best = i;
+  }
+  KsprResult result = solver.QueryRecord(best, options);
+  ASSERT_FALSE(result.regions.empty());
+
+  Rng rng(12);
+  int in = 0;
+  const int total = 20000;
+  for (int s = 0; s < total; ++s) {
+    Vec w = SampleSpacePoint(Space::kTransformed, 2, &rng);
+    const Vec w_full = ExpandWeight(Space::kTransformed, 3, w);
+    if (RankAt(data, data.Get(best), best, w_full) <= options.k) ++in;
+  }
+  const double sampled = static_cast<double>(in) / total;
+  EXPECT_NEAR(result.TopKProbability(), sampled, 0.02);
+}
+
+// --------------------------------------------------------------------------
+// Disk mode: attaching a tracker produces I/O counts for index-using
+// algorithms.
+
+TEST(DiskMode, PageReadsCounted) {
+  Dataset data = GenerateIndependent(2000, 3, 9);
+  RTree tree = RTree::BulkLoad(data);
+  PageTracker tracker(/*buffer_pages=*/32);
+  tree.SetTracker(&tracker);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 10;
+  options.algorithm = Algorithm::kLpCta;
+  // Use a focal record with few dominators so the query actually runs
+  // (records with >= k dominators are answered without touching the index).
+  RecordId best = 0;
+  for (RecordId i = 1; i < data.size(); ++i) {
+    if (data.Get(i).Sum() > data.Get(best).Sum()) best = i;
+  }
+  KsprResult result = solver.QueryRecord(best, options);
+  (void)result;
+  EXPECT_GT(tracker.reads(), 0);
+  EXPECT_GT(tracker.io_millis(), 0.0);
+  tree.SetTracker(nullptr);
+}
+
+// --------------------------------------------------------------------------
+// Hypothetical focal records (not part of the dataset).
+
+TEST(HypotheticalFocal, QueryByVector) {
+  Dataset data = GenerateIndependent(150, 3, 55);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 5;
+  Vec candidate{0.95, 0.9, 0.92};  // a strong hypothetical product
+  KsprResult result = solver.Query(candidate, options);
+  ASSERT_FALSE(result.regions.empty());
+  OracleCheck check = VerifyResult(data, candidate, kInvalidRecord, 5, result,
+                                   Space::kTransformed, 800);
+  EXPECT_EQ(check.mismatches, 0);
+}
+
+}  // namespace
+}  // namespace kspr

@@ -1,0 +1,268 @@
+// Tests for the simplex solver and the LP-based feasibility layer.
+
+#include "lp/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/feasibility.h"
+
+namespace kspr {
+namespace {
+
+using lp::Constraint;
+using lp::Problem;
+using lp::Solution;
+using lp::Status;
+
+Problem MakeProblem(int n, std::vector<double> c,
+                    std::vector<std::pair<std::vector<double>, double>> rows) {
+  Problem p;
+  p.num_vars = n;
+  p.objective = std::move(c);
+  for (auto& [a, b] : rows) {
+    Constraint row;
+    row.a = a;
+    row.b = b;
+    p.rows.push_back(row);
+  }
+  return p;
+}
+
+TEST(Simplex, TextbookMaximum) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), z = 36.
+  Problem p = MakeProblem(
+      2, {3, 5}, {{{1, 0}, 4}, {{0, 2}, 12}, {{3, 2}, 18}});
+  Solution s = Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsNeedsPhase1) {
+  // max x + y s.t. -x - y <= -1 (x + y >= 1), x <= 2, y <= 2 -> z = 4.
+  Problem p = MakeProblem(2, {1, 1},
+                          {{{-1, -1}, -1}, {{1, 0}, 2}, {{0, 1}, 2}});
+  Solution s = Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, Infeasible) {
+  // x >= 3 and x <= 1.
+  Problem p = MakeProblem(1, {1}, {{{-1}, -3}, {{1}, 1}});
+  Solution s = Solve(p);
+  EXPECT_EQ(s.status, Status::kInfeasible);
+}
+
+TEST(Simplex, Unbounded) {
+  // max x, only constraint y <= 1.
+  Problem p = MakeProblem(2, {1, 0}, {{{0, 1}, 1}});
+  Solution s = Solve(p);
+  EXPECT_EQ(s.status, Status::kUnbounded);
+}
+
+TEST(Simplex, NoConstraintsBoundedObjective) {
+  Problem p = MakeProblem(2, {-1, -2}, {});
+  Solution s = Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, NoConstraintsUnbounded) {
+  Problem p = MakeProblem(1, {1}, {});
+  EXPECT_EQ(Solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, DegenerateTies) {
+  // Multiple optimal bases; Bland must terminate.
+  Problem p = MakeProblem(
+      2, {1, 1}, {{{1, 1}, 1}, {{1, 1}, 1}, {{1, 0}, 1}, {{0, 1}, 1}});
+  Solution s = Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, EqualityViaTwoRows) {
+  // x + y == 1 (two inequalities), max 2x + y -> x = 1, z = 2.
+  Problem p = MakeProblem(2, {2, 1}, {{{1, 1}, 1}, {{-1, -1}, -1}});
+  Solution s = Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+}
+
+TEST(Simplex, RedundantRows) {
+  Problem p = MakeProblem(1, {1}, {{{1}, 5}, {{1}, 7}, {{1}, 5}});
+  Solution s = Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+// Randomised cross-check: solve max c.x over random constraints in the box
+// [0,1]^d (explicit box rows) and compare against a dense grid scan.
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, MatchesGridScan) {
+  const int dim = 2;
+  Rng rng(1000 + GetParam());
+  Problem p;
+  p.num_vars = dim;
+  p.objective = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  // Box rows.
+  p.rows.push_back({{1, 0}, 1.0});
+  p.rows.push_back({{0, 1}, 1.0});
+  const int extra = 3;
+  for (int i = 0; i < extra; ++i) {
+    // Random halfspace through a point in the box: keeps (0.5, 0.5)-ish
+    // regions feasible often enough.
+    double a0 = rng.Uniform(-1, 1);
+    double a1 = rng.Uniform(-1, 1);
+    double b = a0 * rng.Uniform() + a1 * rng.Uniform();
+    p.rows.push_back({{a0, a1}, b});
+  }
+  Solution s = Solve(p);
+
+  // Grid scan.
+  const int grid = 200;
+  double best = -1e18;
+  bool any = false;
+  for (int i = 0; i <= grid; ++i) {
+    for (int j = 0; j <= grid; ++j) {
+      const double x = static_cast<double>(i) / grid;
+      const double y = static_cast<double>(j) / grid;
+      bool ok = true;
+      for (const Constraint& row : p.rows) {
+        if (row.a[0] * x + row.a[1] * y > row.b + 1e-12) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      any = true;
+      best = std::max(best, p.objective[0] * x + p.objective[1] * y);
+    }
+  }
+  if (s.status == Status::kOptimal) {
+    ASSERT_TRUE(any) << "LP optimal but grid found nothing feasible";
+    // Grid misses the true optimum by at most the grid resolution.
+    EXPECT_GE(s.objective, best - 1e-9);
+    EXPECT_LE(best, s.objective + 0.05);
+    // The LP solution itself must be feasible.
+    for (const Constraint& row : p.rows) {
+      EXPECT_LE(row.a[0] * s.x[0] + row.a[1] * s.x[1], row.b + 1e-7);
+    }
+  } else {
+    // Infeasible LP: the grid must agree (up to boundary resolution).
+    EXPECT_EQ(s.status, Status::kInfeasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SimplexRandomTest, ::testing::Range(0, 40));
+
+// ---------------------------------------------------------------------------
+// Feasibility layer.
+
+LinIneq Ineq(std::initializer_list<double> a, double b) {
+  LinIneq c;
+  c.a = Vec(a);
+  c.b = b;
+  return c;
+}
+
+TEST(Feasibility, OpenSimplexIsFeasible) {
+  FeasibilityResult r = TestInterior(Space::kTransformed, 2, {}, nullptr);
+  ASSERT_TRUE(r.feasible);
+  // Witness strictly inside the simplex.
+  EXPECT_GT(r.witness[0], 0.0);
+  EXPECT_GT(r.witness[1], 0.0);
+  EXPECT_LT(r.witness[0] + r.witness[1], 1.0);
+  // Chebyshev radius of the right triangle with legs 1: (2 - sqrt(2)) / 2.
+  EXPECT_NEAR(r.radius, (2.0 - std::sqrt(2.0)) / 2.0, 1e-6);
+}
+
+TEST(Feasibility, EmptyCellDetected) {
+  // w0 < 0.3 and w0 > 0.7.
+  std::vector<LinIneq> cons = {Ineq({1, 0}, 0.3), Ineq({-1, 0}, -0.7)};
+  EXPECT_FALSE(TestInterior(Space::kTransformed, 2, cons, nullptr).feasible);
+}
+
+TEST(Feasibility, ThinCellStillFeasible) {
+  // 0.50 < w0 < 0.51.
+  std::vector<LinIneq> cons = {Ineq({1, 0}, 0.51), Ineq({-1, 0}, -0.50)};
+  FeasibilityResult r = TestInterior(Space::kTransformed, 2, cons, nullptr);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.witness[0], 0.50);
+  EXPECT_LT(r.witness[0], 0.51);
+}
+
+TEST(Feasibility, DegenerateZeroRowInfeasible) {
+  // 0 . w < -1 is always false.
+  std::vector<LinIneq> cons = {Ineq({0, 0}, -1.0)};
+  EXPECT_FALSE(TestInterior(Space::kTransformed, 2, cons, nullptr).feasible);
+}
+
+TEST(Feasibility, DegenerateZeroRowTriviallyTrue) {
+  std::vector<LinIneq> cons = {Ineq({0, 0}, 1.0)};
+  EXPECT_TRUE(TestInterior(Space::kTransformed, 2, cons, nullptr).feasible);
+}
+
+TEST(Feasibility, TangentHalfspacesAreInfeasible) {
+  // w0 < 0.5 and w0 > 0.5: boundary contact only, open cell empty.
+  std::vector<LinIneq> cons = {Ineq({1, 0}, 0.5), Ineq({-1, 0}, -0.5)};
+  EXPECT_FALSE(TestInterior(Space::kTransformed, 2, cons, nullptr).feasible);
+}
+
+TEST(Feasibility, OriginalSpaceBox) {
+  FeasibilityResult r = TestInterior(Space::kOriginal, 3, {}, nullptr);
+  ASSERT_TRUE(r.feasible);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_GT(r.witness[j], 0.0);
+    EXPECT_LT(r.witness[j], 1.0);
+  }
+  EXPECT_NEAR(r.radius, 0.5, 1e-6);  // inscribed ball of the unit cube
+}
+
+TEST(Feasibility, StatsCounted) {
+  KsprStats stats;
+  TestInterior(Space::kTransformed, 2, {}, &stats);
+  EXPECT_EQ(stats.feasibility_lps, 1);
+}
+
+TEST(Bounds, MinMaxOverSimplex) {
+  // Objective w0 + 2 w1 over the closed simplex: min 0 at origin, max 2 at
+  // (0, 1).
+  Vec obj{1.0, 2.0};
+  BoundResult mn = MinimizeOverCell(Space::kTransformed, 2, obj, 0.0, {},
+                                    nullptr);
+  BoundResult mx = MaximizeOverCell(Space::kTransformed, 2, obj, 0.0, {},
+                                    nullptr);
+  ASSERT_TRUE(mn.ok);
+  ASSERT_TRUE(mx.ok);
+  EXPECT_NEAR(mn.value, 0.0, 1e-9);
+  EXPECT_NEAR(mx.value, 2.0, 1e-9);
+}
+
+TEST(Bounds, ConstantOffsetApplied) {
+  Vec obj{1.0};
+  BoundResult mx =
+      MaximizeOverCell(Space::kTransformed, 1, obj, 5.0, {}, nullptr);
+  ASSERT_TRUE(mx.ok);
+  EXPECT_NEAR(mx.value, 6.0, 1e-9);
+}
+
+TEST(Bounds, RespectsCellConstraints) {
+  // Cell: w0 < 0.25. Max of w0 over the closed cell is 0.25.
+  std::vector<LinIneq> cons = {Ineq({1.0}, 0.25)};
+  Vec obj{1.0};
+  BoundResult mx =
+      MaximizeOverCell(Space::kTransformed, 1, obj, 0.0, cons, nullptr);
+  ASSERT_TRUE(mx.ok);
+  EXPECT_NEAR(mx.value, 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace kspr

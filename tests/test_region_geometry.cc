@@ -1,0 +1,157 @@
+// Finalisation invariants (Sec 4.2): irredundant constraint sets, vertex
+// correctness, volume consistency, and containment semantics of the
+// regions produced end to end by the solver.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/solver.h"
+#include "datagen/synthetic.h"
+#include "geom/polytope.h"
+#include "index/bbs.h"
+#include "geom/volume.h"
+#include "index/rtree.h"
+
+namespace kspr {
+namespace {
+
+class RegionGeometryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionGeometryTest, FinalizedRegionsAreWellFormed) {
+  const int seed = GetParam();
+  const int d = 3 + seed % 2;  // 3 or 4
+  Dataset data = GenerateIndependent(150, d, seed);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 5;
+  options.compute_volume = true;
+  options.volume_samples = 5000;
+
+  // A skyline record guarantees a nonempty result in most seeds.
+  std::vector<RecordId> sky = Skyline(data, tree);
+  KsprResult result = solver.QueryRecord(sky[seed % sky.size()], options);
+
+  double total_volume = 0.0;
+  for (const Region& region : result.regions) {
+    // (1) Witness strictly inside its own region.
+    EXPECT_TRUE(region.Contains(region.witness))
+        << region.witness.ToString();
+
+    // (2) Vertices satisfy all constraints (weakly) and the space bounds.
+    for (const Vec& v : region.vertices) {
+      for (const LinIneq& c : region.constraints) {
+        EXPECT_GE(c.Margin(v), -1e-6);
+      }
+      double sum = 0.0;
+      for (int j = 0; j < region.dim; ++j) {
+        EXPECT_GE(v[j], -1e-6);
+        sum += v[j];
+      }
+      EXPECT_LE(sum, 1.0 + 1e-6);
+    }
+
+    // (3) Constraint set is irredundant: re-running the reduction does not
+    //     shrink it further.
+    std::vector<LinIneq> again =
+        RemoveRedundant(region.space, region.dim, region.constraints,
+                        nullptr);
+    EXPECT_EQ(again.size(), region.constraints.size());
+
+    // (4) Rank bounds are ordered and within [1, n].
+    EXPECT_GE(region.rank_lb, 1);
+    EXPECT_LE(region.rank_lb, region.rank_ub);
+    EXPECT_LE(region.rank_ub, options.k);
+
+    EXPECT_GE(region.volume, 0.0);
+    total_volume += region.volume;
+  }
+
+  // (5) Regions are disjoint, so their volumes sum to at most the space.
+  EXPECT_LE(total_volume, SpaceVolume(Space::kTransformed, d - 1) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionGeometryTest, ::testing::Range(1, 9));
+
+TEST(RegionGeometry, VolumeAgreesWithSampledMeasure2D) {
+  Dataset data = GenerateIndependent(120, 3, 4);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 6;
+  options.compute_volume = true;
+  std::vector<RecordId> sky = Skyline(data, tree);
+  KsprResult result = solver.QueryRecord(sky[0], options);
+  ASSERT_FALSE(result.regions.empty());
+
+  // Exact polygon areas should match Monte-Carlo region membership.
+  Rng rng(17);
+  int inside = 0;
+  const int samples = 40000;
+  for (int s = 0; s < samples; ++s) {
+    Vec w = SampleSpacePoint(Space::kTransformed, 2, &rng);
+    for (const Region& region : result.regions) {
+      if (region.Contains(w)) {
+        ++inside;
+        break;
+      }
+    }
+  }
+  const double sampled =
+      SpaceVolume(Space::kTransformed, 2) * inside / samples;
+  EXPECT_NEAR(result.TotalVolume(), sampled, 0.01);
+}
+
+TEST(RegionGeometry, ContainsRespectsEps) {
+  Region region;
+  region.space = Space::kTransformed;
+  region.dim = 2;
+  LinIneq c;
+  c.a = Vec{1.0, 0.0};
+  c.b = 0.5;  // w0 < 0.5
+  region.constraints = {c};
+  EXPECT_TRUE(region.Contains(Vec{0.49, 0.2}));
+  EXPECT_FALSE(region.Contains(Vec{0.49, 0.2}, /*eps=*/0.02));
+  EXPECT_FALSE(region.Contains(Vec{0.5, 0.2}));
+}
+
+TEST(RegionGeometry, EmptyResultHasZeroProbability) {
+  Dataset data(2);
+  data.Add(Vec{0.9, 0.9});
+  data.Add(Vec{0.8, 0.95});
+  RTree tree = RTree::BulkLoad(data);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 1;
+  options.compute_volume = true;
+  KsprResult result = solver.Query(Vec{0.1, 0.1}, options);
+  EXPECT_TRUE(result.regions.empty());
+  EXPECT_EQ(result.TopKProbability(), 0.0);
+  EXPECT_EQ(result.TotalVolume(), 0.0);
+}
+
+TEST(RegionGeometry, DisjointAcrossWholeResult) {
+  // Pairwise-disjointness via sampling inside each region's witness
+  // neighbourhood is weak; instead assert that no sampled point of the
+  // space lies in two regions.
+  Dataset data = GenerateAntiCorrelated(100, 3, 12);
+  RTree tree = RTree::BulkLoad(data, 16, 16);
+  KsprSolver solver(&data, &tree);
+  KsprOptions options;
+  options.k = 8;
+  std::vector<RecordId> sky = Skyline(data, tree);
+  KsprResult result = solver.QueryRecord(sky[1 % sky.size()], options);
+  Rng rng(23);
+  for (int s = 0; s < 5000; ++s) {
+    Vec w = SampleSpacePoint(Space::kTransformed, 2, &rng);
+    int containing = 0;
+    for (const Region& region : result.regions) {
+      if (region.Contains(w)) ++containing;
+    }
+    EXPECT_LE(containing, 1);
+  }
+}
+
+}  // namespace
+}  // namespace kspr

@@ -1,0 +1,161 @@
+// Randomised stress tests for the simplex solver in higher dimensions:
+// feasibility cross-checked by sampling, optimality cross-checked by the
+// fact that no sampled feasible point may beat the reported optimum.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace kspr {
+namespace {
+
+using lp::Constraint;
+using lp::Problem;
+using lp::Solution;
+using lp::Status;
+
+struct StressCase {
+  int dim;
+  int rows;
+  uint64_t seed;
+};
+
+class SimplexStressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(SimplexStressTest, OptimumDominatesSampledFeasiblePoints) {
+  const StressCase& c = GetParam();
+  Rng rng(c.seed);
+
+  Problem p;
+  p.num_vars = c.dim;
+  p.objective.resize(c.dim);
+  for (double& x : p.objective) x = rng.Uniform(-1, 1);
+  // Box [0,1]^dim plus random cuts through points of the box (so the
+  // feasible set is often, but not always, nonempty).
+  for (int j = 0; j < c.dim; ++j) {
+    Constraint row;
+    row.a.assign(c.dim, 0.0);
+    row.a[j] = 1.0;
+    row.b = 1.0;
+    p.rows.push_back(row);
+  }
+  for (int i = 0; i < c.rows; ++i) {
+    Constraint row;
+    row.a.resize(c.dim);
+    double b = 0.0;
+    for (int j = 0; j < c.dim; ++j) {
+      row.a[j] = rng.Uniform(-1, 1);
+      b += row.a[j] * rng.Uniform();
+    }
+    row.b = b;
+    p.rows.push_back(row);
+  }
+
+  Solution s = lp::Solve(p);
+  ASSERT_NE(s.status, Status::kStalled);
+  ASSERT_NE(s.status, Status::kUnbounded);  // box-bounded
+
+  auto feasible = [&](const std::vector<double>& x, double eps) {
+    for (const Constraint& row : p.rows) {
+      double dot = 0.0;
+      for (int j = 0; j < c.dim; ++j) dot += row.a[j] * x[j];
+      if (dot > row.b + eps) return false;
+    }
+    return true;
+  };
+
+  if (s.status == Status::kOptimal) {
+    EXPECT_TRUE(feasible(s.x, 1e-7));
+    for (double xj : s.x) EXPECT_GE(xj, -1e-9);
+  }
+
+  // Sample points; none that is strictly feasible may beat the optimum,
+  // and if the LP claims infeasibility, no sample may be feasible.
+  double best_sampled = -1e18;
+  int sampled_feasible = 0;
+  std::vector<double> x(c.dim);
+  for (int t = 0; t < 20000; ++t) {
+    for (int j = 0; j < c.dim; ++j) x[j] = rng.Uniform();
+    if (!feasible(x, -1e-9)) continue;  // strictly feasible only
+    ++sampled_feasible;
+    double val = 0.0;
+    for (int j = 0; j < c.dim; ++j) val += p.objective[j] * x[j];
+    best_sampled = std::max(best_sampled, val);
+  }
+  if (s.status == Status::kInfeasible) {
+    EXPECT_EQ(sampled_feasible, 0);
+  } else if (sampled_feasible > 0) {
+    EXPECT_LE(best_sampled, s.objective + 1e-7);
+  }
+}
+
+std::vector<StressCase> StressCases() {
+  std::vector<StressCase> cases;
+  uint64_t seed = 100;
+  for (int dim : {2, 3, 4, 6, 8}) {
+    for (int rows : {2, 5, 12}) {
+      cases.push_back({dim, rows, seed++});
+      cases.push_back({dim, rows, seed++});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SimplexStressTest,
+                         ::testing::ValuesIn(StressCases()));
+
+TEST(SimplexStress, ManyRedundantRows) {
+  // 200 copies of the same constraint must not stall Bland's rule.
+  Problem p;
+  p.num_vars = 3;
+  p.objective = {1.0, 1.0, 1.0};
+  for (int i = 0; i < 200; ++i) {
+    Constraint row;
+    row.a = {1.0, 1.0, 1.0};
+    row.b = 1.0;
+    p.rows.push_back(row);
+  }
+  Solution s = lp::Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexStress, TinyCoefficients) {
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1e-6, 1e-6};
+  Constraint row;
+  row.a = {1e-6, 1e-6};
+  row.b = 1e-6;
+  p.rows.push_back(row);
+  Solution s = lp::Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 1e-6, 1e-12);
+}
+
+TEST(SimplexStress, EqualityChainViaPairs) {
+  // x1 = 0.3, x2 = 0.4 forced through inequality pairs; objective mixes.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {3.0, -2.0};
+  auto add = [&](std::vector<double> a, double b) {
+    Constraint row;
+    row.a = std::move(a);
+    row.b = b;
+    p.rows.push_back(row);
+  };
+  add({1, 0}, 0.3);
+  add({-1, 0}, -0.3);
+  add({0, 1}, 0.4);
+  add({0, -1}, -0.4);
+  Solution s = lp::Solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 3 * 0.3 - 2 * 0.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace kspr
