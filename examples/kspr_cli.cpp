@@ -113,6 +113,11 @@ int main(int argc, char** argv) {
   if (focal == kInvalidRecord) {
     focal = Skyline(data, tree).front();  // an informative default
   }
+  if (focal < 0 || focal >= data.size()) {
+    std::fprintf(stderr, "--focal %d out of range (dataset has %d records)\n",
+                 focal, data.size());
+    return 1;
+  }
 
   KsprSolver solver(&data, &tree);
   KsprOptions options;

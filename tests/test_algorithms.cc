@@ -9,13 +9,13 @@
 #include "core/lpcta.h"
 #include "core/pcta.h"
 #include "core/solver.h"
-#include "datagen/synthetic.h"
 #include "geom/volume.h"
-#include "index/bbs.h"
-#include "index/rtree.h"
+#include "test_support.h"
 
 namespace kspr {
 namespace {
+
+using test::SyntheticInstance;
 
 Space SpaceOf(Algorithm algo) {
   return (algo == Algorithm::kOpCta || algo == Algorithm::kOlpCta)
@@ -90,13 +90,9 @@ class AlgorithmOracleTest : public ::testing::TestWithParam<AlgoCase> {};
 
 TEST_P(AlgorithmOracleTest, MatchesSamplingOracle) {
   const AlgoCase& c = GetParam();
-  Dataset data = GenerateSynthetic(c.dist, c.n, c.d, c.seed);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
-  KsprOptions options;
-  options.k = c.k;
-  options.algorithm = c.algo;
-  options.finalize_geometry = false;  // oracle uses raw constraints
+  SyntheticInstance inst(c.dist, c.n, c.d, c.seed);
+  const Dataset& data = inst.data();
+  KsprOptions options = test::OracleOptions(c.algo, c.k);
 
   // Focal records: two random ones plus a skyline record, whose result is
   // guaranteed nonempty for k >= 1 in most instances.
@@ -104,11 +100,11 @@ TEST_P(AlgorithmOracleTest, MatchesSamplingOracle) {
   std::vector<RecordId> focals = {
       static_cast<RecordId>(rng.UniformInt(data.size())),
       static_cast<RecordId>(rng.UniformInt(data.size())),
-      Skyline(data, tree).front()};
+      inst.sky(0)};
   int nonempty = 0;
   for (size_t q = 0; q < focals.size(); ++q) {
     const RecordId focal = focals[q];
-    KsprResult result = solver.QueryRecord(focal, options);
+    KsprResult result = inst.solver().QueryRecord(focal, options);
     if (!result.regions.empty()) ++nonempty;
     OracleCheck check =
         VerifyResult(data, data.Get(focal), focal, c.k, result,
@@ -149,9 +145,8 @@ INSTANTIATE_TEST_SUITE_P(Sweep, AlgorithmOracleTest,
 // the same weight vectors, regardless of algorithm.
 
 TEST(CrossAlgorithm, AllAgreeOnMembership) {
-  Dataset data = GenerateIndependent(200, 3, 777);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 200, 3, 777);
+  const Dataset& data = inst.data();
   const RecordId focal = 17;
   const int k = 6;
 
@@ -159,11 +154,8 @@ TEST(CrossAlgorithm, AllAgreeOnMembership) {
                              Algorithm::kLpCta, Algorithm::kSkybandCta};
   std::vector<KsprResult> results;
   for (Algorithm a : algos) {
-    KsprOptions options;
-    options.k = k;
-    options.algorithm = a;
-    options.finalize_geometry = false;
-    results.push_back(solver.QueryRecord(focal, options));
+    results.push_back(
+        inst.solver().QueryRecord(focal, test::OracleOptions(a, k)));
   }
   Rng rng(4242);
   int informative = 0;
@@ -202,21 +194,16 @@ class FlagTest : public ::testing::TestWithParam<FlagCase> {};
 
 TEST_P(FlagTest, LpCtaCorrectUnderAllFlagCombinations) {
   const FlagCase& f = GetParam();
-  Dataset data = GenerateIndependent(150, 3, 555);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
-  KsprOptions options;
-  options.k = 5;
-  options.algorithm = Algorithm::kLpCta;
+  SyntheticInstance inst(Distribution::kIndependent, 150, 3, 555);
+  KsprOptions options = test::OracleOptions(Algorithm::kLpCta, 5);
   options.use_lemma2 = f.lemma2;
   options.use_witness_cache = f.witness;
   options.use_dominance_shortcut = f.dominance;
   options.lookahead_per_split = f.per_split;
   options.bound_mode = f.mode;
-  options.finalize_geometry = false;
-  KsprResult result = solver.QueryRecord(11, options);
-  OracleCheck check = VerifyResult(data, data.Get(11), 11, 5, result,
-                                   Space::kTransformed, 500);
+  KsprResult result = inst.solver().QueryRecord(11, options);
+  OracleCheck check = VerifyResult(inst.data(), inst.data().Get(11), 11, 5,
+                                   result, Space::kTransformed, 500);
   EXPECT_EQ(check.mismatches, 0);
 }
 
@@ -235,31 +222,21 @@ INSTANTIATE_TEST_SUITE_P(
 // Behavioural properties from the paper.
 
 TEST(Behaviour, PctaProcessesFewerRecordsThanCta) {
-  Dataset data = GenerateIndependent(400, 3, 2024);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
-  KsprOptions options;
-  options.k = 5;
-  options.finalize_geometry = false;
-
-  options.algorithm = Algorithm::kCta;
-  KsprResult cta = solver.QueryRecord(3, options);
-  options.algorithm = Algorithm::kPcta;
-  KsprResult pcta = solver.QueryRecord(3, options);
+  SyntheticInstance inst(Distribution::kIndependent, 400, 3, 2024);
+  KsprResult cta = inst.solver().QueryRecord(
+      3, test::OracleOptions(Algorithm::kCta, 5));
+  KsprResult pcta = inst.solver().QueryRecord(
+      3, test::OracleOptions(Algorithm::kPcta, 5));
   EXPECT_LE(pcta.stats.processed_records, cta.stats.processed_records);
 }
 
 TEST(Behaviour, PctaNeverProcessesDeepSkybandRecords) {
   // Lemma 6: P-CTA never processes a record dominated by >= k others.
-  Dataset data = GenerateIndependent(300, 2, 31337);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
+  SyntheticInstance inst(Distribution::kIndependent, 300, 2, 31337);
+  const Dataset& data = inst.data();
   const int k = 4;
-  KsprOptions options;
-  options.k = k;
-  options.finalize_geometry = false;
-  options.algorithm = Algorithm::kPcta;
-  KsprSolver solver(&data, &tree);
-  KsprResult result = solver.QueryRecord(7, options);
+  KsprResult result =
+      inst.solver().QueryRecord(7, test::OracleOptions(Algorithm::kPcta, k));
   // processed_records counts hyperplane insertions; bound it by the
   // k-skyband size plus slack for the progress fallback.
   int skyband = 0;
@@ -303,20 +280,13 @@ TEST(Behaviour, TopRecordCoversWholeSpaceForK1) {
 }
 
 TEST(Behaviour, ResultSizeGrowsWithK) {
-  Dataset data = GenerateAntiCorrelated(150, 3, 5150);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
-  KsprOptions options;
-  options.algorithm = Algorithm::kLpCta;
-  options.finalize_geometry = false;
-  options.compute_volume = false;
-
+  SyntheticInstance inst(Distribution::kAntiCorrelated, 150, 3, 5150);
   // Compare covered measure via sampling: k = 8 must cover at least as
   // much as k = 2.
-  options.k = 2;
-  KsprResult small = solver.QueryRecord(60, options);
-  options.k = 8;
-  KsprResult big = solver.QueryRecord(60, options);
+  KsprResult small = inst.solver().QueryRecord(
+      60, test::OracleOptions(Algorithm::kLpCta, 2));
+  KsprResult big = inst.solver().QueryRecord(
+      60, test::OracleOptions(Algorithm::kLpCta, 8));
   Rng rng(9);
   int small_in = 0;
   int big_in = 0;
@@ -339,14 +309,12 @@ TEST(Behaviour, ResultSizeGrowsWithK) {
 }
 
 TEST(Behaviour, FinalizationProducesVerticesIn2D) {
-  Dataset data = GenerateIndependent(100, 3, 1);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 100, 3, 1);
   KsprOptions options;
   options.k = 5;
   options.algorithm = Algorithm::kLpCta;
   options.finalize_geometry = true;
-  KsprResult result = solver.QueryRecord(0, options);
+  KsprResult result = inst.solver().QueryRecord(0, options);
   for (const Region& region : result.regions) {
     EXPECT_GE(region.vertices.size(), 3u);  // 2-D cells are polygons
   }

@@ -8,30 +8,28 @@
 
 #include "common/rng.h"
 #include "core/brute_force.h"
-#include "datagen/synthetic.h"
 #include "geom/volume.h"
-#include "index/bbs.h"
-#include "index/rtree.h"
+#include "test_support.h"
 
 namespace kspr {
 namespace {
+
+using test::SyntheticInstance;
 
 class ApproxTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ApproxTest, ErrorBoundHolds) {
   const int seed = GetParam();
-  Dataset data = GenerateIndependent(200, 3, seed);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  std::vector<RecordId> sky = Skyline(data, tree);
-  const RecordId focal = sky[seed % sky.size()];
+  SyntheticInstance inst(Distribution::kIndependent, 200, 3, seed);
+  const RecordId focal = inst.sky(seed);
 
   ApproxOptions options;
   options.base.k = 6;
   options.base.finalize_geometry = false;
   options.max_error_fraction = 0.05;
   options.cell_volume_fraction = 0.01;
-  ApproxResult approx =
-      RunApproxKspr(data, tree, data.Get(focal), focal, options);
+  ApproxResult approx = RunApproxKspr(inst.data(), inst.tree(),
+                                      inst.data().Get(focal), focal, options);
 
   const double space = SpaceVolume(Space::kTransformed, 2);
   EXPECT_LE(approx.error_volume, options.max_error_fraction * space + 1e-12);
@@ -44,10 +42,14 @@ TEST_P(ApproxTest, ErrorBoundHolds) {
   for (int s = 0; s < 4000; ++s) {
     Vec w = SampleSpacePoint(Space::kTransformed, 2, &rng);
     const Vec w_full = ExpandWeight(Space::kTransformed, 3, w);
-    if (MinScoreMargin(data, data.Get(focal), focal, w_full) < 1e-7) continue;
+    if (MinScoreMargin(inst.data(), inst.data().Get(focal), focal, w_full) <
+        test::kMarginTol) {
+      continue;
+    }
     ++informative;
     const bool expected =
-        RankAt(data, data.Get(focal), focal, w_full) <= options.base.k;
+        RankAt(inst.data(), inst.data().Get(focal), focal, w_full) <=
+        options.base.k;
     bool in = false;
     for (const Region& region : approx.result.regions) {
       if (region.Contains(w)) {
@@ -67,47 +69,45 @@ TEST_P(ApproxTest, ErrorBoundHolds) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ApproxTest, ::testing::Range(1, 8));
 
 TEST(Approx, ZeroBudgetIsExact) {
-  Dataset data = GenerateIndependent(150, 3, 3);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  std::vector<RecordId> sky = Skyline(data, tree);
+  SyntheticInstance inst(Distribution::kIndependent, 150, 3, 3);
+  const RecordId focal = inst.sky(0);
   ApproxOptions options;
   options.base.k = 5;
   options.base.finalize_geometry = false;
   options.max_error_fraction = 0.0;
-  ApproxResult approx =
-      RunApproxKspr(data, tree, data.Get(sky[0]), sky[0], options);
+  ApproxResult approx = RunApproxKspr(inst.data(), inst.tree(),
+                                      inst.data().Get(focal), focal, options);
   EXPECT_EQ(approx.approximated_cells, 0);
   EXPECT_EQ(approx.error_volume, 0.0);
   OracleCheck check =
-      VerifyResult(data, data.Get(sky[0]), sky[0], 5, approx.result,
-                   Space::kTransformed, 800);
+      VerifyResult(inst.data(), inst.data().Get(focal), focal, 5,
+                   approx.result, Space::kTransformed, 800);
   EXPECT_EQ(check.mismatches, 0);
 }
 
 TEST(Approx, BudgetIsActuallyUsedOnHardInstances) {
   // ANTI data produces many small undecided cells: with a generous budget
   // some cells should be approximated.
-  Dataset data = GenerateAntiCorrelated(400, 3, 9);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  std::vector<RecordId> sky = Skyline(data, tree);
+  SyntheticInstance inst(Distribution::kAntiCorrelated, 400, 3, 9);
+  const RecordId focal = inst.sky(2);
   ApproxOptions options;
   options.base.k = 8;
   options.base.finalize_geometry = false;
   options.max_error_fraction = 0.10;
   options.cell_volume_fraction = 0.05;
-  ApproxResult approx =
-      RunApproxKspr(data, tree, data.Get(sky[2]), sky[2], options);
+  ApproxResult approx = RunApproxKspr(inst.data(), inst.tree(),
+                                      inst.data().Get(focal), focal, options);
   EXPECT_GT(approx.approximated_cells, 0);
   EXPECT_GT(approx.error_volume, 0.0);
 }
 
 TEST(Approx, EmptyForDominatedFocal) {
-  Dataset data = GenerateIndependent(200, 3, 4);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
+  SyntheticInstance inst(Distribution::kIndependent, 200, 3, 4);
   ApproxOptions options;
   options.base.k = 2;
-  ApproxResult approx = RunApproxKspr(data, tree, Vec{0.01, 0.01, 0.01},
-                                      kInvalidRecord, options);
+  ApproxResult approx =
+      RunApproxKspr(inst.data(), inst.tree(), Vec{0.01, 0.01, 0.01},
+                    kInvalidRecord, options);
   EXPECT_TRUE(approx.result.regions.empty());
 }
 

@@ -10,12 +10,12 @@
 #include "core/brute_force.h"
 #include "core/lpcta.h"
 #include "core/solver.h"
-#include "datagen/synthetic.h"
-#include "index/bbs.h"
-#include "index/rtree.h"
+#include "test_support.h"
 
 namespace kspr {
 namespace {
+
+using test::SyntheticInstance;
 
 // --------------------------------------------------------------------------
 // RTOPK.
@@ -45,7 +45,7 @@ TEST(Rtopk2d, DominatorLowersK) {
   EXPECT_TRUE(RunRtopk2d(data, p, kInvalidRecord, 1).regions.empty());
   KsprResult k2 = RunRtopk2d(data, p, kInvalidRecord, 2);
   ASSERT_EQ(k2.regions.size(), 1u);
-  EXPECT_NEAR(k2.regions[0].vertices[1][0], 0.5, 1e-9);
+  EXPECT_NEAR(k2.regions[0].vertices[1][0], 0.5, test::kTightTol);
 }
 
 // Uniform sample of the 1-D transformed space, away from the boundary.
@@ -59,8 +59,8 @@ class Rtopk2dOracleTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(Rtopk2dOracleTest, MatchesOracleAndLpCta) {
   const int seed = GetParam();
-  Dataset data = GenerateIndependent(250, 2, seed);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
+  SyntheticInstance inst(Distribution::kIndependent, 250, 2, seed);
+  const Dataset& data = inst.data();
   Rng rng(seed);
   const RecordId focal = static_cast<RecordId>(rng.UniformInt(data.size()));
   const int k = 3 + static_cast<int>(rng.UniformInt(8));
@@ -71,15 +71,16 @@ TEST_P(Rtopk2dOracleTest, MatchesOracleAndLpCta) {
   EXPECT_EQ(check.mismatches, 0);
 
   // Same covered measure as LP-CTA (regions may differ in granularity).
-  KsprOptions options;
-  options.k = k;
-  options.finalize_geometry = false;
-  KsprResult lpcta = RunLpCta(data, tree, data.Get(focal), focal, options);
+  KsprResult lpcta = RunLpCta(data, inst.tree(), data.Get(focal), focal,
+                              test::OracleOptions(Algorithm::kLpCta, k));
   Rng rng2(seed + 1);
   for (int s = 0; s < 300; ++s) {
     Vec w = SampleOne(&rng2);
     const Vec w_full = ExpandWeight(Space::kTransformed, 2, w);
-    if (MinScoreMargin(data, data.Get(focal), focal, w_full) < 1e-7) continue;
+    if (MinScoreMargin(data, data.Get(focal), focal, w_full) <
+        test::kMarginTol) {
+      continue;
+    }
     bool in_a = false;
     for (const Region& r : rtopk.regions) in_a = in_a || r.Contains(w);
     bool in_b = false;
@@ -116,13 +117,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, IMaxRankOracleTest, ::testing::Range(1, 10));
 
 TEST(IMaxRank, SkylineFocalNonEmpty) {
   Dataset data = GenerateIndependent(80, 3, 5);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
   // A record that is top-1 somewhere: the max-sum record works for w near
-  // the centroid... use the record with max coordinate sum.
-  RecordId best = 0;
-  for (RecordId i = 1; i < data.size(); ++i) {
-    if (data.Get(i).Sum() > data.Get(best).Sum()) best = i;
-  }
+  // the centroid.
+  const RecordId best = test::MaxSumRecord(data);
   IMaxRankOptions options;
   options.k = 3;
   KsprResult result = RunIMaxRank(data, data.Get(best), best, options);
@@ -133,28 +130,25 @@ TEST(IMaxRank, SkylineFocalNonEmpty) {
 // k-skyband approach.
 
 TEST(SkybandCta, AgreesWithLpCtaOnMeasure) {
-  Dataset data = GenerateAntiCorrelated(200, 3, 77);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprOptions options;
-  options.k = 5;
-  options.finalize_geometry = false;
+  SyntheticInstance inst(Distribution::kAntiCorrelated, 200, 3, 77);
   const RecordId focal = 42;
-  KsprResult a = RunSkybandCta(data, tree, data.Get(focal), focal, options);
-  OracleCheck check = VerifyResult(data, data.Get(focal), focal, options.k, a,
-                                   Space::kTransformed, 500);
+  KsprOptions options = test::OracleOptions(Algorithm::kSkybandCta, 5);
+  KsprResult a = RunSkybandCta(inst.data(), inst.tree(),
+                               inst.data().Get(focal), focal, options);
+  OracleCheck check =
+      VerifyResult(inst.data(), inst.data().Get(focal), focal, options.k, a,
+                   Space::kTransformed, 500);
   EXPECT_EQ(check.mismatches, 0);
 }
 
 TEST(SkybandCta, ProcessesAtMostSkybandRecords) {
-  Dataset data = GenerateIndependent(500, 3, 88);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprOptions options;
-  options.k = 4;
-  options.finalize_geometry = false;
-  KsprResult result = RunSkybandCta(data, tree, data.Get(9), 9, options);
+  SyntheticInstance inst(Distribution::kIndependent, 500, 3, 88);
+  KsprOptions options = test::OracleOptions(Algorithm::kSkybandCta, 4);
+  KsprResult result = RunSkybandCta(inst.data(), inst.tree(),
+                                    inst.data().Get(9), 9, options);
   int skyband = 0;
-  for (RecordId i = 0; i < data.size(); ++i) {
-    if (CountDominators(data, i) < options.k) ++skyband;
+  for (RecordId i = 0; i < inst.data().size(); ++i) {
+    if (CountDominators(inst.data(), i) < options.k) ++skyband;
   }
   EXPECT_LE(result.stats.processed_records, skyband);
 }

@@ -8,13 +8,14 @@
 
 #include "common/rng.h"
 #include "core/brute_force.h"
-#include "datagen/synthetic.h"
 #include "geom/hyperplane.h"
 #include "geom/volume.h"
-#include "index/rtree.h"
+#include "test_support.h"
 
 namespace kspr {
 namespace {
+
+using test::SyntheticInstance;
 
 // Builds a random nonempty cell from record hyperplanes: pick a random
 // interior point and orient a few hyperplanes around it.
@@ -57,15 +58,15 @@ class RankBoundsTest : public ::testing::TestWithParam<BoundsCase> {};
 
 TEST_P(RankBoundsTest, BracketsTrueRankEverywhere) {
   const BoundsCase& c = GetParam();
-  Dataset data = GenerateIndependent(300, c.d, c.seed);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
+  SyntheticInstance inst(Distribution::kIndependent, 300, c.d, c.seed);
+  const Dataset& data = inst.data();
   Rng rng(c.seed * 7 + 1);
   const RecordId focal = static_cast<RecordId>(rng.UniformInt(data.size()));
   const Vec p = data.Get(focal);
 
   BoundsContext ctx;
   ctx.data = &data;
-  ctx.tree = &tree;
+  ctx.tree = &inst.tree();
   ctx.space = c.space;
   ctx.pref_dim = c.space == Space::kTransformed ? c.d - 1 : c.d;
   ctx.p = p;
@@ -127,11 +128,11 @@ INSTANTIATE_TEST_SUITE_P(Modes, RankBoundsTest,
                          ::testing::ValuesIn(BoundsCases()));
 
 TEST(RankBounds, WholeSpaceCellGivesFullRange) {
-  Dataset data = GenerateIndependent(100, 3, 5);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
+  SyntheticInstance inst(Distribution::kIndependent, 100, 3, 5);
+  const Dataset& data = inst.data();
   BoundsContext ctx;
   ctx.data = &data;
-  ctx.tree = &tree;
+  ctx.tree = &inst.tree();
   ctx.space = Space::kTransformed;
   ctx.pref_dim = 2;
   ctx.focal_id = 0;
@@ -168,15 +169,15 @@ TEST(RankBounds, DominatorAlwaysCounts) {
 }
 
 TEST(RankBounds, PivotPruningPreservesSoundness) {
-  Dataset data = GenerateIndependent(200, 3, 77);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
+  SyntheticInstance inst(Distribution::kIndependent, 200, 3, 77);
+  const Dataset& data = inst.data();
   Rng rng(3);
   const RecordId focal = 5;
   const Vec p = data.Get(focal);
 
   BoundsContext ctx;
   ctx.data = &data;
-  ctx.tree = &tree;
+  ctx.tree = &inst.tree();
   ctx.space = Space::kTransformed;
   ctx.pref_dim = 2;
   ctx.p = p;

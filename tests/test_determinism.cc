@@ -1,16 +1,20 @@
 // Determinism and stats-invariant tests: identical queries must produce
-// identical results, and the instrumentation counters must be mutually
-// consistent.
+// identical results, the instrumentation counters must be mutually
+// consistent, and all exact algorithms must agree with the brute-force
+// oracle under a fixed seed.
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "core/brute_force.h"
 #include "core/solver.h"
-#include "datagen/synthetic.h"
-#include "index/bbs.h"
-#include "index/rtree.h"
+#include "geom/volume.h"
+#include "test_support.h"
 
 namespace kspr {
 namespace {
+
+using test::SyntheticInstance;
 
 bool SameRegions(const KsprResult& a, const KsprResult& b) {
   if (a.regions.size() != b.regions.size()) return false;
@@ -32,15 +36,12 @@ bool SameRegions(const KsprResult& a, const KsprResult& b) {
 class DeterminismTest : public ::testing::TestWithParam<Algorithm> {};
 
 TEST_P(DeterminismTest, RepeatedQueriesAreBitIdentical) {
-  Dataset data = GenerateIndependent(250, 3, 2026);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
-  std::vector<RecordId> sky = Skyline(data, tree);
+  SyntheticInstance inst(Distribution::kIndependent, 250, 3, 2026);
   KsprOptions options;
   options.k = 5;
   options.algorithm = GetParam();
-  KsprResult first = solver.QueryRecord(sky[0], options);
-  KsprResult second = solver.QueryRecord(sky[0], options);
+  KsprResult first = inst.solver().QueryRecord(inst.sky(0), options);
+  KsprResult second = inst.solver().QueryRecord(inst.sky(0), options);
   EXPECT_TRUE(SameRegions(first, second));
   EXPECT_EQ(first.stats.processed_records, second.stats.processed_records);
   EXPECT_EQ(first.stats.cell_tree_nodes, second.stats.cell_tree_nodes);
@@ -55,14 +56,11 @@ INSTANTIATE_TEST_SUITE_P(Algos, DeterminismTest,
                                            Algorithm::kSkybandCta));
 
 TEST(StatsInvariants, CountersAreConsistent) {
-  Dataset data = GenerateIndependent(400, 3, 11);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
-  std::vector<RecordId> sky = Skyline(data, tree);
+  SyntheticInstance inst(Distribution::kIndependent, 400, 3, 11);
   KsprOptions options;
   options.k = 6;
   options.algorithm = Algorithm::kLpCta;
-  KsprResult r = solver.QueryRecord(sky[0], options);
+  KsprResult r = inst.solver().QueryRecord(inst.sky(0), options);
 
   // Lemma-2: the solver never sees more constraints than the full sets.
   EXPECT_LE(r.stats.constraints_used, r.stats.constraints_full);
@@ -75,24 +73,70 @@ TEST(StatsInvariants, CountersAreConsistent) {
   EXPECT_LE(r.stats.result_regions, r.stats.cell_tree_nodes);
   // Progressive algorithms batch at least once when the result is
   // nonempty.
-  if (!r.regions.empty()) EXPECT_GE(r.stats.batches, 1);
+  if (!r.regions.empty()) {
+    EXPECT_GE(r.stats.batches, 1);
+  }
 }
 
 TEST(StatsInvariants, WitnessCacheOnlyReducesWork) {
-  Dataset data = GenerateIndependent(300, 4, 17);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
-  std::vector<RecordId> sky = Skyline(data, tree);
+  SyntheticInstance inst(Distribution::kIndependent, 300, 4, 17);
   KsprOptions with;
   with.k = 5;
   with.algorithm = Algorithm::kPcta;
   KsprOptions without = with;
   without.use_witness_cache = false;
-  KsprResult a = solver.QueryRecord(sky[1], with);
-  KsprResult b = solver.QueryRecord(sky[1], without);
+  KsprResult a = inst.solver().QueryRecord(inst.sky(1), with);
+  KsprResult b = inst.solver().QueryRecord(inst.sky(1), without);
   EXPECT_LE(a.stats.feasibility_lps, b.stats.feasibility_lps);
   // Structure must not change.
   EXPECT_EQ(a.regions.size(), b.regions.size());
+}
+
+// --------------------------------------------------------------------------
+// Cross-algorithm agreement under a fixed seed: on a small 2-D instance
+// CTA and PCTA must both match the exact brute-force rank at every sampled
+// weight vector, and therefore agree with each other pointwise.
+
+TEST(CrossAlgorithmAgreement, CtaPctaMatchBruteForceOn2D) {
+  SyntheticInstance inst(Distribution::kIndependent, 120, 2, 99);
+  const RecordId focal = inst.sky(0);
+  const int k = 4;
+
+  KsprResult cta = inst.solver().QueryRecord(
+      focal, test::OracleOptions(Algorithm::kCta, k));
+  KsprResult pcta = inst.solver().QueryRecord(
+      focal, test::OracleOptions(Algorithm::kPcta, k));
+
+  // Each algorithm individually matches the brute-force sampling oracle.
+  const Vec& p = inst.data().Get(focal);
+  for (const KsprResult* result : {&cta, &pcta}) {
+    OracleCheck check = VerifyResult(inst.data(), p, focal, k, *result,
+                                     Space::kTransformed, /*samples=*/800,
+                                     /*seed=*/2026);
+    EXPECT_EQ(check.mismatches, 0);
+    EXPECT_EQ(check.overlaps, 0);
+  }
+
+  // And the two region sets cover exactly the same weight vectors.
+  Rng rng(7);
+  int checked = 0;
+  for (int s = 0; s < 500; ++s) {
+    Vec w = SampleSpacePoint(Space::kTransformed, 1, &rng);
+    const Vec w_full = ExpandWeight(Space::kTransformed, 2, w);
+    if (MinScoreMargin(inst.data(), p, focal, w_full) < test::kMarginTol) {
+      continue;
+    }
+    ++checked;
+    bool in_cta = false;
+    for (const Region& r : cta.regions) in_cta = in_cta || r.Contains(w);
+    bool in_pcta = false;
+    for (const Region& r : pcta.regions) in_pcta = in_pcta || r.Contains(w);
+    EXPECT_EQ(in_cta, in_pcta) << "w = " << w.ToString();
+    EXPECT_EQ(in_cta,
+              RankAt(inst.data(), p, focal, w_full) <= k)
+        << "w = " << w.ToString();
+  }
+  EXPECT_GT(checked, 300);
 }
 
 }  // namespace

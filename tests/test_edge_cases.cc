@@ -5,13 +5,13 @@
 
 #include "core/brute_force.h"
 #include "core/solver.h"
-#include "datagen/synthetic.h"
 #include "geom/volume.h"
-#include "index/bbs.h"
-#include "index/rtree.h"
+#include "test_support.h"
 
 namespace kspr {
 namespace {
+
+using test::SyntheticInstance;
 
 KsprOptions Opt(Algorithm algo, int k) {
   KsprOptions o;
@@ -38,11 +38,10 @@ TEST(EdgeCases, SingleRecordDataset) {
 }
 
 TEST(EdgeCases, KGreaterThanDatasetSize) {
-  Dataset data = GenerateIndependent(20, 3, 9);
-  RTree tree = RTree::BulkLoad(data, 4, 4);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 20, 3, 9,
+                         /*leaf_capacity=*/4, /*fanout=*/4);
   for (Algorithm algo : kMainAlgos) {
-    KsprResult r = solver.QueryRecord(3, Opt(algo, 50));
+    KsprResult r = inst.solver().QueryRecord(3, Opt(algo, 50));
     // p is within the top-50 of 20 records everywhere.
     ASSERT_FALSE(r.regions.empty()) << static_cast<int>(algo);
     double covered = 0;
@@ -86,13 +85,13 @@ TEST(EdgeCases, DuplicateFocalValues) {
 TEST(EdgeCases, TwoDimensionalMinimum) {
   // d = 2 means a 1-dimensional preference space; all algorithms must
   // handle pref_dim == 1.
-  Dataset data = GenerateIndependent(60, 2, 31);
-  RTree tree = RTree::BulkLoad(data, 8, 8);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 60, 2, 31,
+                         /*leaf_capacity=*/8, /*fanout=*/8);
+  const Dataset& data = inst.data();
   for (Algorithm algo : kMainAlgos) {
     KsprOptions options = Opt(algo, 4);
     options.finalize_geometry = false;
-    KsprResult r = solver.QueryRecord(5, options);
+    KsprResult r = inst.solver().QueryRecord(5, options);
     OracleCheck check = VerifyResult(data, data.Get(5), 5, 4, r,
                                      Space::kTransformed, 400);
     EXPECT_EQ(check.mismatches, 0) << static_cast<int>(algo);
@@ -101,47 +100,43 @@ TEST(EdgeCases, TwoDimensionalMinimum) {
 
 TEST(EdgeCases, MaxDimensionality) {
   // d = 8 (the NBA shape): pref_dim 7 == kMaxDim - 1.
-  Dataset data = GenerateIndependent(30, 8, 77);
-  RTree tree = RTree::BulkLoad(data, 8, 8);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 30, 8, 77,
+                         /*leaf_capacity=*/8, /*fanout=*/8);
+  const Dataset& data = inst.data();
   KsprOptions options = Opt(Algorithm::kLpCta, 3);
   options.finalize_geometry = false;
-  KsprResult r = solver.QueryRecord(2, options);
+  KsprResult r = inst.solver().QueryRecord(2, options);
   OracleCheck check = VerifyResult(data, data.Get(2), 2, 3, r,
                                    Space::kTransformed, 200);
   EXPECT_EQ(check.mismatches, 0);
 }
 
 TEST(EdgeCases, HypotheticalFocalBeatsEverything) {
-  Dataset data = GenerateIndependent(100, 3, 5);
-  RTree tree = RTree::BulkLoad(data, 8, 8);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 100, 3, 5,
+                         /*leaf_capacity=*/8, /*fanout=*/8);
   KsprOptions options = Opt(Algorithm::kLpCta, 1);
   options.compute_volume = true;
-  KsprResult r = solver.Query(Vec{2.0, 2.0, 2.0}, options);
+  KsprResult r = inst.solver().Query(Vec{2.0, 2.0, 2.0}, options);
   ASSERT_EQ(r.regions.size(), 1u);
-  EXPECT_NEAR(r.TopKProbability(), 1.0, 1e-9);
+  EXPECT_NEAR(r.TopKProbability(), 1.0, test::kTightTol);
 }
 
 TEST(EdgeCases, HypotheticalFocalLosesEverywhere) {
-  Dataset data = GenerateIndependent(100, 3, 5);
-  RTree tree = RTree::BulkLoad(data, 8, 8);
-  KsprSolver solver(&data, &tree);
-  KsprResult r = solver.Query(Vec{-1.0, -1.0, -1.0},
-                              Opt(Algorithm::kLpCta, 5));
+  SyntheticInstance inst(Distribution::kIndependent, 100, 3, 5,
+                         /*leaf_capacity=*/8, /*fanout=*/8);
+  KsprResult r = inst.solver().Query(Vec{-1.0, -1.0, -1.0},
+                                     Opt(Algorithm::kLpCta, 5));
   EXPECT_TRUE(r.regions.empty());
 }
 
 TEST(EdgeCases, FinalizeOffLeavesRawConstraints) {
-  Dataset data = GenerateIndependent(100, 3, 6);
-  RTree tree = RTree::BulkLoad(data, 8, 8);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 100, 3, 6,
+                         /*leaf_capacity=*/8, /*fanout=*/8);
   KsprOptions raw = Opt(Algorithm::kLpCta, 5);
   raw.finalize_geometry = false;
   KsprOptions fin = Opt(Algorithm::kLpCta, 5);
-  std::vector<RecordId> sky = Skyline(data, tree);
-  KsprResult r_raw = solver.QueryRecord(sky[0], raw);
-  KsprResult r_fin = solver.QueryRecord(sky[0], fin);
+  KsprResult r_raw = inst.solver().QueryRecord(inst.sky(0), raw);
+  KsprResult r_fin = inst.solver().QueryRecord(inst.sky(0), fin);
   ASSERT_EQ(r_raw.regions.size(), r_fin.regions.size());
   // Finalisation may only remove (redundant) constraints.
   size_t raw_cons = 0;
@@ -153,12 +148,9 @@ TEST(EdgeCases, FinalizeOffLeavesRawConstraints) {
 }
 
 TEST(EdgeCases, StatsArePopulated) {
-  Dataset data = GenerateIndependent(500, 3, 8);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
-  std::vector<RecordId> sky = Skyline(data, tree);
+  SyntheticInstance inst(Distribution::kIndependent, 500, 3, 8);
   KsprOptions options = Opt(Algorithm::kLpCta, 5);
-  KsprResult r = solver.QueryRecord(sky[0], options);
+  KsprResult r = inst.solver().QueryRecord(inst.sky(0), options);
   EXPECT_GT(r.stats.processed_records, 0);
   EXPECT_GT(r.stats.cell_tree_nodes, 0);
   EXPECT_GT(r.stats.feasibility_lps, 0);
@@ -169,11 +161,10 @@ TEST(EdgeCases, StatsArePopulated) {
 }
 
 TEST(EdgeCases, ZeroKReturnsEmpty) {
-  Dataset data = GenerateIndependent(50, 2, 3);
-  RTree tree = RTree::BulkLoad(data, 8, 8);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 50, 2, 3,
+                         /*leaf_capacity=*/8, /*fanout=*/8);
   for (Algorithm algo : kMainAlgos) {
-    EXPECT_TRUE(solver.QueryRecord(0, Opt(algo, 0)).regions.empty());
+    EXPECT_TRUE(inst.solver().QueryRecord(0, Opt(algo, 0)).regions.empty());
   }
 }
 

@@ -9,13 +9,14 @@
 #include "core/brute_force.h"
 #include "core/solver.h"
 #include "datagen/nba_case_study.h"
-#include "datagen/synthetic.h"
 #include "geom/volume.h"
-#include "index/rtree.h"
 #include "io/page_tracker.h"
+#include "test_support.h"
 
 namespace kspr {
 namespace {
+
+using test::SyntheticInstance;
 
 // Fig 1(a): restaurants, focal record Kyma, k = 3.
 struct RestaurantFixture {
@@ -148,18 +149,14 @@ TEST(NbaCaseStudy, OracleAgreement) {
 // Market impact: summed region volume = top-k probability for uniform w.
 
 TEST(MarketImpact, ProbabilityMatchesSampledMeasure) {
-  Dataset data = GenerateIndependent(120, 3, 321);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 120, 3, 321);
+  const Dataset& data = inst.data();
   KsprOptions options;
   options.k = 8;
   options.compute_volume = true;
-  // Use a skyline-ish record for a nonempty result.
-  RecordId best = 0;
-  for (RecordId i = 1; i < data.size(); ++i) {
-    if (data.Get(i).Sum() > data.Get(best).Sum()) best = i;
-  }
-  KsprResult result = solver.QueryRecord(best, options);
+  // Use a skyline record for a nonempty result.
+  const RecordId best = test::MaxSumRecord(data);
+  KsprResult result = inst.solver().QueryRecord(best, options);
   ASSERT_FALSE(result.regions.empty());
 
   Rng rng(12);
@@ -179,41 +176,35 @@ TEST(MarketImpact, ProbabilityMatchesSampledMeasure) {
 // algorithms.
 
 TEST(DiskMode, PageReadsCounted) {
-  Dataset data = GenerateIndependent(2000, 3, 9);
-  RTree tree = RTree::BulkLoad(data);
+  SyntheticInstance inst(Distribution::kIndependent, 2000, 3, 9,
+                         /*leaf_capacity=*/64, /*fanout=*/64);
   PageTracker tracker(/*buffer_pages=*/32);
-  tree.SetTracker(&tracker);
-  KsprSolver solver(&data, &tree);
+  inst.mutable_tree().SetTracker(&tracker);
   KsprOptions options;
   options.k = 10;
   options.algorithm = Algorithm::kLpCta;
   // Use a focal record with few dominators so the query actually runs
   // (records with >= k dominators are answered without touching the index).
-  RecordId best = 0;
-  for (RecordId i = 1; i < data.size(); ++i) {
-    if (data.Get(i).Sum() > data.Get(best).Sum()) best = i;
-  }
-  KsprResult result = solver.QueryRecord(best, options);
+  KsprResult result =
+      inst.solver().QueryRecord(test::MaxSumRecord(inst.data()), options);
   (void)result;
   EXPECT_GT(tracker.reads(), 0);
   EXPECT_GT(tracker.io_millis(), 0.0);
-  tree.SetTracker(nullptr);
+  inst.mutable_tree().SetTracker(nullptr);
 }
 
 // --------------------------------------------------------------------------
 // Hypothetical focal records (not part of the dataset).
 
 TEST(HypotheticalFocal, QueryByVector) {
-  Dataset data = GenerateIndependent(150, 3, 55);
-  RTree tree = RTree::BulkLoad(data, 16, 16);
-  KsprSolver solver(&data, &tree);
+  SyntheticInstance inst(Distribution::kIndependent, 150, 3, 55);
   KsprOptions options;
   options.k = 5;
   Vec candidate{0.95, 0.9, 0.92};  // a strong hypothetical product
-  KsprResult result = solver.Query(candidate, options);
+  KsprResult result = inst.solver().Query(candidate, options);
   ASSERT_FALSE(result.regions.empty());
-  OracleCheck check = VerifyResult(data, candidate, kInvalidRecord, 5, result,
-                                   Space::kTransformed, 800);
+  OracleCheck check = VerifyResult(inst.data(), candidate, kInvalidRecord, 5,
+                                   result, Space::kTransformed, 800);
   EXPECT_EQ(check.mismatches, 0);
 }
 

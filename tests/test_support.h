@@ -1,0 +1,97 @@
+// Shared fixture helpers for the kspr test suites: seeded synthetic
+// instance builders (dataset + bulk-loaded R-tree + solver), skyline
+// caching, and the tolerance constants used across suites.
+
+#ifndef KSPR_TESTS_TEST_SUPPORT_H_
+#define KSPR_TESTS_TEST_SUPPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "core/options.h"
+#include "core/solver.h"
+#include "datagen/synthetic.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+
+namespace kspr {
+namespace test {
+
+// Numeric tolerances. kTightTol is for exact geometry (LP pivots, vertex
+// coordinates); kLooseTol absorbs accumulated floating-point error in
+// volumes and probabilities; kMarginTol is the minimum score margin below
+// which an oracle sample sits too close to a rank boundary to be
+// informative.
+inline constexpr double kTightTol = 1e-9;
+inline constexpr double kLooseTol = 1e-6;
+inline constexpr double kMarginTol = 1e-7;
+
+// Small R-tree nodes so paper-scale test instances (n in the hundreds)
+// still produce multi-level trees.
+inline constexpr int kTestLeafCapacity = 16;
+inline constexpr int kTestFanout = 16;
+
+/// A self-contained synthetic kSPR instance: deterministic in
+/// (dist, n, d, seed). The dataset, index and solver live inside the
+/// instance at stable addresses, so the solver's internal pointers remain
+/// valid for the instance's lifetime (the class is pinned: neither
+/// copyable nor movable).
+class SyntheticInstance {
+ public:
+  SyntheticInstance(Distribution dist, int n, int d, uint64_t seed,
+                    int leaf_capacity = kTestLeafCapacity,
+                    int fanout = kTestFanout)
+      : data_(GenerateSynthetic(dist, n, d, seed)),
+        tree_(RTree::BulkLoad(data_, leaf_capacity, fanout)),
+        solver_(&data_, &tree_) {}
+
+  SyntheticInstance(const SyntheticInstance&) = delete;
+  SyntheticInstance& operator=(const SyntheticInstance&) = delete;
+
+  const Dataset& data() const { return data_; }
+  const RTree& tree() const { return tree_; }
+  const KsprSolver& solver() const { return solver_; }
+
+  /// For tests that attach a PageTracker or otherwise reconfigure the index.
+  RTree& mutable_tree() { return tree_; }
+
+  /// Skyline ids in BBS pop order; computed once and cached. sky(i) is a
+  /// convenience accessor for the i-th skyline record.
+  const std::vector<RecordId>& skyline() const {
+    if (skyline_.empty()) skyline_ = Skyline(data_, tree_);
+    return skyline_;
+  }
+  RecordId sky(size_t i) const { return skyline()[i % skyline().size()]; }
+
+ private:
+  Dataset data_;
+  RTree tree_;
+  KsprSolver solver_;
+  mutable std::vector<RecordId> skyline_;
+};
+
+/// The record with the maximum coordinate sum: a skyline record that is
+/// top-1 at the centroid weight, so its kSPR result is never empty.
+inline RecordId MaxSumRecord(const Dataset& data) {
+  RecordId best = 0;
+  for (RecordId i = 1; i < data.size(); ++i) {
+    if (data.Get(i).Sum() > data.Get(best).Sum()) best = i;
+  }
+  return best;
+}
+
+/// Options preset for correctness tests: raw constraints (no geometry
+/// finalisation) so results can be checked against the sampling oracle.
+inline KsprOptions OracleOptions(Algorithm algo, int k) {
+  KsprOptions options;
+  options.algorithm = algo;
+  options.k = k;
+  options.finalize_geometry = false;
+  return options;
+}
+
+}  // namespace test
+}  // namespace kspr
+
+#endif  // KSPR_TESTS_TEST_SUPPORT_H_
