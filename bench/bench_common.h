@@ -15,9 +15,12 @@
 #ifndef KSPR_BENCH_BENCH_COMMON_H_
 #define KSPR_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -31,8 +34,9 @@
 namespace kspr::bench {
 
 struct BenchConfig {
-  bool full = false;  // paper-scale (slow) run
-  int queries = 6;    // focal records per data point
+  bool full = false;      // paper-scale (slow) run
+  int queries = 6;        // focal records per data point
+  std::string json_path;  // --json FILE: machine-readable results
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig cfg;
@@ -41,10 +45,86 @@ struct BenchConfig {
         cfg.full = true;
       } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
         cfg.queries = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        cfg.json_path = argv[++i];
       }
     }
     return cfg;
   }
+};
+
+/// Machine-readable benchmark output. Rows are flat key -> value maps;
+/// WriteTo dumps {"bench": ..., "rows": [...]} so a BENCH_*.json file can
+/// track the perf trajectory across PRs.
+///
+///   JsonReport report("engine_throughput");
+///   report.AddRow().Str("section", "sweep").Int("workers", 4).Num("qps", q);
+///   report.WriteTo(cfg.json_path);  // no-op when the path is empty
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  class Row {
+   public:
+    Row& Num(const char* key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& Int(const char* key, int64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& Str(const char* key, const std::string& value) {
+      std::string quoted = "\"";
+      for (char c : value) {
+        if (c == '"' || c == '\\') quoted += '\\';
+        quoted += c;
+      }
+      quoted += '"';
+      fields_.emplace_back(key, quoted);
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    // key -> already-serialised JSON value, in insertion order.
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes the report; no-op when `path` is empty. Returns false (with a
+  /// message on stderr) if the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --json file %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", bench_.c_str());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+      const auto& fields = rows_[r].fields_;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     fields[i].first.c_str(), fields[i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::deque<Row> rows_;  // deque: AddRow references stay valid
 };
 
 /// The paper's parameter grid (Table 2), scaled: defaults in the middle.

@@ -1,0 +1,156 @@
+// Engine throughput: batch kSPR queries through the concurrent QueryEngine,
+// sweeping the worker count and reporting queries/sec + speedup vs one
+// worker, then measuring the LRU result cache on a repeat-heavy workload.
+//
+//   bench_engine_throughput [--queries N] [--full] [--json out.json]
+//                           [--max-workers W]
+//
+// The sweep uses a cache-disabled engine so every query pays full solver
+// cost; speedup therefore measures thread-pool scaling only. Expect ~W×
+// on W idle cores and ~1× on a single-core machine (the workload is CPU
+// bound; check nproc before reading the speedup column). The cache section
+// replays a workload where each distinct query repeats ~5×.
+
+#include "bench_common.h"
+
+#include <thread>
+
+#include "engine/query_engine.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+namespace {
+
+int MaxWorkersArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-workers") == 0) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 0;
+}
+
+std::vector<QueryRequest> MakeWorkload(const std::vector<RecordId>& focals,
+                                       int repeats, int query_k) {
+  std::vector<QueryRequest> workload;
+  workload.reserve(focals.size() * static_cast<size_t>(repeats));
+  KsprOptions options;
+  options.k = query_k;
+  options.algorithm = Algorithm::kLpCta;
+  options.finalize_geometry = false;  // throughput of the core algorithm
+  for (int r = 0; r < repeats; ++r) {
+    for (RecordId focal : focals) {
+      QueryRequest request;
+      request.focal_id = focal;
+      request.options = options;
+      workload.push_back(request);
+    }
+  }
+  return workload;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Engine", "Batch query throughput (IND, LP-CTA)");
+
+  // Laptop-friendly default (queries are ~tens of ms each); --full raises
+  // the instance to the paper's mid-scale testbed.
+  const int n = cfg.full ? 100000 : 2000;
+  const int d = cfg.full ? 4 : 3;
+  const int k = cfg.full ? kDefaultK : 10;
+  Dataset data = GenerateIndependent(n, d, 42);
+  RTree tree = RTree::BulkLoad(data);
+
+  // Evenly spread, genuinely distinct skyline focals (PickFocals samples
+  // with replacement, which would skew the repeat counts and the reported
+  // hit rate).
+  const int requested = std::max(4, cfg.queries);
+  std::vector<RecordId> focals;
+  {
+    std::vector<RecordId> sky = Skyline(data, tree);
+    const size_t step = std::max<size_t>(1, sky.size() / requested);
+    for (size_t i = 0;
+         i < sky.size() && focals.size() < static_cast<size_t>(requested);
+         i += step) {
+      focals.push_back(sky[i]);
+    }
+  }
+  const int distinct = static_cast<int>(focals.size());
+  std::vector<QueryRequest> workload =
+      MakeWorkload(focals, /*repeats=*/5, k);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  int max_workers = MaxWorkersArg(argc, argv);
+  if (max_workers <= 0) max_workers = std::max(4u, hw);
+
+  JsonReport report("engine_throughput");
+  std::printf("n=%d d=%d queries=%zu distinct=%d hardware_threads=%u\n\n",
+              n, d, workload.size(), distinct, hw);
+
+  // --- Worker sweep, cache disabled: pure thread-pool scaling. ---
+  std::printf("%8s %10s %10s %10s\n", "workers", "seconds", "qps",
+              "speedup");
+  // Doubling sweep, with max_workers itself always included (it may not
+  // be a power of two).
+  std::vector<int> sweep;
+  for (int workers = 1; workers < max_workers; workers *= 2) {
+    sweep.push_back(workers);
+  }
+  sweep.push_back(max_workers);
+
+  double base_qps = 0.0;
+  for (int workers : sweep) {
+    EngineOptions opts;
+    opts.workers = workers;
+    opts.cache_capacity = 0;
+    QueryEngine engine(&data, &tree, opts);
+    Timer timer;
+    std::vector<QueryResponse> responses = engine.RunAll(workload);
+    const double seconds = timer.Seconds();
+    const double qps = static_cast<double>(responses.size()) / seconds;
+    if (workers == 1) base_qps = qps;
+    const double speedup = qps / base_qps;
+    std::printf("%8d %10.3f %10.1f %9.2fx\n", workers, seconds, qps,
+                speedup);
+    report.AddRow()
+        .Str("section", "sweep")
+        .Int("workers", workers)
+        .Int("queries", static_cast<int64_t>(responses.size()))
+        .Num("seconds", seconds)
+        .Num("qps", qps)
+        .Num("speedup", speedup);
+  }
+
+  // --- Cache on: the same repeat-heavy workload, hits served from LRU. ---
+  {
+    EngineOptions opts;
+    opts.workers = max_workers;
+    opts.cache_capacity = 1024;
+    QueryEngine engine(&data, &tree, opts);
+    Timer timer;
+    std::vector<QueryResponse> responses = engine.RunAll(workload);
+    const double seconds = timer.Seconds();
+    const double qps = static_cast<double>(responses.size()) / seconds;
+    EngineStats::Snapshot stats = engine.stats();
+    std::printf(
+        "\ncache:   %10.3fs %9.1f qps  hit_rate=%.2f  avg=%.2fms "
+        "max=%.2fms  lp_calls=%lld\n",
+        seconds, qps, stats.hit_rate(), stats.avg_latency_ms(),
+        stats.max_latency_ms, static_cast<long long>(stats.lp_calls));
+    report.AddRow()
+        .Str("section", "cache")
+        .Int("workers", max_workers)
+        .Int("queries", stats.queries)
+        .Int("cache_hits", stats.cache_hits)
+        .Num("seconds", seconds)
+        .Num("qps", qps)
+        .Num("hit_rate", stats.hit_rate())
+        .Num("avg_latency_ms", stats.avg_latency_ms())
+        .Int("lp_calls", stats.lp_calls);
+  }
+
+  return report.WriteTo(cfg.json_path) ? 0 : 1;
+}

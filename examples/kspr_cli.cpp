@@ -4,9 +4,13 @@
 //   kspr_cli [--n 10000] [--d 4] [--k 10] [--dist ind|cor|anti]
 //            [--algo cta|pcta|lpcta|opcta|olpcta|skyband]
 //            [--focal ID] [--seed S] [--volume] [--csv FILE]
+//            [--threads N] [--batch Q]
 //
 // With --csv the dataset is read from a headerless CSV of d numeric
-// columns (larger = better) instead of being generated.
+// columns (larger = better) instead of being generated. With --batch Q
+// (and optionally --threads N) the run routes through the concurrent
+// QueryEngine: Q queries over skyline records, answered by N pool
+// workers, with aggregate engine statistics instead of region listings.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,9 +18,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/solver.h"
 #include "datagen/synthetic.h"
+#include "engine/query_engine.h"
 #include "index/bbs.h"
 #include "index/rtree.h"
 
@@ -61,6 +67,9 @@ int main(int argc, char** argv) {
   Algorithm algo = Algorithm::kLpCta;
   bool volume = false;
   std::string csv;
+  int threads = 1;
+  int batch = 0;  // set via --batch; 0 without the flag = single-query mode
+  bool batch_set = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -84,6 +93,11 @@ int main(int argc, char** argv) {
       volume = true;
     } else if (!std::strcmp(argv[i], "--csv")) {
       csv = next("--csv");
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      batch = std::atoi(next("--batch"));
+      batch_set = true;
     } else if (!std::strcmp(argv[i], "--dist")) {
       std::string v = next("--dist");
       dist = v == "cor"    ? Distribution::kCorrelated
@@ -107,11 +121,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Validate flag ranges the same way --focal is validated below: a clear
+  // stderr message and exit 1, never an assert deep in the engine.
+  constexpr int kMaxThreads = 256;
+  if (threads < 1 || threads > kMaxThreads) {
+    std::fprintf(stderr, "--threads %d out of range [1, %d]\n", threads,
+                 kMaxThreads);
+    return 1;
+  }
+  if (batch_set && batch < 1) {
+    std::fprintf(stderr, "--batch %d out of range (must be >= 1)\n", batch);
+    return 1;
+  }
+
   Dataset data =
       csv.empty() ? GenerateSynthetic(dist, n, d, seed) : LoadCsv(csv, d);
   RTree tree = RTree::BulkLoad(data);
+  const bool batch_mode = batch > 0 || threads > 1;
+  std::vector<RecordId> skyline;  // needed for the default focal and batch
+  if (focal == kInvalidRecord || batch_mode) {
+    skyline = Skyline(data, tree);
+  }
   if (focal == kInvalidRecord) {
-    focal = Skyline(data, tree).front();  // an informative default
+    focal = skyline.front();  // an informative default
   }
   if (focal < 0 || focal >= data.size()) {
     std::fprintf(stderr, "--focal %d out of range (dataset has %d records)\n",
@@ -119,12 +151,58 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  KsprSolver solver(&data, &tree);
   KsprOptions options;
   options.k = k;
   options.algorithm = algo;
   options.compute_volume = volume;
 
+  if (batch_mode) {
+    // Batch mode: route through the concurrent QueryEngine. The workload
+    // cycles over skyline records starting at the focal (skyline members
+    // keep the queries informative; see bench/bench_common.h).
+    std::vector<QueryRequest> requests;
+    const int count = batch > 0 ? batch : 1;
+    // The requested focal always leads the batch — at its skyline position
+    // when it is a skyline member, otherwise as an explicit first query
+    // (never silently substituted).
+    size_t start = skyline.size();
+    for (size_t s = 0; s < skyline.size(); ++s) {
+      if (skyline[s] == focal) start = s;
+    }
+    for (int q = 0; q < count; ++q) {
+      QueryRequest request;
+      if (start < skyline.size()) {
+        request.focal_id = skyline[(start + q) % skyline.size()];
+      } else {
+        request.focal_id =
+            q == 0 ? focal : skyline[(q - 1) % skyline.size()];
+      }
+      request.options = options;
+      requests.push_back(request);
+    }
+
+    EngineOptions engine_options;
+    engine_options.workers = threads;
+    QueryEngine engine(&data, &tree, engine_options);
+    std::vector<QueryResponse> responses = engine.RunAll(requests);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      std::printf("query %zu focal=%d regions=%zu %.2fms%s\n", i,
+                  requests[i].focal_id, responses[i].result->regions.size(),
+                  responses[i].latency_ms,
+                  responses[i].cache_hit ? " (cache hit)" : "");
+    }
+    EngineStats::Snapshot stats = engine.stats();
+    std::printf("# %s batch=%lld threads=%d hits=%lld avg=%.2fms "
+                "max=%.2fms lp_calls=%lld\n",
+                data.Summary().c_str(),
+                static_cast<long long>(stats.queries), engine.workers(),
+                static_cast<long long>(stats.cache_hits),
+                stats.avg_latency_ms(), stats.max_latency_ms,
+                static_cast<long long>(stats.lp_calls));
+    return 0;
+  }
+
+  KsprSolver solver(&data, &tree);
   KsprResult result = solver.QueryRecord(focal, options);
   std::printf("# %s focal=%d k=%d algo=%d regions=%zu processed=%lld "
               "nodes=%lld\n",

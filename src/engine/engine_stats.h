@@ -1,0 +1,101 @@
+// Thread-safe aggregate statistics for the batch query engine.
+
+#ifndef KSPR_ENGINE_ENGINE_STATS_H_
+#define KSPR_ENGINE_ENGINE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace kspr {
+
+/// Aggregate counters updated by every worker; all fields are atomics with
+/// relaxed ordering (each counter is independently consistent, which is
+/// all the reporting paths need). Per-query figures live in the
+/// QueryResponse returned for that query.
+class EngineStats {
+ public:
+  struct Snapshot {
+    int64_t queries = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+    int64_t lp_calls = 0;  // feasibility + bound + finalisation LPs
+    int64_t regions = 0;
+    double total_latency_ms = 0.0;
+    double max_latency_ms = 0.0;
+
+    double avg_latency_ms() const {
+      return queries > 0 ? total_latency_ms / static_cast<double>(queries)
+                         : 0.0;
+    }
+    double hit_rate() const {
+      return queries > 0
+                 ? static_cast<double>(cache_hits) /
+                       static_cast<double>(queries)
+                 : 0.0;
+    }
+  };
+
+  /// Records one completed query. `solver_stats` must be null for cache
+  /// hits (no solver work happened) and non-null for misses.
+  void RecordQuery(const KsprStats* solver_stats, int64_t regions,
+                   double latency_ms) {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    regions_.fetch_add(regions, std::memory_order_relaxed);
+    if (solver_stats != nullptr) {
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      lp_calls_.fetch_add(solver_stats->feasibility_lps +
+                              solver_stats->bound_lps +
+                              solver_stats->finalize_lps,
+                          std::memory_order_relaxed);
+    } else {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const int64_t ns = static_cast<int64_t>(latency_ms * 1e6);
+    latency_ns_total_.fetch_add(ns, std::memory_order_relaxed);
+    int64_t prev = latency_ns_max_.load(std::memory_order_relaxed);
+    while (prev < ns && !latency_ns_max_.compare_exchange_weak(
+                            prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  Snapshot Get() const {
+    Snapshot s;
+    s.queries = queries_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    s.lp_calls = lp_calls_.load(std::memory_order_relaxed);
+    s.regions = regions_.load(std::memory_order_relaxed);
+    s.total_latency_ms =
+        static_cast<double>(latency_ns_total_.load(std::memory_order_relaxed)) /
+        1e6;
+    s.max_latency_ms =
+        static_cast<double>(latency_ns_max_.load(std::memory_order_relaxed)) /
+        1e6;
+    return s;
+  }
+
+  void Reset() {
+    queries_.store(0, std::memory_order_relaxed);
+    cache_hits_.store(0, std::memory_order_relaxed);
+    cache_misses_.store(0, std::memory_order_relaxed);
+    lp_calls_.store(0, std::memory_order_relaxed);
+    regions_.store(0, std::memory_order_relaxed);
+    latency_ns_total_.store(0, std::memory_order_relaxed);
+    latency_ns_max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> queries_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> lp_calls_{0};
+  std::atomic<int64_t> regions_{0};
+  std::atomic<int64_t> latency_ns_total_{0};
+  std::atomic<int64_t> latency_ns_max_{0};
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_ENGINE_ENGINE_STATS_H_

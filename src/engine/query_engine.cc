@@ -1,0 +1,137 @@
+#include "engine/query_engine.h"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace kspr {
+
+namespace {
+
+int ResolveWorkers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Dataset* data, const RTree* index,
+                         EngineOptions options)
+    : data_(data),
+      solver_(data, index),
+      cache_(options.cache_capacity),
+      pool_(ResolveWorkers(options.workers)) {}
+
+void QueryEngine::Canonicalize(QueryRequest* request) const {
+  if (request->focal_id != kInvalidRecord) {
+    assert(request->focal_id >= 0 && request->focal_id < data_->size());
+    request->focal = data_->Get(request->focal_id);
+  } else {
+    assert(request->focal.dim == data_->dim());
+  }
+}
+
+QueryResponse QueryEngine::Execute(const QueryRequest& request, int worker) {
+  Timer timer;
+  QueryResponse response;
+  response.worker = worker;
+
+  const CacheKey key =
+      CacheKey::Make(request.focal, request.focal_id, request.options);
+  if (std::shared_ptr<const KsprResult> hit = cache_.Get(key)) {
+    response.result = std::move(hit);
+    response.cache_hit = true;
+    response.latency_ms = timer.Millis();
+    stats_.RecordQuery(/*solver_stats=*/nullptr,
+                       static_cast<int64_t>(response.result->regions.size()),
+                       response.latency_ms);
+    return response;
+  }
+
+  auto result = std::make_shared<KsprResult>(
+      request.focal_id != kInvalidRecord
+          ? solver_.QueryRecord(request.focal_id, request.options)
+          : solver_.Query(request.focal, request.options));
+  cache_.Put(key, result);
+  response.result = std::move(result);
+  response.latency_ms = timer.Millis();
+  stats_.RecordQuery(&response.result->stats,
+                     static_cast<int64_t>(response.result->regions.size()),
+                     response.latency_ms);
+  return response;
+}
+
+std::future<QueryResponse> QueryEngine::Submit(QueryRequest request) {
+  Canonicalize(&request);
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  pool_.Post([this, request = std::move(request),
+              promise = std::move(promise)](int worker) {
+    promise->set_value(Execute(request, worker));
+  });
+  return future;
+}
+
+std::future<QueryResponse> QueryEngine::SubmitRecord(
+    RecordId focal_id, const KsprOptions& options) {
+  QueryRequest request;
+  request.focal_id = focal_id;
+  request.options = options;
+  return Submit(std::move(request));
+}
+
+std::vector<std::future<QueryResponse>> QueryEngine::SubmitBatch(
+    std::vector<QueryRequest> requests) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+std::vector<QueryResponse> QueryEngine::RunAll(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<QueryResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  // Canonicalised copies so workers never touch caller-owned state.
+  std::vector<QueryRequest> batch(requests);
+  for (QueryRequest& request : batch) Canonicalize(&request);
+
+  struct Job {
+    std::atomic<size_t> next{0};
+    std::atomic<int> active;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  } job;
+  const int fanout = pool_.size();
+  job.active.store(fanout, std::memory_order_relaxed);
+
+  for (int t = 0; t < fanout; ++t) {
+    pool_.Post([this, &batch, &responses, &job](int worker) {
+      for (size_t i;
+           (i = job.next.fetch_add(1, std::memory_order_relaxed)) <
+           batch.size();) {
+        responses[i] = Execute(batch[i], worker);
+      }
+      if (job.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(job.mu);
+        job.done = true;
+        job.cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.cv.wait(lock, [&job] { return job.done; });
+  return responses;
+}
+
+}  // namespace kspr

@@ -1,0 +1,122 @@
+// Concurrent batch query engine: the serving layer above KsprSolver.
+//
+// A QueryEngine owns a fixed-size thread pool and an LRU result cache and
+// answers kSPR queries against one (Dataset, RTree) pair. The dataset and
+// index are shared read-only across workers — the library's read path is
+// audited for this (the LP layer keeps its scratch tableaux in
+// thread_local storage, so the per-query hot path performs no engine-side
+// allocation beyond the result object itself; RTree/PageTracker serialise
+// their only mutable state internally).
+//
+// Usage:
+//   kspr::QueryEngine engine(&data, &index, {.workers = 4});
+//   std::future<kspr::QueryResponse> f = engine.SubmitRecord(42, options);
+//   ... or ...
+//   std::vector<kspr::QueryResponse> out = engine.RunAll(requests);
+//   kspr::EngineStats::Snapshot s = engine.stats();
+
+#ifndef KSPR_ENGINE_QUERY_ENGINE_H_
+#define KSPR_ENGINE_QUERY_ENGINE_H_
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "common/vec.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "core/solver.h"
+#include "engine/engine_stats.h"
+#include "engine/result_cache.h"
+#include "engine/thread_pool.h"
+#include "index/rtree.h"
+
+namespace kspr {
+
+struct EngineOptions {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  int workers = 0;
+
+  /// Result-cache entries; 0 disables caching entirely.
+  size_t cache_capacity = 1024;
+};
+
+/// One kSPR query. For a focal record that is part of the dataset set
+/// `focal_id` (the focal vector is filled in by the engine); for a
+/// hypothetical focal leave it at kInvalidRecord and set `focal`.
+struct QueryRequest {
+  Vec focal;
+  RecordId focal_id = kInvalidRecord;
+  KsprOptions options;
+};
+
+struct QueryResponse {
+  /// Immutable, possibly shared with the cache and other responses.
+  std::shared_ptr<const KsprResult> result;
+  bool cache_hit = false;
+  double latency_ms = 0.0;  // wall time inside the worker
+  int worker = -1;          // pool worker that served the query
+};
+
+class QueryEngine {
+ public:
+  /// `data` and `index` must outlive the engine; the index must have been
+  /// built over exactly `data`. No other thread may mutate either (e.g.
+  /// RTree::SetTracker) while the engine is serving.
+  QueryEngine(const Dataset* data, const RTree* index,
+              EngineOptions options = {});
+
+  /// Drains queued work (every submitted future is fulfilled) and joins
+  /// the workers.
+  ~QueryEngine() = default;
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  int workers() const { return pool_.size(); }
+
+  /// Asynchronous single query.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Convenience: query for dataset record `focal_id`.
+  std::future<QueryResponse> SubmitRecord(RecordId focal_id,
+                                          const KsprOptions& options);
+
+  /// Asynchronous batch; futures align with `requests`.
+  std::vector<std::future<QueryResponse>> SubmitBatch(
+      std::vector<QueryRequest> requests);
+
+  /// Synchronous batch: executes all requests on the pool and blocks until
+  /// done; responses align with `requests`. This is the throughput path —
+  /// one shared job with an atomic claim index, no per-query task or
+  /// future allocation. Must not be called from a pool worker.
+  std::vector<QueryResponse> RunAll(
+      const std::vector<QueryRequest>& requests);
+
+  EngineStats::Snapshot stats() const { return stats_.Get(); }
+  void ResetStats() { stats_.Reset(); }
+
+  size_t cache_size() const { return cache_.size(); }
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  /// Runs one query on worker `worker`: cache lookup, solver call on miss,
+  /// stats recording.
+  QueryResponse Execute(const QueryRequest& request, int worker);
+
+  /// Fills in `focal` from the dataset when only `focal_id` was given.
+  void Canonicalize(QueryRequest* request) const;
+
+  const Dataset* data_;
+  KsprSolver solver_;
+  ResultCache cache_;
+  EngineStats stats_;
+  ThreadPool pool_;  // last member: destroyed (joined) before the state
+                     // above disappears
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,110 @@
+#include "engine/result_cache.h"
+
+#include <cstring>
+#include <utility>
+
+namespace kspr {
+
+namespace {
+
+inline uint64_t FnvMix(uint64_t h, uint64_t x) {
+  h ^= x;
+  return h * 1099511628211ULL;
+}
+
+}  // namespace
+
+CacheKey CacheKey::Make(const Vec& focal, RecordId focal_id,
+                        const KsprOptions& options) {
+  CacheKey key;
+  key.focal = focal;
+  // Canonicalise -0.0 so that numerically equal focals are also bitwise
+  // equal — key equality and Hash() both work on exact bit patterns.
+  for (int i = 0; i < key.focal.dim; ++i) {
+    if (key.focal.v[i] == 0.0) key.focal.v[i] = 0.0;
+  }
+  key.focal_id = focal_id;
+  key.k = options.k;
+  key.algorithm = options.algorithm;
+  key.bound_mode = options.bound_mode;
+  key.flag_bits = (options.use_lemma2 ? 1u : 0u) |
+                  (options.use_witness_cache ? 2u : 0u) |
+                  (options.use_dominance_shortcut ? 4u : 0u) |
+                  (options.lookahead_per_split ? 8u : 0u) |
+                  (options.finalize_geometry ? 16u : 0u) |
+                  (options.compute_volume ? 32u : 0u);
+  key.lookahead_stride = options.lookahead_stride;
+  key.volume_samples = options.compute_volume ? options.volume_samples : 0;
+  return key;
+}
+
+bool CacheKey::operator==(const CacheKey& o) const {
+  // Bitwise focal comparison so equality always agrees with Hash() (and a
+  // NaN coordinate still equals itself; components beyond dim are zero).
+  return focal.dim == o.focal.dim &&
+         std::memcmp(focal.v.data(), o.focal.v.data(),
+                     sizeof(focal.v)) == 0 &&
+         focal_id == o.focal_id && k == o.k && algorithm == o.algorithm &&
+         bound_mode == o.bound_mode && flag_bits == o.flag_bits &&
+         lookahead_stride == o.lookahead_stride &&
+         volume_samples == o.volume_samples;
+}
+
+uint64_t CacheKey::Hash() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (int i = 0; i < focal.dim; ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, &focal.v[i], sizeof(bits));
+    h = FnvMix(h, bits);
+  }
+  h = FnvMix(h, static_cast<uint64_t>(static_cast<uint32_t>(focal_id)));
+  h = FnvMix(h, static_cast<uint64_t>(k));
+  h = FnvMix(h, static_cast<uint64_t>(algorithm));
+  h = FnvMix(h, static_cast<uint64_t>(bound_mode));
+  h = FnvMix(h, flag_bits);
+  h = FnvMix(h, static_cast<uint64_t>(lookahead_stride));
+  h = FnvMix(h, static_cast<uint64_t>(volume_samples));
+  return h;
+}
+
+std::shared_ptr<const KsprResult> ResultCache::Get(const CacheKey& key) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote
+  return it->second->result;
+}
+
+void ResultCache::Put(const CacheKey& key,
+                      std::shared_ptr<const KsprResult> result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent miss on the same key computed this twice; keep the newer
+    // result and promote.
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace kspr

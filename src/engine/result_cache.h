@@ -1,0 +1,90 @@
+// Thread-safe LRU cache of kSPR results for the batch query engine.
+//
+// Repeated queries are common in a serving workload (the paper's Fig 24
+// amortises index construction over 1000 queries for the same reason):
+// the same focal record gets asked with the same k by many users. Entries
+// are shared immutably via shared_ptr, so a cached result can be handed to
+// several in-flight queries while an eviction drops the cache's own
+// reference.
+
+#ifndef KSPR_ENGINE_RESULT_CACHE_H_
+#define KSPR_ENGINE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "common/vec.h"
+#include "core/options.h"
+#include "core/region.h"
+
+namespace kspr {
+
+/// Exact cache identity of a query: the focal record (by id and by value)
+/// plus every result-affecting KsprOptions field. Two keys compare equal
+/// only if the solver is guaranteed to produce an identical KsprResult for
+/// both (bound mode and look-ahead settings are included because they
+/// change the reported [rank_lb, rank_ub] intervals, not just the speed).
+struct CacheKey {
+  Vec focal;
+  RecordId focal_id = kInvalidRecord;
+  int k = 0;
+  Algorithm algorithm = Algorithm::kLpCta;
+  BoundMode bound_mode = BoundMode::kFast;
+  uint32_t flag_bits = 0;  // packed booleans from KsprOptions
+  int lookahead_stride = 0;
+  int volume_samples = 0;
+
+  static CacheKey Make(const Vec& focal, RecordId focal_id,
+                       const KsprOptions& options);
+
+  bool operator==(const CacheKey& o) const;
+
+  /// FNV-1a over the focal coordinates' exact bit patterns and the scalar
+  /// fields. Used for bucketing only; equality is exact.
+  uint64_t Hash() const;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    return static_cast<size_t>(key.Hash());
+  }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = 0 disables the cache (Get always misses, Put is a no-op).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result and promotes it to most-recently-used, or
+  /// nullptr on miss.
+  std::shared_ptr<const KsprResult> Get(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting from the LRU tail.
+  void Put(const CacheKey& key, std::shared_ptr<const KsprResult> result);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const KsprResult> result;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_ENGINE_RESULT_CACHE_H_

@@ -1,0 +1,53 @@
+// Fixed-size worker pool behind the batch query engine.
+
+#ifndef KSPR_ENGINE_THREAD_POOL_H_
+#define KSPR_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kspr {
+
+/// Fixed-size pool of workers draining a FIFO task queue. Tasks receive the
+/// index of the worker running them (0 .. size()-1) so callers can keep
+/// per-worker scratch without locking. Shutdown (and the destructor) stops
+/// accepting new work, lets the queue drain, and joins the workers — tasks
+/// already queued are always executed, never dropped, so futures fulfilled
+/// by queued tasks cannot be abandoned.
+class ThreadPool {
+ public:
+  using Task = std::function<void(int worker)>;
+
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Must not be called after Shutdown() has started.
+  void Post(Task task);
+
+  /// Blocks until every queued task has run, then joins the workers.
+  /// Idempotent. Must not be called from a pool worker.
+  void Shutdown();
+
+ private:
+  void WorkerLoop(int worker);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_ENGINE_THREAD_POOL_H_

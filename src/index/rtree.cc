@@ -35,6 +35,32 @@ void StrSort(const Dataset& data, std::vector<RecordId>& ids, int begin,
 
 }  // namespace
 
+RTree::RTree(RTree&& o) noexcept
+    : nodes_(std::move(o.nodes_)),
+      record_ids_(std::move(o.record_ids_)),
+      root_(o.root_),
+      height_(o.height_),
+      tracker_(o.tracker_.load(std::memory_order_relaxed)) {
+  o.root_ = -1;
+  o.height_ = 0;
+  o.tracker_.store(nullptr, std::memory_order_relaxed);
+}
+
+RTree& RTree::operator=(RTree&& o) noexcept {
+  if (this != &o) {
+    nodes_ = std::move(o.nodes_);
+    record_ids_ = std::move(o.record_ids_);
+    root_ = o.root_;
+    height_ = o.height_;
+    tracker_.store(o.tracker_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    o.root_ = -1;
+    o.height_ = 0;
+    o.tracker_.store(nullptr, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 RTree RTree::BulkLoad(const Dataset& data, int leaf_capacity, int fanout) {
   RTree t;
   const RecordId n = data.size();

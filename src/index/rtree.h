@@ -9,6 +9,7 @@
 #ifndef KSPR_INDEX_RTREE_H_
 #define KSPR_INDEX_RTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,15 +35,26 @@ class RTree {
   static RTree BulkLoad(const Dataset& data, int leaf_capacity = 64,
                         int fanout = 64);
 
+  RTree() = default;
+  // The atomic tracker slot suppresses the implicit move operations;
+  // moving is only meaningful while no concurrent readers exist.
+  RTree(RTree&& o) noexcept;
+  RTree& operator=(RTree&& o) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
   bool empty() const { return nodes_.empty(); }
   int root() const { return root_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int height() const { return height_; }
 
   /// Fetches a node, charging a (simulated) page access when a tracker is
-  /// attached.
+  /// attached. Safe to call from many threads concurrently: the tracker
+  /// slot is atomic and PageTracker serialises internally.
   const Node& Fetch(int id) const {
-    if (tracker_ != nullptr) tracker_->Access(id);
+    if (PageTracker* t = tracker_.load(std::memory_order_acquire)) {
+      t->Access(id);
+    }
     return nodes_[id];
   }
 
@@ -51,8 +63,11 @@ class RTree {
   RecordId RecordAt(int i) const { return record_ids_[i]; }
 
   /// Attaches/detaches the page tracker (not owned). Fetches are counted
-  /// while attached.
-  void SetTracker(PageTracker* tracker) const { tracker_ = tracker; }
+  /// while attached. May be called while readers are in flight; an
+  /// individual Fetch sees either the old or the new tracker.
+  void SetTracker(PageTracker* tracker) const {
+    tracker_.store(tracker, std::memory_order_release);
+  }
 
   /// Approximate size of the structure in bytes.
   int64_t SizeBytes() const;
@@ -62,7 +77,7 @@ class RTree {
   std::vector<RecordId> record_ids_;
   int root_ = -1;
   int height_ = 0;
-  mutable PageTracker* tracker_ = nullptr;
+  mutable std::atomic<PageTracker*> tracker_{nullptr};
 };
 
 }  // namespace kspr

@@ -6,17 +6,18 @@ PageTracker::PageTracker(int buffer_pages, double read_latency_ms)
     : capacity_(buffer_pages), latency_ms_(read_latency_ms) {}
 
 void PageTracker::Access(int page_id) {
-  ++accesses_;
+  accesses_.fetch_add(1, std::memory_order_relaxed);
   if (capacity_ <= 0) {
-    ++reads_;
+    reads_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = resident_.find(page_id);
   if (it != resident_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
     return;
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   lru_.push_front(page_id);
   resident_[page_id] = lru_.begin();
   if (static_cast<int>(lru_.size()) > capacity_) {
@@ -26,8 +27,9 @@ void PageTracker::Access(int page_id) {
 }
 
 void PageTracker::Reset() {
-  reads_ = 0;
-  accesses_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  reads_.store(0, std::memory_order_relaxed);
+  accesses_.store(0, std::memory_order_relaxed);
   lru_.clear();
   resident_.clear();
 }

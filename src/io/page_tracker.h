@@ -4,12 +4,19 @@
 // 0.2 ms. We treat every R-tree node as one page, run accesses through a
 // small LRU buffer, and charge the configured latency per miss. CPU time is
 // measured for real; I/O time is derived as misses * latency.
+//
+// Thread safety: a PageTracker may be shared by concurrent readers (the
+// query engine runs many queries against one index). Access/Reset
+// serialise on an internal mutex; the counters are atomics so reads()/
+// accesses() never block the hot path.
 
 #ifndef KSPR_IO_PAGE_TRACKER_H_
 #define KSPR_IO_PAGE_TRACKER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 namespace kspr {
@@ -22,18 +29,23 @@ class PageTracker {
   /// Records an access to `page_id`; counts a read on buffer miss.
   void Access(int page_id);
 
-  int64_t reads() const { return reads_; }
-  int64_t accesses() const { return accesses_; }
-  double io_millis() const { return static_cast<double>(reads_) * latency_ms_; }
+  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  int64_t accesses() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+  double io_millis() const {
+    return static_cast<double>(reads()) * latency_ms_;
+  }
 
   void Reset();
 
  private:
   int capacity_;
   double latency_ms_;
-  int64_t reads_ = 0;
-  int64_t accesses_ = 0;
+  std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> accesses_{0};
   // LRU list of resident pages (front = most recent) + index into it.
+  std::mutex mu_;
   std::list<int> lru_;
   std::unordered_map<int, std::list<int>::iterator> resident_;
 };
