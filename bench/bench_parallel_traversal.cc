@@ -1,0 +1,120 @@
+// Intra-query parallel traversal: single-query latency of LP-CTA on the
+// synthetic cardinality workload (the Fig 12 regime, where one heavy
+// query dominates tail latency), swept over traversal thread counts.
+// Reports per-n speedup vs the 1-thread run plus the deterministic work
+// counters, which must be IDENTICAL across thread counts (the parallel
+// traversal's bitwise-equality contract) — the CI regression gate checks
+// both.
+//
+//   bench_parallel_traversal [--queries N] [--full] [--json out.json]
+//                            [--max-threads T]
+//
+// Expect ~min(T, cores)x speedup on idle cores and ~1x on a single-core
+// machine; check nproc before reading the speedup column.
+
+#include "bench_common.h"
+
+#include <thread>
+
+#include "core/parallel.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+namespace {
+
+int MaxThreadsArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-threads") == 0) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 8;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  const int max_threads = MaxThreadsArg(argc, argv);
+  PrintHeader("Parallel traversal",
+              "Single-query intra-parallel speedup (IND, LP-CTA)");
+
+  // Quick mode must fit a CI bench job (and a laptop) in seconds; --full
+  // restores the paper-scale cardinality sweep where the speedup is most
+  // pronounced.
+  const std::vector<int> cardinalities =
+      cfg.full ? std::vector<int>{50000, 100000, 200000}
+               : std::vector<int>{2000, 6000};
+  const int d = cfg.full ? 4 : 3;
+  const int k = cfg.full ? kDefaultK : 15;
+  const int queries = std::max(2, cfg.queries / 2);
+
+  std::vector<int> sweep;
+  for (int t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+
+  JsonReport report("parallel_traversal");
+  std::printf("d=%d k=%d queries/point=%d hardware_threads=%u\n\n", d, k,
+              queries, std::thread::hardware_concurrency());
+  std::printf("%8s %8s %12s %10s %14s %12s\n", "n", "threads", "avg_ms",
+              "speedup", "tree_nodes", "feas_lps");
+
+  for (int n : cardinalities) {
+    Dataset data = GenerateIndependent(n, d, 42);
+    RTree tree = RTree::BulkLoad(data);
+    KsprSolver solver(&data, &tree);
+    std::vector<RecordId> focals = PickFocals(data, tree, queries);
+
+    double base_ms = 0.0;
+    int64_t base_nodes = 0;
+    int64_t base_lps = 0;
+    int64_t base_regions = 0;
+    for (int threads : sweep) {
+      // The team outlives the timed region: construction cost is a
+      // per-engine event, not a per-query one.
+      ThreadTeam team(threads);
+      KsprOptions options;
+      options.k = k;
+      options.algorithm = Algorithm::kLpCta;
+      if (threads > 1) options.executor = &team;
+
+      RunResult run = RunQueries(solver, focals, options);
+      const double avg_ms = run.avg_seconds * 1e3;
+      if (threads == 1) {
+        base_ms = avg_ms;
+        base_nodes = run.total.cell_tree_nodes;
+        base_lps = run.total.feasibility_lps;
+        base_regions = run.total.result_regions;
+      }
+      const double speedup = base_ms > 0.0 ? base_ms / avg_ms : 0.0;
+      // The traversal's determinism contract: identical counters for
+      // every thread count.
+      const bool identical = run.total.cell_tree_nodes == base_nodes &&
+                             run.total.feasibility_lps == base_lps &&
+                             run.total.result_regions == base_regions;
+      std::printf("%8d %8d %12.2f %9.2fx %14lld %12lld%s\n", n, threads,
+                  avg_ms, speedup,
+                  static_cast<long long>(run.total.cell_tree_nodes),
+                  static_cast<long long>(run.total.feasibility_lps),
+                  identical ? "" : "  COUNTER MISMATCH");
+      report.AddRow()
+          .Str("section", "sweep")
+          .Int("n", n)
+          .Int("threads", threads)
+          .Num("avg_ms", avg_ms)
+          .Num("speedup", speedup)
+          .Int("cell_tree_nodes", run.total.cell_tree_nodes)
+          .Int("feasibility_lps", run.total.feasibility_lps)
+          .Int("result_regions", run.total.result_regions)
+          .Int("counters_identical", identical ? 1 : 0);
+      if (!identical) {
+        report.WriteTo(cfg.json_path);
+        return 1;
+      }
+    }
+    std::printf("\n");
+  }
+
+  return report.WriteTo(cfg.json_path) ? 0 : 1;
+}

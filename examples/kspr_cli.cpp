@@ -4,13 +4,17 @@
 //   kspr_cli [--n 10000] [--d 4] [--k 10] [--dist ind|cor|anti]
 //            [--algo cta|pcta|lpcta|opcta|olpcta|skyband]
 //            [--focal ID] [--seed S] [--volume] [--csv FILE]
-//            [--threads N] [--batch Q]
+//            [--threads N] [--batch Q] [--intra-threads T]
 //
 // With --csv the dataset is read from a headerless CSV of d numeric
 // columns (larger = better) instead of being generated. With --batch Q
 // (and optionally --threads N) the run routes through the concurrent
 // QueryEngine: Q queries over skyline records, answered by N pool
 // workers, with aggregate engine statistics instead of region listings.
+// --intra-threads T spreads every single query over T traversal threads
+// (the result is bitwise-identical to the serial run): alone it speeds up
+// the one-query mode; combined with --batch/--threads the engine splits
+// its budget between queries and subtrees.
 
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
   bool volume = false;
   std::string csv;
   int threads = 1;
+  int intra_threads = 1;
   int batch = 0;  // set via --batch; 0 without the flag = single-query mode
   bool batch_set = false;
 
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
       csv = next("--csv");
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[i], "--intra-threads")) {
+      intra_threads = std::atoi(next("--intra-threads"));
     } else if (!std::strcmp(argv[i], "--batch")) {
       batch = std::atoi(next("--batch"));
       batch_set = true;
@@ -129,6 +136,11 @@ int main(int argc, char** argv) {
                  kMaxThreads);
     return 1;
   }
+  if (intra_threads < 1 || intra_threads > kMaxThreads) {
+    std::fprintf(stderr, "--intra-threads %d out of range [1, %d]\n",
+                 intra_threads, kMaxThreads);
+    return 1;
+  }
   if (batch_set && batch < 1) {
     std::fprintf(stderr, "--batch %d out of range (must be >= 1)\n", batch);
     return 1;
@@ -155,6 +167,7 @@ int main(int argc, char** argv) {
   options.k = k;
   options.algorithm = algo;
   options.compute_volume = volume;
+  options.parallel.num_threads = intra_threads;
 
   if (batch_mode) {
     // Batch mode: route through the concurrent QueryEngine. The workload
@@ -183,6 +196,7 @@ int main(int argc, char** argv) {
 
     EngineOptions engine_options;
     engine_options.workers = threads;
+    engine_options.intra_threads = intra_threads;
     QueryEngine engine(&data, &tree, engine_options);
     std::vector<QueryResponse> responses = engine.RunAll(requests);
     for (size_t i = 0; i < responses.size(); ++i) {
@@ -192,10 +206,11 @@ int main(int argc, char** argv) {
                   responses[i].cache_hit ? " (cache hit)" : "");
     }
     EngineStats::Snapshot stats = engine.stats();
-    std::printf("# %s batch=%lld threads=%d hits=%lld avg=%.2fms "
+    std::printf("# %s batch=%lld threads=%d intra=%d hits=%lld avg=%.2fms "
                 "max=%.2fms lp_calls=%lld\n",
                 data.Summary().c_str(),
                 static_cast<long long>(stats.queries), engine.workers(),
+                engine.intra_threads(),
                 static_cast<long long>(stats.cache_hits),
                 stats.avg_latency_ms(), stats.max_latency_ms,
                 static_cast<long long>(stats.lp_calls));

@@ -5,7 +5,12 @@
 // algorithms, and a few hypothetical what-if records that are not part of
 // the dataset.
 //
-//   kspr_server_demo [--workers N]
+//   kspr_server_demo [--workers N] [--intra-threads T]
+//
+// The tail of the demo re-runs the hottest (heaviest) query on a second
+// engine in parallel_intra_query mode — the thread budget split between
+// queries and cell-tree subtrees — and checks that the answer is
+// bitwise-identical region for region, which is the mode's contract.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,9 +26,18 @@
 using namespace kspr;
 
 int main(int argc, char** argv) {
-  int workers = 0;  // 0 = hardware concurrency
+  int workers = 0;       // 0 = hardware concurrency
+  int intra_threads = 2;  // traversal threads per query in the mixed phase
   for (int i = 1; i + 1 < argc; ++i) {
     if (!std::strcmp(argv[i], "--workers")) workers = std::atoi(argv[i + 1]);
+    if (!std::strcmp(argv[i], "--intra-threads")) {
+      intra_threads = std::atoi(argv[i + 1]);
+    }
+  }
+  if (intra_threads < 1 || intra_threads > 256) {
+    std::fprintf(stderr, "--intra-threads %d out of range [1, 256]\n",
+                 intra_threads);
+    return 1;
   }
 
   // A mid-size catalogue: 2000 records with 3 attributes.
@@ -81,6 +95,41 @@ int main(int argc, char** argv) {
                 response.worker, response.cache_hit ? " (cache hit)" : "");
   }
 
+  // --- Mixed inter/intra parallelism. ------------------------------------
+  // Same thread budget, split between queries and cell-tree subtrees; the
+  // cache is disabled so every query pays the full traversal, and every
+  // answer is checked bitwise against the serial solver.
+  EngineOptions mixed_options;
+  mixed_options.workers = workers;
+  mixed_options.intra_threads = intra_threads;
+  mixed_options.cache_capacity = 0;
+  QueryEngine mixed(&data, &tree, mixed_options);
+  std::vector<QueryRequest> heavy(workload.begin(), workload.begin() + 8);
+  std::vector<QueryResponse> mixed_responses = mixed.RunAll(heavy);
+  KsprSolver solver(&data, &tree);
+  int mismatches = 0;
+  for (size_t q = 0; q < heavy.size(); ++q) {
+    KsprResult serial =
+        solver.QueryRecord(heavy[q].focal_id, heavy[q].options);
+    const KsprResult& parallel = *mixed_responses[q].result;
+    bool same = serial.regions.size() == parallel.regions.size() &&
+                serial.stats.cell_tree_nodes ==
+                    parallel.stats.cell_tree_nodes &&
+                serial.stats.feasibility_lps == parallel.stats.feasibility_lps;
+    for (size_t r = 0; same && r < serial.regions.size(); ++r) {
+      const Region& a = serial.regions[r];
+      const Region& b = parallel.regions[r];
+      same = a.rank_lb == b.rank_lb && a.rank_ub == b.rank_ub &&
+             a.constraints.size() == b.constraints.size() &&
+             a.witness == b.witness;
+    }
+    mismatches += same ? 0 : 1;
+  }
+  std::printf(
+      "mixed: %d workers x %d traversal threads, %zu heavy queries, "
+      "%d bitwise mismatches vs serial\n",
+      mixed.workers(), mixed.intra_threads(), heavy.size(), mismatches);
+
   // --- Aggregate serving statistics. --------------------------------------
   EngineStats::Snapshot stats = engine.stats();
   std::printf(
@@ -90,5 +139,5 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.cache_hits), 100.0 * stats.hit_rate(),
       static_cast<long long>(stats.lp_calls), stats.avg_latency_ms(),
       stats.max_latency_ms);
-  return stats.queries == 122 ? 0 : 1;
+  return stats.queries == 122 && mismatches == 0 ? 0 : 1;
 }

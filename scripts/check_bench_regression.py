@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the CI perf pipeline.
+
+Compares the BENCH_*.json files produced by the quick-bench set against
+the checked-in baseline (bench/baseline.json) and fails the build when a
+gated metric regresses beyond its tolerance.
+
+Two input formats are understood:
+  * the repo's JsonReport format: {"bench": name, "rows": [{...}, ...]}
+  * google-benchmark --benchmark_out JSON: {"benchmarks": [{...}, ...]}
+    (each entry is treated as a row with its "name" field as the key)
+
+Baseline schema (bench/baseline.json):
+  {
+    "metrics": [
+      {
+        "name":      "engine_throughput/qps_1worker",   # report label
+        "bench":     "engine_throughput",   # JsonReport "bench" field
+        "select":    {"section": "sweep", "workers": 1},  # row filter
+        "field":     "qps",                 # value to extract
+        "agg":       "first" | "min" | "max" | "sum",     # over matches
+        "value":     42.0,                  # baseline value
+        "direction": "higher" | "lower" | "exact",
+        "tolerance": 0.25                   # relative; 0 for exact ints
+      }, ...
+    ]
+  }
+
+direction semantics (relative tolerance t, baseline b, measured m):
+  higher: fail when m < b * (1 - t)   (throughput-style metrics)
+  lower:  fail when m > b * (1 + t)   (latency-style metrics)
+  exact:  fail when |m - b| > t * max(1, |b|)  (deterministic counters)
+
+Benches or metrics missing from the run are reported as warnings, not
+failures, so the gate degrades gracefully when a bench is skipped.
+Refresh the baseline with:  check_bench_regression.py --update BENCH_*.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baseline.json"
+
+
+def load_reports(paths):
+    """Maps bench name -> list of row dicts."""
+    reports = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if "rows" in doc:  # JsonReport format
+            reports.setdefault(doc.get("bench", Path(path).stem), []).extend(
+                doc["rows"]
+            )
+        elif "benchmarks" in doc:  # google-benchmark format
+            name = Path(path).stem
+            if name.startswith("BENCH_"):
+                name = name[len("BENCH_"):]
+            reports.setdefault(name, []).extend(doc["benchmarks"])
+        else:
+            print(f"warning: {path}: unrecognised format, skipped")
+    return reports
+
+
+def select_rows(rows, criteria):
+    out = []
+    for row in rows:
+        if all(row.get(k) == v for k, v in criteria.items()):
+            out.append(row)
+    return out
+
+
+def extract(reports, metric):
+    rows = reports.get(metric["bench"])
+    if rows is None:
+        return None, f"bench '{metric['bench']}' not in this run"
+    matches = select_rows(rows, metric.get("select", {}))
+    if not matches:
+        return None, f"no row matches select={metric.get('select', {})}"
+    values = []
+    for row in matches:
+        if metric["field"] not in row:
+            return None, f"field '{metric['field']}' missing from row"
+        values.append(float(row[metric["field"]]))
+    agg = metric.get("agg", "first")
+    if agg == "first":
+        return values[0], None
+    if agg == "min":
+        return min(values), None
+    if agg == "max":
+        return max(values), None
+    if agg == "sum":
+        return sum(values), None
+    return None, f"unknown agg '{agg}'"
+
+
+def check(metric, measured):
+    baseline = float(metric["value"])
+    tolerance = float(metric.get("tolerance", 0.25))
+    direction = metric.get("direction", "higher")
+    if direction == "higher":
+        limit = baseline * (1.0 - tolerance)
+        ok = measured >= limit
+        detail = f"measured {measured:.6g} >= floor {limit:.6g}"
+    elif direction == "lower":
+        limit = baseline * (1.0 + tolerance)
+        ok = measured <= limit
+        detail = f"measured {measured:.6g} <= ceiling {limit:.6g}"
+    elif direction == "exact":
+        slack = tolerance * max(1.0, abs(baseline))
+        ok = abs(measured - baseline) <= slack
+        detail = f"measured {measured:.6g} within {slack:.6g} of {baseline:.6g}"
+    else:
+        return False, f"unknown direction '{direction}'"
+    return ok, detail
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline values from this run instead of gating",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    reports = load_reports(args.reports)
+
+    failures = 0
+    warnings = 0
+    for metric in baseline["metrics"]:
+        measured, err = extract(reports, metric)
+        name = metric["name"]
+        if err is not None:
+            print(f"WARN  {name}: {err}")
+            warnings += 1
+            continue
+        if args.update:
+            old = metric["value"]
+            metric["value"] = measured
+            print(f"UPDATE {name}: {old} -> {measured:.6g}")
+            continue
+        ok, detail = check(metric, measured)
+        status = "PASS " if ok else "FAIL "
+        print(f"{status} {name}: {detail} "
+              f"(baseline {metric['value']}, {metric.get('direction', 'higher')}, "
+              f"tol {metric.get('tolerance', 0.25)})")
+        if not ok:
+            failures += 1
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    print(f"\n{failures} failure(s), {warnings} warning(s), "
+          f"{len(baseline['metrics'])} metric(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,8 @@ CellTree::CellTree(HyperplaneStore* store, int k_tree,
 }
 
 void CellTree::InsertHyperplane(RecordId rid,
-                                const std::vector<RecordId>* dominators) {
+                                const std::vector<RecordId>* dominators,
+                                const TraversalContext* parallel) {
   last_new_leaves_.clear();
   if (RootDead()) return;
   const RecordHyperplane& h = store_->Get(rid);
@@ -32,19 +33,49 @@ void CellTree::InsertHyperplane(RecordId rid,
     case RecordHyperplane::Kind::kRegular:
       break;
   }
-  assert(path_cons_.empty() && cover_cons_.empty() && neg_on_path_.empty());
-  InsertRec(0, rid, h, 0, dominators);
-  path_cons_.clear();
-  cover_cons_.clear();
-  neg_on_path_.clear();
+  assert(seed_state_.path_cons.empty() && seed_state_.cover_cons.empty() &&
+         seed_state_.neg_on_path.empty());
+
+  InsertCtx ctx;
+  ctx.ds = &seed_state_;
+  ctx.stats = stats_;
+  ctx.new_leaves = &last_new_leaves_;
+
+  // Parallel eligibility: an executor with real concurrency and a tree
+  // large enough that splitting it into >= 2 tasks can pay off. The fork
+  // decisions never change the outcome (a task runs the identical
+  // recursion on identical state), only where the work executes.
+  ForkPlan plan;
+  Executor* executor = parallel != nullptr ? parallel->executor : nullptr;
+  if (executor != nullptr && executor->concurrency() > 1) {
+    const int min_cells =
+        parallel->min_cells_per_task > 1 ? parallel->min_cells_per_task : 1;
+    const int total = CountLiveCells(&cell_count_scratch_);
+    if (total >= 2 * min_cells) {
+      plan.subtree_cells = &cell_count_scratch_;
+      plan.min_cells = min_cells;
+      const int target_tasks = 4 * executor->concurrency();
+      plan.chunk = (total + target_tasks - 1) / target_tasks;
+      if (plan.chunk < min_cells) plan.chunk = min_cells;
+      ctx.plan = &plan;
+    }
+  }
+
+  InsertRec(0, rid, h, 0, dominators, &ctx);
+  seed_state_.Clear();
+
+  if (!plan.tasks.empty()) {
+    RunTasksAndReduce(&plan, executor, rid, h, dominators);
+  }
 }
 
 FeasibilityResult CellTree::TestSide(const RecordHyperplane& h,
-                                     bool positive_side) {
+                                     bool positive_side, InsertCtx* ctx) {
   const int dim = store_->pref_dim();
-  std::vector<LinIneq> cons = path_cons_;
+  const DescentState& ds = *ctx->ds;
+  std::vector<LinIneq> cons = ds.path_cons;
   if (!options_->use_lemma2) {
-    cons.insert(cons.end(), cover_cons_.begin(), cover_cons_.end());
+    cons.insert(cons.end(), ds.cover_cons.begin(), ds.cover_cons.end());
   }
   LinIneq side;
   if (positive_side) {
@@ -55,27 +86,48 @@ FeasibilityResult CellTree::TestSide(const RecordHyperplane& h,
     side.b = h.b;
   }
   cons.push_back(side);
-  stats_->constraints_full += static_cast<int64_t>(
-      path_cons_.size() + cover_cons_.size() + 1 + dim + 1);
-  return TestInterior(store_->space(), dim, cons, stats_);
+  ctx->stats->constraints_full += static_cast<int64_t>(
+      ds.path_cons.size() + ds.cover_cons.size() + 1 + dim + 1);
+  return TestInterior(store_->space(), dim, cons, ctx->stats);
 }
 
-void CellTree::PushNegContribution(RecordId rid) { ++neg_on_path_[rid]; }
-
-void CellTree::PopNegContribution(RecordId rid) {
-  auto it = neg_on_path_.find(rid);
-  assert(it != neg_on_path_.end());
-  if (--it->second == 0) neg_on_path_.erase(it);
+int CellTree::AllocNode(Node&& node, InsertCtx* ctx) {
+  if (ctx->arena != nullptr) {
+    ctx->arena->nodes.push_back(std::move(node));
+    return EncodeLocal(static_cast<int>(ctx->arena->nodes.size()) - 1);
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
 }
 
-void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
+int CellTree::CountLiveCells(std::vector<int>* counts) {
+  counts->assign(nodes_.size(), 0);
+  // Depth is bounded by the number of inserted planes, exactly like the
+  // insertion descent itself; only the live spine is visited.
+  auto dfs = [&](auto&& self, int nid) -> int {
+    const Node& n = nodes_[nid];
+    if (n.dead()) return 0;
+    const int cells =
+        n.leaf() ? 1 : self(self, n.left) + self(self, n.right);
+    (*counts)[nid] = cells;
+    return cells;
+  };
+  return dfs(dfs, 0);
+}
+
+bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
                          int pos_above,
-                         const std::vector<RecordId>* dominators) {
+                         const std::vector<RecordId>* dominators,
+                         InsertCtx* ctx) {
+  // `nid` always names a pre-existing node: leaves split off during this
+  // insertion are never descended into again, so arena nodes are only ever
+  // touched through the split branch below.
   Node& n = nodes_[nid];
-  if (n.dead()) return;
-  if (!n.leaf() && nodes_[n.left].dead() && nodes_[n.right].dead()) {
-    Kill(nid);
-    return;
+  if (n.dead()) return false;
+  if (!n.leaf() && NodeAt(n.left, ctx->arena).dead() &&
+      NodeAt(n.right, ctx->arena).dead()) {
+    Kill(nid, ctx->arena);
+    return false;
   }
 
   const int pos_here = pos_above + (n.edge.rid != kInvalidRecord &&
@@ -84,18 +136,18 @@ void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
                                         : 0) +
                        n.cover_pos;
   if (base_rank() + pos_here > k_tree_) {
-    Kill(nid);
-    return;
+    Kill(nid, ctx->arena);
+    return false;
   }
 
   // Sec 5 shortcut: if a processed dominator of rid contributes a negative
   // halfspace to this node's full halfspace set, h- covers the node.
   if (options_->use_dominance_shortcut && dominators != nullptr) {
     for (RecordId dom : *dominators) {
-      if (neg_on_path_.contains(dom)) {
-        ++stats_->dominance_shortcuts;
+      if (ctx->ds->neg_on_path.contains(dom)) {
+        ++ctx->stats->dominance_shortcuts;
         n.cover.push_back({rid, false});
-        return;
+        return false;
       }
     }
   }
@@ -110,7 +162,7 @@ void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     } else if (m < -tol::kWitness) {
       witness_side = -1;
     }
-    if (witness_side != 0) ++stats_->witness_hits;
+    if (witness_side != 0) ++ctx->stats->witness_hits;
   }
 
   bool neg_nonempty;
@@ -125,7 +177,7 @@ void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     neg_witness = n.witness;
     have_neg_witness = true;
   } else {
-    FeasibilityResult f = TestSide(h, /*positive_side=*/false);
+    FeasibilityResult f = TestSide(h, /*positive_side=*/false, ctx);
     neg_nonempty = f.feasible;
     if (f.feasible) {
       neg_witness = f.witness;
@@ -141,8 +193,8 @@ void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     // Case I: the node lies entirely inside h+.
     n.cover.push_back({rid, true});
     ++n.cover_pos;
-    if (base_rank() + pos_here + 1 > k_tree_) Kill(nid);
-    return;
+    if (base_rank() + pos_here + 1 > k_tree_) Kill(nid, ctx->arena);
+    return false;
   }
 
   if (witness_side == 1) {
@@ -150,7 +202,7 @@ void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     pos_witness = n.witness;
     have_pos_witness = true;
   } else {
-    FeasibilityResult f = TestSide(h, /*positive_side=*/true);
+    FeasibilityResult f = TestSide(h, /*positive_side=*/true, ctx);
     pos_nonempty = f.feasible;
     if (f.feasible) {
       pos_witness = f.witness;
@@ -165,7 +217,7 @@ void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
   if (!pos_nonempty) {
     // Case II: the node lies entirely inside h-.
     n.cover.push_back({rid, false});
-    return;
+    return false;
   }
 
   // Case III: h cuts through the node.
@@ -184,63 +236,166 @@ void CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
       right.has_witness = true;
       right.witness = pos_witness;
     }
-    const int left_id = static_cast<int>(nodes_.size());
-    nodes_.push_back(std::move(left));
-    const int right_id = static_cast<int>(nodes_.size());
-    nodes_.push_back(std::move(right));
-    stats_->cell_tree_nodes += 2;
-    // Re-fetch: deque references stay valid, but keep the intent explicit.
+    const int left_id = AllocNode(std::move(left), ctx);
+    const int right_id = AllocNode(std::move(right), ctx);
+    ctx->stats->cell_tree_nodes += 2;
+    // Re-fetch: the deque reference stays valid, but keep the intent
+    // explicit (and arenas DO reallocate).
     Node& parent = nodes_[nid];
     parent.left = left_id;
     parent.right = right_id;
-    last_new_leaves_.push_back(left_id);
-    last_new_leaves_.push_back(right_id);
+    ctx->new_leaves->push_back(left_id);
+    ctx->new_leaves->push_back(right_id);
     // The h+ child may already exceed k.
-    if (base_rank() + pos_here + 1 > k_tree_) Kill(right_id);
-    return;
+    if (base_rank() + pos_here + 1 > k_tree_) Kill(right_id, ctx->arena);
+    return false;
   }
 
   // Internal node: descend into both children, maintaining the path scope.
-  for (int child_id : {n.left, n.right}) {
+  // The child ids are cached up front: `n` must not be dereferenced after
+  // a recursion that may append nodes.
+  const int child_ids[2] = {n.left, n.right};
+  bool forked = false;
+  for (int child_id : child_ids) {
     Node& child = nodes_[child_id];
     if (child.dead()) continue;
-    LinIneq edge_ineq = store_->AsStrictIneq(child.edge);
-    path_cons_.push_back(edge_ineq);
-    if (!child.edge.positive) PushNegContribution(child.edge.rid);
-    const size_t cover_mark = cover_cons_.size();
-    size_t neg_cover = 0;
+    DescentState& ds = *ctx->ds;
+    ds.path_cons.push_back(store_->AsStrictIneq(child.edge));
+    const size_t cover_mark = ds.cover_cons.size();
+    // Record what this scope pushed so the unwind pops exactly that —
+    // without re-reading the child's cover, which a descent into the
+    // child (here or later in its task) may have grown via case I/II.
+    std::vector<RecordId> neg_scope;
+    neg_scope.reserve(child.cover.size() + 1);
+    if (!child.edge.positive) {
+      ++ds.neg_on_path[child.edge.rid];
+      neg_scope.push_back(child.edge.rid);
+    }
     for (const HalfspaceRef& ref : child.cover) {
       if (!options_->use_lemma2) {
-        cover_cons_.push_back(store_->AsStrictIneq(ref));
+        ds.cover_cons.push_back(store_->AsStrictIneq(ref));
       }
       if (!ref.positive) {
-        PushNegContribution(ref.rid);
-        ++neg_cover;
+        ++ds.neg_on_path[ref.rid];
+        neg_scope.push_back(ref.rid);
       }
     }
-    InsertRec(child_id, rid, h, pos_here, dominators);
-    // Unwind. The child's cover may have grown during the call (case I/II
-    // on the child itself) — pop exactly what we pushed.
-    path_cons_.pop_back();
-    cover_cons_.resize(cover_mark);
-    const Node& child_after = nodes_[child_id];
-    if (!child_after.edge.positive) PopNegContribution(child_after.edge.rid);
-    size_t popped = 0;
-    for (const HalfspaceRef& ref : child_after.cover) {
-      if (!ref.positive && popped < neg_cover) {
-        PopNegContribution(ref.rid);
-        ++popped;
-      }
-      if (popped == neg_cover) break;
+
+    const int cells =
+        ctx->plan != nullptr ? (*ctx->plan->subtree_cells)[child_id] : 0;
+    if (ctx->plan != nullptr && cells >= ctx->plan->min_cells &&
+        cells <= ctx->plan->chunk) {
+      // Fork: snapshot the descent state; a worker continues the identical
+      // recursion from this child later.
+      InsertTask task;
+      task.nid = child_id;
+      task.pos_above = pos_here;
+      task.state = ds;
+      task.splice_pos = ctx->new_leaves->size();
+      ctx->plan->tasks.push_back(std::move(task));
+      forked = true;
+    } else if (ctx->plan != nullptr && cells < ctx->plan->min_cells) {
+      // Too small to be worth a task: finish this subtree inline.
+      ForkPlan* saved = ctx->plan;
+      ctx->plan = nullptr;
+      InsertRec(child_id, rid, h, pos_here, dominators, ctx);
+      ctx->plan = saved;
+    } else if (InsertRec(child_id, rid, h, pos_here, dominators, ctx)) {
+      forked = true;
+    }
+
+    // Unwind exactly what this scope pushed.
+    ds.path_cons.pop_back();
+    ds.cover_cons.resize(cover_mark);
+    for (RecordId r : neg_scope) {
+      auto it = ds.neg_on_path.find(r);
+      assert(it != ds.neg_on_path.end());
+      if (--it->second == 0) ds.neg_on_path.erase(it);
     }
   }
-  if (nodes_[nodes_[nid].left].dead() && nodes_[nodes_[nid].right].dead()) {
-    Kill(nid);
+
+  if (forked) {
+    // A child's fate is decided only after its task ran; the reduction
+    // replays this check bottom-up.
+    ctx->plan->deferred_kills.push_back(nid);
+  } else {
+    const Node& after = nodes_[nid];
+    if (NodeAt(after.left, ctx->arena).dead() &&
+        NodeAt(after.right, ctx->arena).dead()) {
+      Kill(nid, ctx->arena);
+    }
+  }
+  return forked;
+}
+
+void CellTree::RunTasksAndReduce(ForkPlan* plan, Executor* executor,
+                                 RecordId rid, const RecordHyperplane& h,
+                                 const std::vector<RecordId>* dominators) {
+  // Workers claim tasks from the executor's shared cursor; each task is a
+  // pure function of its snapshot, so execution order is irrelevant.
+  executor->ParallelFor(
+      static_cast<int>(plan->tasks.size()), [&](int t) {
+        InsertTask& task = plan->tasks[t];
+        InsertCtx ctx;
+        ctx.ds = &task.state;
+        ctx.stats = &task.stats;
+        ctx.new_leaves = &task.new_leaves;
+        ctx.arena = &task.arena;
+        InsertRec(task.nid, rid, h, task.pos_above, dominators, &ctx);
+      });
+
+  // Deterministic reduction. Arenas are spliced in task-emission (= DFS)
+  // order, so node ids and the new-leaf order match what a single serial
+  // descent interleaving seed and task splits would produce; counters are
+  // integer sums, hence order-free.
+  std::vector<int> merged;
+  merged.reserve(last_new_leaves_.size());
+  size_t seed_pos = 0;
+  for (InsertTask& task : plan->tasks) {
+    for (; seed_pos < task.splice_pos; ++seed_pos) {
+      merged.push_back(last_new_leaves_[seed_pos]);
+    }
+    const int base = static_cast<int>(nodes_.size());
+    const size_t count = task.arena.nodes.size();
+    for (Node& node : task.arena.nodes) {
+      nodes_.push_back(std::move(node));
+    }
+    // Arena nodes are always split-off leaves whose parent pre-existed;
+    // rewrite the parents' encoded child links to the global ids.
+    for (size_t i = 0; i < count; ++i) {
+      const Node& node = nodes_[base + static_cast<int>(i)];
+      assert(node.parent >= 0);
+      Node& split = nodes_[node.parent];
+      if (split.left <= EncodeLocal(0)) {
+        split.left = base + DecodeLocal(split.left);
+      }
+      if (split.right <= EncodeLocal(0)) {
+        split.right = base + DecodeLocal(split.right);
+      }
+    }
+    for (int leaf : task.new_leaves) {
+      merged.push_back(base + DecodeLocal(leaf));
+    }
+    stats_->Add(task.stats);
+  }
+  for (; seed_pos < last_new_leaves_.size(); ++seed_pos) {
+    merged.push_back(last_new_leaves_[seed_pos]);
+  }
+  last_new_leaves_ = std::move(merged);
+
+  // Replay the deferred both-children-dead checks; the list is recorded on
+  // recursion unwind, so children always precede their ancestors.
+  for (int nid : plan->deferred_kills) {
+    const Node& n = nodes_[nid];
+    if (!n.dead() && !n.leaf() && nodes_[n.left].dead() &&
+        nodes_[n.right].dead()) {
+      Kill(nid);
+    }
   }
 }
 
-void CellTree::Kill(int nid) {
-  Node& n = nodes_[nid];
+void CellTree::Kill(int nid, TaskArena* arena) {
+  Node& n = NodeAt(nid, arena);
   if (n.dead()) return;
   n.eliminated = true;
 }
@@ -270,10 +425,6 @@ void CellTree::MarkEliminated(int node_id) {
 }
 
 void CellTree::CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id) {
-  struct Frame {
-    int nid;
-    int pos;  // positives above & including this node's edge + covers
-  };
   // Iterative DFS maintaining path/neg/pos record stacks.
   std::vector<HalfspaceRef> path;
   std::vector<RecordId> neg_records;

@@ -12,6 +12,19 @@
 //  * witness-point caching to skip feasibility tests,
 //  * the dominance-graph shortcut of Sec 5 (case-II without any LP),
 //  * lazy subtree elimination once a node's rank exceeds k.
+//
+// Parallel insertion: an insertion descends the whole live tree, and the
+// descents into disjoint subtrees are independent. When a TraversalContext
+// is supplied, InsertHyperplane runs a serial SEED descent from the root
+// that, instead of recursing into sufficiently large live subtrees, emits
+// them as tasks (carrying a snapshot of the descent-scoped state); the
+// executor's workers then claim tasks from a shared frontier and run the
+// identical recursion, allocating any split-off leaves in a task-local
+// arena. A deterministic reduction step splices the arenas into the node
+// store in task-emission (= DFS) order, merges per-task counters (integer
+// sums, order-free) and replays the parent-death checks bottom-up —
+// so the resulting tree state, result regions and statistics are
+// bitwise-identical to the serial insertion for every thread count.
 
 #ifndef KSPR_CORE_CELL_TREE_H_
 #define KSPR_CORE_CELL_TREE_H_
@@ -24,10 +37,18 @@
 #include "common/types.h"
 #include "common/vec.h"
 #include "core/options.h"
+#include "core/parallel.h"
 #include "geom/hyperplane.h"
 #include "lp/feasibility.h"
 
 namespace kspr {
+
+/// Per-query intra-parallelism handle threaded through the traversal.
+/// `executor` is not owned; null (or concurrency 1) means serial.
+struct TraversalContext {
+  Executor* executor = nullptr;
+  int min_cells_per_task = 32;
+};
 
 class CellTree {
  public:
@@ -41,9 +62,12 @@ class CellTree {
   /// lists already-processed records dominating `rid` (enables the Sec 5
   /// case-II shortcut). Degenerate hyperplanes are handled: always-negative
   /// ones are ignored; always-positive ones raise the base rank of the
-  /// whole tree.
+  /// whole tree. `parallel` (may be null) runs the descent over independent
+  /// subtrees on the context's executor; the outcome is bitwise-identical
+  /// to the serial insertion.
   void InsertHyperplane(RecordId rid,
-                        const std::vector<RecordId>* dominators = nullptr);
+                        const std::vector<RecordId>* dominators = nullptr,
+                        const TraversalContext* parallel = nullptr);
 
   /// True when every leaf has been eliminated or reported.
   bool RootDead() const { return nodes_[0].dead(); }
@@ -99,7 +123,8 @@ class CellTree {
   int64_t SizeBytes() const;
 
   /// Ids of leaves created by splits during the most recent
-  /// InsertHyperplane call (consumed by per-split look-ahead).
+  /// InsertHyperplane call (consumed by per-split look-ahead), in the
+  /// order the serial descent would have created them.
   const std::vector<int>& last_new_leaves() const { return last_new_leaves_; }
 
  private:
@@ -119,19 +144,100 @@ class CellTree {
     bool dead() const { return eliminated || reported; }
   };
 
-  void InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
-                 int pos_above, const std::vector<RecordId>* dominators);
+  /// Descent-scoped constraint state: edge-label inequalities root..current,
+  /// cover-set inequalities (lemma2 ablation only) and the multiset of
+  /// records contributing a negative halfspace to the current node's full
+  /// halfspace set. One instance per concurrent descent.
+  struct DescentState {
+    std::vector<LinIneq> path_cons;
+    std::vector<LinIneq> cover_cons;
+    std::unordered_map<RecordId, int> neg_on_path;
+
+    void Clear() {
+      path_cons.clear();
+      cover_cons.clear();
+      neg_on_path.clear();
+    }
+  };
+
+  /// Nodes created by one task, spliced into `nodes_` during reduction.
+  /// Within the task they are addressed by encoded ids (see EncodeLocal).
+  struct TaskArena {
+    std::vector<Node> nodes;
+  };
+
+  /// One forked subtree descent. `state` snapshots the seed descent at the
+  /// moment of emission (including the subtree root's edge/cover pushes).
+  struct InsertTask {
+    int nid = -1;       // subtree root (pre-existing node id)
+    int pos_above = 0;  // positives strictly above the subtree root
+    DescentState state;
+    TaskArena arena;
+    KsprStats stats;
+    std::vector<int> new_leaves;  // encoded arena ids, task-DFS order
+    size_t splice_pos = 0;  // seed new-leaf count when the task was emitted
+  };
+
+  /// Seed-descent bookkeeping for one parallel insertion.
+  struct ForkPlan {
+    /// Live leaves under each existing node; borrows cell_count_scratch_,
+    /// which is only rewritten by the next insertion's count pass (after
+    /// this plan is done).
+    const std::vector<int>* subtree_cells = nullptr;
+    int min_cells = 1;
+    int chunk = 1;  // target cells per task
+    std::vector<InsertTask> tasks;
+    std::vector<int> deferred_kills;  // ancestors of forks, bottom-up
+  };
+
+  /// Everything one descent needs. Serial inserts use the members
+  /// (seed_state_/stats_/last_new_leaves_) with arena/plan null; tasks use
+  /// their own copies.
+  struct InsertCtx {
+    DescentState* ds = nullptr;
+    KsprStats* stats = nullptr;
+    std::vector<int>* new_leaves = nullptr;
+    TaskArena* arena = nullptr;  // null: allocate directly in nodes_
+    ForkPlan* plan = nullptr;    // non-null only during the seed descent
+  };
+
+  // Arena ids are encoded as negatives distinct from the -1 "no node"
+  // sentinel; pre-existing nodes keep their non-negative ids everywhere.
+  static int EncodeLocal(int index) { return -2 - index; }
+  static int DecodeLocal(int id) { return -2 - id; }
+
+  Node& NodeAt(int id, TaskArena* arena) {
+    return id >= 0 ? nodes_[id] : arena->nodes[DecodeLocal(id)];
+  }
+
+  /// Appends a node to the arena (encoded id) or to nodes_ (global id).
+  int AllocNode(Node&& node, InsertCtx* ctx);
+
+  /// Returns true when a fork was emitted somewhere in this subtree (the
+  /// caller must then defer its both-children-dead check to the reduction).
+  bool InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
+                 int pos_above, const std::vector<RecordId>* dominators,
+                 InsertCtx* ctx);
 
   /// Feasibility of (path constraints) ∩ (side of h) using the Lemma-2
   /// constraint set (or the full set when the ablation disables it).
-  FeasibilityResult TestSide(const RecordHyperplane& h, bool positive_side);
+  FeasibilityResult TestSide(const RecordHyperplane& h, bool positive_side,
+                             InsertCtx* ctx);
 
-  void Kill(int nid);
+  /// Fills plan->subtree_cells with per-node live-leaf counts; returns the
+  /// total (the root's count).
+  int CountLiveCells(std::vector<int>* counts);
+
+  /// Runs the emitted tasks on the executor and performs the deterministic
+  /// reduction (arena splice, counter merge, deferred kills, new-leaf
+  /// ordering).
+  void RunTasksAndReduce(ForkPlan* plan, Executor* executor, RecordId rid,
+                         const RecordHyperplane& h,
+                         const std::vector<RecordId>* dominators);
+
+  void Kill(int nid, TaskArena* arena = nullptr);
   /// Propagates death upward while both children of the parent are dead.
   void PropagateDeath(int nid);
-
-  void PushNegContribution(RecordId rid);
-  void PopNegContribution(RecordId rid);
 
   HyperplaneStore* store_;
   int k_tree_;
@@ -141,10 +247,10 @@ class CellTree {
 
   std::deque<Node> nodes_;
 
-  // Descent-scoped state for the current insertion.
-  std::vector<LinIneq> path_cons_;   // edge-label inequalities root..current
-  std::vector<LinIneq> cover_cons_;  // cover-set inequalities (lemma2 off)
-  std::unordered_map<RecordId, int> neg_on_path_;  // negative contributors
+  // Scratch for the serial / seed descent (kept across insertions to
+  // avoid reallocation).
+  DescentState seed_state_;
+  std::vector<int> cell_count_scratch_;
   std::vector<int> last_new_leaves_;
 };
 

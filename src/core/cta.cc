@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/parallel.h"
+
 namespace kspr {
 
 QueryPrep PrepareQuery(const Dataset& data, const Vec& p, RecordId focal_id,
@@ -36,9 +38,33 @@ QueryPrep PrepareQuery(const Dataset& data, const Vec& p, RecordId focal_id,
   return prep;
 }
 
+void FinalizeRegions(KsprResult* result, size_t from, size_t to,
+                     const KsprOptions& options, Executor* executor) {
+  if (!options.finalize_geometry || from >= to) return;
+  const int count = static_cast<int>(to - from);
+  if (executor == nullptr || executor->concurrency() <= 1 || count == 1) {
+    for (size_t i = from; i < to; ++i) {
+      FinalizeRegion(&result->regions[i], options.compute_volume,
+                     options.volume_samples, &result->stats);
+    }
+    return;
+  }
+  // Each region finalises against its own constraint set only, so the work
+  // is embarrassingly parallel; per-region counters land in slots merged
+  // in region order (integer sums — identical to the serial totals).
+  std::vector<KsprStats> slots(static_cast<size_t>(count));
+  executor->ParallelFor(count, [&](int i) {
+    FinalizeRegion(&result->regions[from + static_cast<size_t>(i)],
+                   options.compute_volume, options.volume_samples,
+                   &slots[static_cast<size_t>(i)]);
+  });
+  for (const KsprStats& s : slots) result->stats.Add(s);
+}
+
 void HarvestRegions(CellTree* tree, HyperplaneStore* store,
                     const KsprOptions& options, int rank_offset,
-                    KsprResult* result) {
+                    KsprResult* result, Executor* executor) {
+  const size_t first = result->regions.size();
   std::vector<CellTree::LeafInfo> leaves;
   tree->CollectLiveLeaves(&leaves);
   for (const CellTree::LeafInfo& leaf : leaves) {
@@ -52,12 +78,9 @@ void HarvestRegions(CellTree* tree, HyperplaneStore* store,
     region.rank_lb = leaf.rank + rank_offset;
     region.rank_ub = leaf.rank + rank_offset;
     if (leaf.has_witness) region.witness = leaf.witness;
-    if (options.finalize_geometry) {
-      FinalizeRegion(&region, options.compute_volume, options.volume_samples,
-                     &result->stats);
-    }
     result->regions.push_back(std::move(region));
   }
+  FinalizeRegions(result, first, result->regions.size(), options, executor);
   result->stats.result_regions =
       static_cast<int64_t>(result->regions.size());
   result->stats.live_leaves = static_cast<int64_t>(leaves.size());
@@ -76,9 +99,15 @@ KsprResult RunCtaImpl(const Dataset& data, const Vec& p, RecordId focal_id,
   HyperplaneStore store(&data, p, space);
   CellTree tree(&store, prep.k_effective, &options, &result.stats);
 
+  TraversalContext traversal;
+  traversal.executor = options.executor;
+  traversal.min_cells_per_task = options.parallel.min_cells_per_task;
+  const TraversalContext* par =
+      options.executor != nullptr ? &traversal : nullptr;
+
   auto insert = [&](RecordId rid) {
     if (prep.skip[rid]) return true;
-    tree.InsertHyperplane(rid);
+    tree.InsertHyperplane(rid, /*dominators=*/nullptr, par);
     ++result.stats.processed_records;
     return !tree.RootDead();
   };
@@ -92,7 +121,8 @@ KsprResult RunCtaImpl(const Dataset& data, const Vec& p, RecordId focal_id,
       if (!insert(rid)) break;
     }
   }
-  HarvestRegions(&tree, &store, options, prep.num_dominators, &result);
+  HarvestRegions(&tree, &store, options, prep.num_dominators, &result,
+                 options.executor);
   return result;
 }
 

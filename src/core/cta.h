@@ -32,11 +32,19 @@ struct QueryPrep {
 QueryPrep PrepareQuery(const Dataset& data, const Vec& p, RecordId focal_id,
                        int k);
 
+/// Finalises result->regions[from, to) (redundancy elimination, vertex
+/// enumeration, optional volume). Regions are independent, so a non-null
+/// `executor` finalises them in parallel; per-region work is deterministic
+/// and the counters are merged in region order, keeping the result
+/// bitwise-identical to the serial pass.
+void FinalizeRegions(KsprResult* result, size_t from, size_t to,
+                     const KsprOptions& options, Executor* executor);
+
 /// Converts the surviving leaves of `tree` into result regions and runs the
-/// finalisation step.
+/// finalisation step (on `executor` when non-null).
 void HarvestRegions(CellTree* tree, HyperplaneStore* store,
                     const KsprOptions& options, int rank_offset,
-                    KsprResult* result);
+                    KsprResult* result, Executor* executor = nullptr);
 
 /// Runs plain CTA: inserts every non-skipped record's hyperplane in dataset
 /// order, then harvests. `space` selects the transformed or original

@@ -7,6 +7,8 @@
 
 namespace kspr {
 
+class Executor;  // core/parallel.h
+
 enum class Algorithm {
   kCta,         // Cell Tree Approach (Sec 4)
   kPcta,        // Progressive CTA (Sec 5)
@@ -21,6 +23,21 @@ enum class BoundMode {
   kRecord,  // per-record score intervals only (Sec 6.1)
   kGroup,   // + aggregate R-tree group bounds (Sec 6.2)
   kFast,    // + fast min/max-vector filtering (Sec 6.3); the default
+};
+
+/// Intra-query parallelism: one heavy query spread over several threads.
+/// The traversal partitions independent cell-tree subtrees into tasks and
+/// reduces them deterministically, so the result (regions AND counters) is
+/// bitwise-identical to the serial run for every thread count.
+struct ParallelOptions {
+  /// Threads for a single query: 1 = serial (the default), 0 or negative =
+  /// hardware concurrency. Ignored when an explicit executor is set.
+  int num_threads = 1;
+
+  /// Minimum live cells a subtree must contain to become its own task;
+  /// insertions into trees smaller than twice this run serially. Small
+  /// values maximise stealing granularity at higher fork overhead.
+  int min_cells_per_task = 32;
 };
 
 struct KsprOptions {
@@ -58,6 +75,17 @@ struct KsprOptions {
 
   /// Monte-Carlo samples per region for volume estimation in d' >= 3.
   int volume_samples = 20000;
+
+  /// Intra-query parallel traversal (see ParallelOptions). Neither field
+  /// affects the result, only how fast it is computed — the engine result
+  /// cache deliberately excludes them from its key.
+  ParallelOptions parallel;
+
+  /// Executor driving the parallel traversal; not owned, must outlive the
+  /// query. When null and parallel.num_threads != 1, the solver spins up a
+  /// transient ThreadTeam for the query; long-lived callers (QueryEngine)
+  /// pass a persistent executor instead.
+  Executor* executor = nullptr;
 };
 
 }  // namespace kspr

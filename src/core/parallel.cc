@@ -1,0 +1,76 @@
+#include "core/parallel.h"
+
+namespace kspr {
+
+ThreadTeam::ThreadTeam(int num_threads) {
+  const int helpers = (num_threads > 1 ? num_threads : 1) - 1;
+  helpers_.reserve(static_cast<size_t>(helpers));
+  for (int i = 0; i < helpers; ++i) {
+    helpers_.emplace_back([this] { HelperLoop(); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+void ThreadTeam::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (helpers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    cursor_.store(0, std::memory_order_relaxed);
+    working_ = static_cast<int>(helpers_.size());
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  for (int i; (i = cursor_.fetch_add(1, std::memory_order_relaxed)) < n;) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return working_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadTeam::HelperLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn;
+    int n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock,
+                    [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      fn = fn_;
+      n = n_;
+    }
+    for (int i; (i = cursor_.fetch_add(1, std::memory_order_relaxed)) < n;) {
+      (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --working_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+int ResolveIntraThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace kspr

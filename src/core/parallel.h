@@ -1,0 +1,94 @@
+// Intra-query parallel execution substrate.
+//
+// The traversal layer (CellTree insertion, look-ahead passes, region
+// finalisation) expresses its parallelism as deterministic task lists
+// executed through the small `Executor` interface below: tasks are pure
+// functions of their index, workers claim indices dynamically (a shared
+// atomic cursor — the work-stealing frontier), and every reduction over
+// task outputs happens in task-index order. Results are therefore
+// bitwise-identical no matter how many threads execute the list, which is
+// what lets the solver guarantee parallel == serial output.
+//
+// `ThreadTeam` is the standard implementation: a persistent group of
+// helper threads with low-latency generation-based dispatch (a query
+// issues one ParallelFor per hyperplane insertion, so per-call thread
+// spawning would dominate). The calling thread always participates, so
+// `ThreadTeam(1)` spawns nothing and degenerates to an inline loop.
+
+#ifndef KSPR_CORE_PARALLEL_H_
+#define KSPR_CORE_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kspr {
+
+/// Abstract task-list executor. Implementations must run `fn(i)` exactly
+/// once for every i in [0, n) and return only when all calls finished.
+/// `fn` must be safe to call concurrently from `concurrency()` threads.
+/// Calls are not reentrant: `fn` must not call back into ParallelFor on
+/// the same executor.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Number of threads that participate in ParallelFor, caller included.
+  virtual int concurrency() const = 0;
+
+  virtual void ParallelFor(int n, const std::function<void(int)>& fn) = 0;
+};
+
+/// Trivial executor: runs everything inline on the caller.
+class SerialExecutor final : public Executor {
+ public:
+  int concurrency() const override { return 1; }
+  void ParallelFor(int n, const std::function<void(int)>& fn) override {
+    for (int i = 0; i < n; ++i) fn(i);
+  }
+};
+
+/// Persistent helper-thread team. Spawns `num_threads - 1` helpers (the
+/// caller of ParallelFor is the remaining worker); helpers sleep between
+/// calls and are woken by a generation counter, so dispatch latency is a
+/// mutex round-trip rather than a thread spawn.
+class ThreadTeam final : public Executor {
+ public:
+  /// `num_threads` is clamped to >= 1 (1 = no helpers, inline execution).
+  explicit ThreadTeam(int num_threads);
+  ~ThreadTeam() override;
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int concurrency() const override {
+    return static_cast<int>(helpers_.size()) + 1;
+  }
+
+  void ParallelFor(int n, const std::function<void(int)>& fn) override;
+
+ private:
+  void HelperLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;  // helpers wait for a new generation
+  std::condition_variable done_cv_;  // caller waits for helpers to finish
+  uint64_t generation_ = 0;
+  int working_ = 0;  // helpers still inside the current generation
+  bool stopping_ = false;
+  const std::function<void(int)>* fn_ = nullptr;
+  int n_ = 0;
+  std::atomic<int> cursor_{0};  // shared claim index ("stealing" frontier)
+  std::vector<std::thread> helpers_;
+};
+
+/// Resolves a requested intra-query thread count: values >= 1 are taken as
+/// is, anything else means std::thread::hardware_concurrency().
+int ResolveIntraThreads(int requested);
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_PARALLEL_H_

@@ -5,9 +5,36 @@
 #include "baselines/skyband_cta.h"
 #include "core/cta.h"
 #include "core/lpcta.h"
+#include "core/parallel.h"
 #include "core/pcta.h"
 
 namespace kspr {
+
+namespace {
+
+KsprResult DispatchImpl(const Dataset& data, const RTree& index,
+                        const Vec& focal, RecordId focal_id,
+                        const KsprOptions& options) {
+  switch (options.algorithm) {
+    case Algorithm::kCta:
+      return RunCta(data, focal, focal_id, options, Space::kTransformed);
+    case Algorithm::kPcta:
+      return RunPcta(data, index, focal, focal_id, options);
+    case Algorithm::kLpCta:
+      return RunLpCta(data, index, focal, focal_id, options);
+    case Algorithm::kOpCta:
+      return RunProgressive(data, index, focal, focal_id, options,
+                            Space::kOriginal, /*lookahead=*/false);
+    case Algorithm::kOlpCta:
+      return RunProgressive(data, index, focal, focal_id, options,
+                            Space::kOriginal, /*lookahead=*/true);
+    case Algorithm::kSkybandCta:
+      return RunSkybandCta(data, index, focal, focal_id, options);
+  }
+  return {};
+}
+
+}  // namespace
 
 KsprResult KsprSolver::QueryRecord(RecordId focal_id,
                                    const KsprOptions& options) const {
@@ -23,23 +50,19 @@ KsprResult KsprSolver::Query(const Vec& focal,
 
 KsprResult KsprSolver::Dispatch(const Vec& focal, RecordId focal_id,
                                 const KsprOptions& options) const {
-  switch (options.algorithm) {
-    case Algorithm::kCta:
-      return RunCta(*data_, focal, focal_id, options, Space::kTransformed);
-    case Algorithm::kPcta:
-      return RunPcta(*data_, *index_, focal, focal_id, options);
-    case Algorithm::kLpCta:
-      return RunLpCta(*data_, *index_, focal, focal_id, options);
-    case Algorithm::kOpCta:
-      return RunProgressive(*data_, *index_, focal, focal_id, options,
-                            Space::kOriginal, /*lookahead=*/false);
-    case Algorithm::kOlpCta:
-      return RunProgressive(*data_, *index_, focal, focal_id, options,
-                            Space::kOriginal, /*lookahead=*/true);
-    case Algorithm::kSkybandCta:
-      return RunSkybandCta(*data_, *index_, focal, focal_id, options);
+  // Intra-query parallelism without a caller-provided executor: spin up a
+  // team for this query. Callers issuing many parallel queries should pass
+  // a persistent Executor instead (the QueryEngine does).
+  if (options.executor == nullptr && options.parallel.num_threads != 1) {
+    const int threads = ResolveIntraThreads(options.parallel.num_threads);
+    if (threads > 1) {
+      ThreadTeam team(threads);
+      KsprOptions with_executor = options;
+      with_executor.executor = &team;
+      return DispatchImpl(*data_, *index_, focal, focal_id, with_executor);
+    }
   }
-  return {};
+  return DispatchImpl(*data_, *index_, focal, focal_id, options);
 }
 
 }  // namespace kspr

@@ -13,10 +13,18 @@ namespace kspr {
 
 namespace {
 
-int ResolveWorkers(int requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+// The engine's thread budget shares the core resolution policy (<= 0
+// means hardware concurrency).
+int ResolveWorkers(int requested) { return ResolveIntraThreads(requested); }
+
+// Splits the total thread budget: with intra_threads = t, every pool
+// worker drives t traversal threads, so only budget / t workers run
+// queries concurrently (at least one).
+int PoolWorkers(const EngineOptions& options) {
+  const int budget = ResolveWorkers(options.workers);
+  if (options.intra_threads <= 1) return budget;
+  const int outer = budget / options.intra_threads;
+  return outer > 0 ? outer : 1;
 }
 
 }  // namespace
@@ -26,7 +34,20 @@ QueryEngine::QueryEngine(const Dataset* data, const RTree* index,
     : data_(data),
       solver_(data, index),
       cache_(options.cache_capacity),
-      pool_(ResolveWorkers(options.workers)) {}
+      pool_(PoolWorkers(options)) {
+  if (options.intra_threads > 1) {
+    // Honour the total budget even when it is smaller than intra_threads
+    // (e.g. workers=2, intra_threads=8 -> one worker with a 2-thread
+    // team, not an 8-thread one).
+    const int budget = ResolveWorkers(options.workers);
+    const int team = options.intra_threads < budget ? options.intra_threads
+                                                    : budget;
+    intra_teams_.reserve(static_cast<size_t>(pool_.size()));
+    for (int w = 0; w < pool_.size(); ++w) {
+      intra_teams_.push_back(std::make_unique<ThreadTeam>(team));
+    }
+  }
+}
 
 void QueryEngine::Canonicalize(QueryRequest* request) const {
   if (request->focal_id != kInvalidRecord) {
@@ -54,10 +75,17 @@ QueryResponse QueryEngine::Execute(const QueryRequest& request, int worker) {
     return response;
   }
 
+  // parallel_intra_query mode: run the miss on this worker's traversal
+  // team. The executor does not affect the result (bitwise-identical to
+  // serial), so the cache key above deliberately ignores it.
+  KsprOptions options = request.options;
+  if (!intra_teams_.empty() && options.executor == nullptr) {
+    options.executor = intra_teams_[static_cast<size_t>(worker)].get();
+  }
   auto result = std::make_shared<KsprResult>(
       request.focal_id != kInvalidRecord
-          ? solver_.QueryRecord(request.focal_id, request.options)
-          : solver_.Query(request.focal, request.options));
+          ? solver_.QueryRecord(request.focal_id, options)
+          : solver_.Query(request.focal, options));
   cache_.Put(key, result);
   response.result = std::move(result);
   response.latency_ms = timer.Millis();

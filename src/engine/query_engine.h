@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "core/parallel.h"
 #include "common/types.h"
 #include "common/vec.h"
 #include "core/options.h"
@@ -36,11 +37,22 @@
 namespace kspr {
 
 struct EngineOptions {
-  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  /// Total thread budget; <= 0 means std::thread::hardware_concurrency().
   int workers = 0;
 
   /// Result-cache entries; 0 disables caching entirely.
   size_t cache_capacity = 1024;
+
+  /// Intra-query parallelism (> 1 enables it): the engine SPLITS its
+  /// thread budget between queries and subtrees — `workers /
+  /// intra_threads` pool workers answer queries concurrently, and each
+  /// drives a private ThreadTeam of `intra_threads` traversal threads for
+  /// the query it is running. Results are bitwise-identical to serial
+  /// execution (see core/parallel.h), so the result cache is shared
+  /// between both modes. Prefer inter-query parallelism (intra_threads =
+  /// 1) for throughput on many small queries, and intra-query parallelism
+  /// for tail latency on few heavy ones.
+  int intra_threads = 1;
 };
 
 /// One kSPR query. For a focal record that is part of the dataset set
@@ -75,7 +87,15 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
+  /// Pool workers answering queries concurrently (after the intra split).
   int workers() const { return pool_.size(); }
+
+  /// Traversal threads each worker drives per query (1 = serial queries).
+  int intra_threads() const {
+    return intra_teams_.empty()
+               ? 1
+               : intra_teams_.front()->concurrency();
+  }
 
   /// Asynchronous single query.
   std::future<QueryResponse> Submit(QueryRequest request);
@@ -113,6 +133,9 @@ class QueryEngine {
   KsprSolver solver_;
   ResultCache cache_;
   EngineStats stats_;
+  // One traversal team per pool worker (parallel_intra_query mode only);
+  // declared before the pool so in-flight queries outlive their teams.
+  std::vector<std::unique_ptr<ThreadTeam>> intra_teams_;
   ThreadPool pool_;  // last member: destroyed (joined) before the state
                      // above disappears
 };

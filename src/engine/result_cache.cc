@@ -16,6 +16,10 @@ inline uint64_t FnvMix(uint64_t h, uint64_t x) {
 
 CacheKey CacheKey::Make(const Vec& focal, RecordId focal_id,
                         const KsprOptions& options) {
+  // Deliberately excluded: options.parallel and options.executor — the
+  // intra-query parallel traversal is bitwise-identical to the serial
+  // run, so serial and parallel executions of the same query share one
+  // cache entry.
   CacheKey key;
   key.focal = focal;
   // Canonicalise -0.0 so that numerically equal focals are also bitwise

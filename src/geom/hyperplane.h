@@ -52,6 +52,13 @@ struct HalfspaceRef {
 };
 
 /// Lazily-computed hyperplane store for one kSPR query.
+///
+/// Thread-safety contract for the intra-query parallel traversal: Get()
+/// memoizes on first access and is NOT synchronised, so concurrent calls
+/// are only safe for records whose plane is already computed. The
+/// traversal preserves this invariant — a record is referenced from
+/// worker threads (path edges, covers, the inserted plane itself) only
+/// after its single-threaded first Get() during InsertHyperplane.
 class HyperplaneStore {
  public:
   HyperplaneStore(const Dataset* data, const Vec& p, Space space);

@@ -9,13 +9,24 @@ namespace kspr {
 
 namespace {
 
-// Scratch problems reused across calls: kSPR issues millions of small LPs
-// and per-call row allocation dominates otherwise. Row coefficient vectors
-// keep their capacity across reuse.
-lp::Problem& ScratchProblem() {
-  thread_local lp::Problem p;
-  return p;
+// Per-worker scratch reused across calls: kSPR issues millions of small
+// LPs and per-call row allocation dominates otherwise. All scratch state
+// of this translation unit lives in one thread_local arena, which makes
+// the LP layer reentrant under the intra-query parallel traversal — each
+// worker thread owns a private arena, so concurrent feasibility/bound
+// calls are allocation-free after warm-up and never contend. Row
+// coefficient vectors keep their capacity across reuse.
+struct LpScratch {
+  lp::Problem problem;
+  std::vector<LinIneq> cons;  // caller constraints + appended space bounds
+};
+
+LpScratch& Scratch() {
+  thread_local LpScratch scratch;
+  return scratch;
 }
+
+lp::Problem& ScratchProblem() { return Scratch().problem; }
 
 void SetRow(lp::Constraint* row, int width) {
   row->a.assign(width, 0.0);
@@ -138,7 +149,7 @@ void AppendSpaceBounds(Space space, int dim, std::vector<LinIneq>* out) {
 FeasibilityResult TestInterior(Space space, int dim,
                                const std::vector<LinIneq>& cons,
                                KsprStats* stats) {
-  thread_local std::vector<LinIneq> all;
+  std::vector<LinIneq>& all = Scratch().cons;
   all = cons;
   AppendSpaceBounds(space, dim, &all);
   return RunBallTest(dim, all, stats);
@@ -155,7 +166,7 @@ BoundResult Bound(Space space, int dim, const Vec& obj, double obj_const,
                   const std::vector<LinIneq>& cons, bool maximize,
                   KsprStats* stats) {
   if (stats != nullptr) ++stats->bound_lps;
-  thread_local std::vector<LinIneq> all;
+  std::vector<LinIneq>& all = Scratch().cons;
   all = cons;
   AppendSpaceBounds(space, dim, &all);
   const lp::Problem& p = BuildBoundProblem(dim, obj, maximize, all);

@@ -6,6 +6,12 @@
 // closed polytope:  a_i . w + ||a_i|| t <= b_i. The open cell is nonempty
 // iff t* > tol::kInterior, and the maximiser w* is a well-centred witness
 // point that we cache on the CellTree node (paper Sec 4.3.2).
+//
+// Reentrancy: every routine here (and the simplex solver beneath) keeps
+// its scratch tableaux in thread_local arenas, so concurrent calls from
+// different worker threads are contention-free and allocation-free once
+// each thread's arena is warm. This is what the intra-query parallel
+// traversal relies on.
 
 #ifndef KSPR_LP_FEASIBILITY_H_
 #define KSPR_LP_FEASIBILITY_H_
