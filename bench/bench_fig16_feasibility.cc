@@ -6,6 +6,13 @@
 //
 // Paper shape: the LP test is 10-68x faster, and the gap widens with d as
 // the geometric cost explodes.
+//
+// The CellTree build phase doubles as the regression probe for the
+// warm-started LP kernel: its insertion descents are exactly the workload
+// the push/pop + dual-append + ball-filter path optimises, and its work
+// counters (nodes, LP decisions, warm/cold split, ball skips) are
+// deterministic — the --json rows are gated exactly by
+// scripts/check_bench_regression.py against bench/baseline.json.
 
 #include "bench_common.h"
 #include "core/cell_tree.h"
@@ -19,6 +26,8 @@ namespace {
 struct LeafSample {
   std::vector<std::vector<LinIneq>> cells;
   int dim = 0;
+  KsprStats insert_stats;  // counters of the CellTree build
+  double build_s = 0.0;
 };
 
 LeafSample SampleLeaves(int n, int d, int m, int max_leaves = 100) {
@@ -32,16 +41,19 @@ LeafSample SampleLeaves(int n, int d, int m, int max_leaves = 100) {
   KsprStats stats;
   HyperplaneStore store(&data, p, Space::kTransformed);
   CellTree cell_tree(&store, options.k, &options, &stats);
+  Timer build_timer;
   int inserted = 0;
   for (RecordId rid = 0; rid < data.size() && inserted < m; ++rid) {
     cell_tree.InsertHyperplane(rid);
     ++inserted;
     if (cell_tree.RootDead()) break;
   }
+  LeafSample sample;
+  sample.build_s = build_timer.Seconds();
+  sample.insert_stats = stats;
   std::vector<CellTree::LeafInfo> leaves;
   cell_tree.CollectLiveLeaves(&leaves);
 
-  LeafSample sample;
   sample.dim = d - 1;
   Rng rng(7);
   for (int i = 0; i < max_leaves && !leaves.empty(); ++i) {
@@ -55,20 +67,51 @@ LeafSample SampleLeaves(int n, int d, int m, int max_leaves = 100) {
   return sample;
 }
 
-void TimePair(const LeafSample& sample) {
+struct PairTimes {
+  double lp_s = 0.0;
+  double hull_s = 0.0;
+};
+
+PairTimes TimePair(const LeafSample& sample) {
+  PairTimes t;
   Timer lp_timer;
   for (const auto& cons : sample.cells) {
     TestInterior(Space::kTransformed, sample.dim, cons, nullptr);
   }
-  const double lp_s = lp_timer.Seconds();
+  t.lp_s = lp_timer.Seconds();
 
   Timer hull_timer;
   for (const auto& cons : sample.cells) {
     EnumerateVertices(Space::kTransformed, sample.dim, cons);
   }
-  const double hull_s = hull_timer.Seconds();
-  std::printf("lp=%9.4fs  hull=%9.4fs  speedup=%6.1fx\n", lp_s, hull_s,
-              hull_s / (lp_s > 0 ? lp_s : 1e-9));
+  t.hull_s = hull_timer.Seconds();
+  std::printf("lp=%9.4fs  hull=%9.4fs  speedup=%6.1fx\n", t.lp_s, t.hull_s,
+              t.hull_s / (t.lp_s > 0 ? t.lp_s : 1e-9));
+  return t;
+}
+
+void Report(JsonReport* report, int d, int m, const LeafSample& sample,
+            const PairTimes& t) {
+  const KsprStats& s = sample.insert_stats;
+  report->AddRow()
+      .Str("section", "insert")
+      .Int("d", d)
+      .Int("m", m)
+      .Num("build_ms", sample.build_s * 1e3)
+      .Int("cell_tree_nodes", s.cell_tree_nodes)
+      .Int("feasibility_lps", s.feasibility_lps)
+      .Int("lp_warm_starts", s.lp_warm_starts)
+      .Int("lp_cold_starts", s.lp_cold_starts)
+      .Int("lp_skipped_by_ball", s.lp_skipped_by_ball)
+      .Int("witness_hits", s.witness_hits)
+      .Int("constraints_used", s.constraints_used);
+  report->AddRow()
+      .Str("section", "leaf")
+      .Int("d", d)
+      .Int("m", m)
+      .Num("lp_s", t.lp_s)
+      .Num("hull_s", t.hull_s)
+      .Num("speedup", t.hull_s / (t.lp_s > 0 ? t.lp_s : 1e-9));
 }
 
 }  // namespace
@@ -77,12 +120,13 @@ int main(int argc, char** argv) {
   BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
   PrintHeader("Fig 16",
               "LP feasibility test vs halfspace intersection (100 leaves)");
-  (void)cfg;
+  JsonReport report("fig16_feasibility");
 
   std::printf("(a) varying d, m = 500 hyperplanes\n");
   for (int d = 3; d <= 7; ++d) {
     std::printf("  d=%d: ", d);
-    TimePair(SampleLeaves(/*n=*/5000, d, /*m=*/500));
+    LeafSample sample = SampleLeaves(/*n=*/5000, d, /*m=*/500);
+    Report(&report, d, 500, sample, TimePair(sample));
   }
 
   std::printf("(b) varying m, d = 4\n");
@@ -90,7 +134,8 @@ int main(int argc, char** argv) {
                                  : std::vector<int>{500, 1000, 5000};
   for (int m : ms) {
     std::printf("  m=%5d: ", m);
-    TimePair(SampleLeaves(/*n=*/std::max(m, 5000), 4, m));
+    LeafSample sample = SampleLeaves(/*n=*/std::max(m, 5000), 4, m);
+    Report(&report, 4, m, sample, TimePair(sample));
   }
-  return 0;
+  return report.WriteTo(cfg.json_path) ? 0 : 1;
 }

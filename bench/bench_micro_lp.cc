@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "datagen/synthetic.h"
 #include "geom/hyperplane.h"
@@ -55,6 +57,112 @@ BENCHMARK(BM_FeasibilityTest)
     ->Args({5, 8})
     ->Args({3, 32})
     ->Args({3, 128});
+
+// Descent-shaped incremental LP sequence: `depth` constraint pushes with
+// two side tests per level — the exact workload one CellTree insertion
+// descent puts on the kernel. The cold variant re-solves every side test
+// from scratch (the pre-warm-start behaviour); the warm variant uses the
+// push/pop CellLpContext, where each side test is "parent-optimal tableau
+// + one dual-simplex row". The warm/cold cpu_time ratio is gated by
+// scripts/check_bench_regression.py — the checked-in gate floors it at
+// ~4x (baseline 14x, tolerance 0.7), well above the 1.5x acceptance bar.
+
+void BM_DescentLpCold(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  auto path = MakeCellConstraints(dim, depth, 42);
+  auto sides = MakeCellConstraints(dim, depth, 43);
+  const int levels = static_cast<int>(std::min(path.size(), sides.size()));
+  for (auto _ : state) {
+    std::vector<LinIneq> cons;
+    cons.reserve(static_cast<size_t>(levels) + 1);
+    for (int i = 0; i < levels; ++i) {
+      cons.push_back(path[i]);
+      cons.push_back(sides[i]);
+      benchmark::DoNotOptimize(
+          TestInterior(Space::kTransformed, dim, cons, nullptr));
+      LinIneq& side = cons.back();
+      side.a = side.a * -1.0;
+      side.b = -side.b;
+      benchmark::DoNotOptimize(
+          TestInterior(Space::kTransformed, dim, cons, nullptr));
+      cons.pop_back();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * levels * 2);
+}
+BENCHMARK(BM_DescentLpCold)->Args({3, 16})->Args({3, 32})->Args({5, 24});
+
+void BM_DescentLpWarm(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  auto path = MakeCellConstraints(dim, depth, 42);
+  auto sides = MakeCellConstraints(dim, depth, 43);
+  const int levels = static_cast<int>(std::min(path.size(), sides.size()));
+  CellLpContext ctx;
+  for (auto _ : state) {
+    ctx.Reset(Space::kTransformed, dim);
+    for (int i = 0; i < levels; ++i) {
+      ctx.PushConstraint(path[i]);
+      benchmark::DoNotOptimize(ctx.TestWithRow(sides[i], nullptr));
+      LinIneq flipped;
+      flipped.a = sides[i].a * -1.0;
+      flipped.b = -sides[i].b;
+      benchmark::DoNotOptimize(ctx.TestWithRow(flipped, nullptr));
+    }
+    for (int i = 0; i < levels; ++i) ctx.PopConstraint();
+  }
+  state.SetItemsProcessed(state.iterations() * levels * 2);
+}
+BENCHMARK(BM_DescentLpWarm)->Args({3, 16})->Args({3, 32})->Args({5, 24});
+
+// A nonempty cell (the look-ahead workload only bounds live cells; an
+// empty one would just measure the cold infeasibility path twice).
+std::vector<LinIneq> MakeFeasibleCell(int dim, int m, uint64_t seed) {
+  for (uint64_t s = seed; s < seed + 64; ++s) {
+    auto cons = MakeCellConstraints(dim, m, s);
+    if (TestInterior(Space::kTransformed, dim, cons, nullptr).feasible) {
+      return cons;
+    }
+  }
+  return {};  // bound LPs over the bare simplex; still a valid benchmark
+}
+
+// Many objectives over one fixed cell: the look-ahead bound workload.
+void BM_CellBoundsCold(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  auto cons = MakeFeasibleCell(dim, 12, 5);
+  Vec obj(dim);
+  for (auto _ : state) {
+    for (int j = 0; j < dim; ++j) {
+      for (int i = 0; i < dim; ++i) obj.v[i] = i == j ? 1.0 : 0.1;
+      benchmark::DoNotOptimize(
+          MinimizeOverCell(Space::kTransformed, dim, obj, 0.0, cons, nullptr));
+      benchmark::DoNotOptimize(
+          MaximizeOverCell(Space::kTransformed, dim, obj, 0.0, cons, nullptr));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * dim * 2);
+}
+BENCHMARK(BM_CellBoundsCold)->Arg(3)->Arg(5);
+
+void BM_CellBoundsWarm(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  auto cons = MakeFeasibleCell(dim, 12, 5);
+  Vec obj(dim);
+  CellBoundSolver solver;
+  for (auto _ : state) {
+    solver.Reset(Space::kTransformed, dim, cons.data(),
+                 static_cast<int>(cons.size()));
+    for (int j = 0; j < dim; ++j) {
+      for (int i = 0; i < dim; ++i) obj.v[i] = i == j ? 1.0 : 0.1;
+      benchmark::DoNotOptimize(solver.Minimize(obj, 0.0, nullptr));
+      benchmark::DoNotOptimize(solver.Maximize(obj, 0.0, nullptr));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * dim * 2);
+}
+BENCHMARK(BM_CellBoundsWarm)->Arg(3)->Arg(5);
 
 void BM_ScoreBoundLp(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));

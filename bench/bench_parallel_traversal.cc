@@ -106,6 +106,9 @@ int main(int argc, char** argv) {
           .Num("speedup", speedup)
           .Int("cell_tree_nodes", run.total.cell_tree_nodes)
           .Int("feasibility_lps", run.total.feasibility_lps)
+          .Int("lp_warm_starts", run.total.lp_warm_starts)
+          .Int("lp_cold_starts", run.total.lp_cold_starts)
+          .Int("lp_skipped_by_ball", run.total.lp_skipped_by_ball)
           .Int("result_regions", run.total.result_regions)
           .Int("counters_identical", identical ? 1 : 0);
       if (!identical) {

@@ -26,6 +26,11 @@ Baseline schema (bench/baseline.json):
     ]
   }
 
+A metric may also gate a RATIO of two extractions (e.g. the warm-vs-cold
+LP speedup): add a "denominator" object with its own select/field/agg
+(bench defaults to the metric's); the measured value becomes
+numerator / denominator.
+
 direction semantics (relative tolerance t, baseline b, measured m):
   higher: fail when m < b * (1 - t)   (throughput-style metrics)
   lower:  fail when m > b * (1 + t)   (latency-style metrics)
@@ -73,19 +78,18 @@ def select_rows(rows, criteria):
     return out
 
 
-def extract(reports, metric):
-    rows = reports.get(metric["bench"])
+def extract_one(reports, bench, select, field, agg):
+    rows = reports.get(bench)
     if rows is None:
-        return None, f"bench '{metric['bench']}' not in this run"
-    matches = select_rows(rows, metric.get("select", {}))
+        return None, f"bench '{bench}' not in this run"
+    matches = select_rows(rows, select)
     if not matches:
-        return None, f"no row matches select={metric.get('select', {})}"
+        return None, f"no row matches select={select}"
     values = []
     for row in matches:
-        if metric["field"] not in row:
-            return None, f"field '{metric['field']}' missing from row"
-        values.append(float(row[metric["field"]]))
-    agg = metric.get("agg", "first")
+        if field not in row:
+            return None, f"field '{field}' missing from row"
+        values.append(float(row[field]))
     if agg == "first":
         return values[0], None
     if agg == "min":
@@ -95,6 +99,28 @@ def extract(reports, metric):
     if agg == "sum":
         return sum(values), None
     return None, f"unknown agg '{agg}'"
+
+
+def extract(reports, metric):
+    num, err = extract_one(reports, metric["bench"], metric.get("select", {}),
+                           metric["field"], metric.get("agg", "first"))
+    if err is not None:
+        return None, err
+    den_spec = metric.get("denominator")
+    if den_spec is None:
+        return num, None
+    den, err = extract_one(
+        reports,
+        den_spec.get("bench", metric["bench"]),
+        den_spec.get("select", {}),
+        den_spec.get("field", metric["field"]),
+        den_spec.get("agg", "first"),
+    )
+    if err is not None:
+        return None, f"denominator: {err}"
+    if den == 0:
+        return None, "denominator extracted as zero"
+    return num / den, None
 
 
 def check(metric, measured):

@@ -181,24 +181,33 @@ class IMaxRankRunner {
           next.push_back(std::move(cell));
           continue;
         }
-        // Split: exact halfspace intersection on both sides.
-        Cell neg = cell;
+        // Split: exact halfspace intersection on both sides. The two
+        // interiority tests share the shared warm LP kernel: the cell's
+        // rows are pushed once and each side is "base tableau + one row".
+        lp_ctx_.Reset(Space::kTransformed, dim_);
+        for (const LinIneq& c : cell.cons) lp_ctx_.PushConstraint(c);
         LinIneq neg_side;  // a.w <= b
         neg_side.a = h.a;
         neg_side.b = h.b;
+        LinIneq pos_side;  // a.w >= b
+        pos_side.a = h.a * -1.0;
+        pos_side.b = -h.b;
+        const bool neg_interior =
+            lp_ctx_.TestWithRow(neg_side, &result_.stats).feasible;
+        const bool pos_interior =
+            lp_ctx_.TestWithRow(pos_side, &result_.stats).feasible;
+
+        Cell neg = cell;
         neg.cons.push_back(neg_side);
         neg.vertices = EnumerateVertices(Space::kTransformed, dim_, neg.cons);
 
         Cell pos = std::move(cell);
-        LinIneq pos_side;  // a.w >= b
-        pos_side.a = h.a * -1.0;
-        pos_side.b = -h.b;
         pos.cons.push_back(pos_side);
         pos.vertices = EnumerateVertices(Space::kTransformed, dim_, pos.cons);
         ++pos.pos;
 
-        if (HasInterior(neg)) next.push_back(std::move(neg));
-        if (HasInterior(pos) &&
+        if (neg_interior) next.push_back(std::move(neg));
+        if (pos_interior &&
             pos_cover + pos.pos + 1 <= prep_.k_effective) {
           next.push_back(std::move(pos));
         }
@@ -233,9 +242,9 @@ class IMaxRankRunner {
   }
 
   bool HasInterior(const Cell& cell) {
-    FeasibilityResult f =
-        TestInterior(Space::kTransformed, dim_, cell.cons, &result_.stats);
-    return f.feasible;
+    lp_ctx_.Reset(Space::kTransformed, dim_);
+    for (const LinIneq& c : cell.cons) lp_ctx_.PushConstraint(c);
+    return lp_ctx_.TestCurrent(&result_.stats).feasible;
   }
 
   const Dataset& data_;
@@ -245,6 +254,7 @@ class IMaxRankRunner {
   Vec p_;
   int base_pos_ = 0;
   std::vector<RecordHyperplane> planes_;
+  CellLpContext lp_ctx_;  // shared warm LP kernel for cell interior tests
   KsprResult result_;
 };
 

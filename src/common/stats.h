@@ -31,6 +31,14 @@ struct KsprStats {
   int64_t witness_hits = 0;
   int64_t dominance_shortcuts = 0;
 
+  /// LP kernel path taken per solve: warm starts reuse a parent-optimal
+  /// tableau (dual-simplex row append or objective reload), cold starts
+  /// run the two-phase solver from scratch. lp_skipped_by_ball counts side
+  /// tests the cached inscribed ball decided with no LP at all.
+  int64_t lp_warm_starts = 0;
+  int64_t lp_cold_starts = 0;
+  int64_t lp_skipped_by_ball = 0;
+
   /// Constraints passed to the LP solver, before and after Lemma-2
   /// elimination of inconsequential halfspaces (Fig 17(a)).
   int64_t constraints_full = 0;
@@ -61,6 +69,9 @@ struct KsprStats {
     finalize_lps += o.finalize_lps;
     witness_hits += o.witness_hits;
     dominance_shortcuts += o.dominance_shortcuts;
+    lp_warm_starts += o.lp_warm_starts;
+    lp_cold_starts += o.lp_cold_starts;
+    lp_skipped_by_ball += o.lp_skipped_by_ball;
     constraints_full += o.constraints_full;
     constraints_used += o.constraints_used;
     lookahead_reported += o.lookahead_reported;

@@ -28,6 +28,13 @@ inline constexpr double kInterior = 1e-9;
 /// |a.w - b| must exceed this for the witness to be conclusive.
 inline constexpr double kWitness = 1e-8;
 
+/// Ball pre-filter margin: a cached inscribed ball of radius r counts as
+/// CUT by a hyperplane at distance |m| from its centre only when
+/// r - |m| exceeds this, so both spherical caps keep an inscribed radius
+/// of at least kBallCut / 2 — comfortably above kInterior, making the
+/// zero-LP case-III verdict agree with what the side-test LPs would say.
+inline constexpr double kBallCut = 1e-8;
+
 /// Generic geometric comparisons (vertex dedup, constraint satisfaction).
 inline constexpr double kGeom = 1e-7;
 

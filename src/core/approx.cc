@@ -16,14 +16,18 @@ namespace kspr {
 namespace {
 
 // Upper-bounds the cell volume by its per-axis bounding box (2 d' LPs).
+// All objectives range over one cell, so a warm CellBoundSolver builds the
+// tableau once and re-optimises per axis.
 double CellBoxVolume(Space space, int dim, const std::vector<LinIneq>& cons,
                      KsprStats* stats) {
+  thread_local CellBoundSolver solver;
+  solver.Reset(space, dim, cons.data(), static_cast<int>(cons.size()));
   double volume = 1.0;
   for (int j = 0; j < dim; ++j) {
     Vec axis(dim);
     axis.v[j] = 1.0;
-    BoundResult mn = MinimizeOverCell(space, dim, axis, 0.0, cons, stats);
-    BoundResult mx = MaximizeOverCell(space, dim, axis, 0.0, cons, stats);
+    BoundResult mn = solver.Minimize(axis, 0.0, stats);
+    BoundResult mx = solver.Maximize(axis, 0.0, stats);
     if (!mn.ok || !mx.ok) return SpaceVolume(space, dim);  // conservative
     volume *= std::max(0.0, mx.value - mn.value);
   }

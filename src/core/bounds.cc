@@ -26,10 +26,13 @@ enum class Decision {
   kUnknown,
 };
 
-// Shared state of one rank-bound computation.
+// Shared state of one rank-bound computation. All LPs of one computation
+// range over the SAME cell with different objectives, so they share one
+// warm CellBoundSolver: the tableau is built once and every further bound
+// only reloads the objective and re-optimises from the previous basis.
 struct Traversal {
   const BoundsContext* ctx;
-  const std::vector<LinIneq>* cons;
+  CellBoundSolver* lp;
   int k;
   RankBounds bounds;
 
@@ -73,13 +76,11 @@ struct Traversal {
       double c0;
       Vec diff_lo = lo - ctx->p;
       Vec obj_lo = ScoreObjective(ctx->space, diff_lo, &c0);
-      BoundResult r_lo = MinimizeOverCell(ctx->space, ctx->pref_dim, obj_lo,
-                                          c0, *cons, ctx->stats);
+      BoundResult r_lo = lp->Minimize(obj_lo, c0, ctx->stats);
       if (r_lo.ok && r_lo.value > 0) return Decision::kAbove;
       Vec diff_hi = hi - ctx->p;
       Vec obj_hi = ScoreObjective(ctx->space, diff_hi, &c0);
-      BoundResult r_hi = MaximizeOverCell(ctx->space, ctx->pref_dim, obj_hi,
-                                          c0, *cons, ctx->stats);
+      BoundResult r_hi = lp->Maximize(obj_hi, c0, ctx->stats);
       if (r_hi.ok && r_hi.value <= 0) return Decision::kBelow;
       return Decision::kUnknown;
     }
@@ -89,27 +90,23 @@ struct Traversal {
     if (LikelyBelow(lo, hi)) {
       double c1;
       Vec obj_hi = ScoreObjective(ctx->space, hi, &c1);
-      BoundResult r_hi = MaximizeOverCell(ctx->space, ctx->pref_dim, obj_hi,
-                                          c1, *cons, ctx->stats);
+      BoundResult r_hi = lp->Maximize(obj_hi, c1, ctx->stats);
       if (!r_hi.ok) return Decision::kUnknown;
       if (r_hi.value < sp_min) return Decision::kBelow;
       double c0;
       Vec obj_lo = ScoreObjective(ctx->space, lo, &c0);
-      BoundResult r_lo = MinimizeOverCell(ctx->space, ctx->pref_dim, obj_lo,
-                                          c0, *cons, ctx->stats);
+      BoundResult r_lo = lp->Minimize(obj_lo, c0, ctx->stats);
       if (!r_lo.ok) return Decision::kUnknown;
       return DecideInterval(r_lo.value, r_hi.value);
     }
     double c0;
     Vec obj_lo = ScoreObjective(ctx->space, lo, &c0);
-    BoundResult r_lo = MinimizeOverCell(ctx->space, ctx->pref_dim, obj_lo, c0,
-                                        *cons, ctx->stats);
+    BoundResult r_lo = lp->Minimize(obj_lo, c0, ctx->stats);
     if (!r_lo.ok) return Decision::kUnknown;
     if (r_lo.value > sp_max) return Decision::kAbove;
     double c1;
     Vec obj_hi = ScoreObjective(ctx->space, hi, &c1);
-    BoundResult r_hi = MaximizeOverCell(ctx->space, ctx->pref_dim, obj_hi, c1,
-                                        *cons, ctx->stats);
+    BoundResult r_hi = lp->Maximize(obj_hi, c1, ctx->stats);
     if (!r_hi.ok) return Decision::kUnknown;
     return DecideInterval(r_lo.value, r_hi.value);
   }
@@ -195,19 +192,24 @@ struct Traversal {
 
 RankBounds ComputeRankBounds(const BoundsContext& ctx,
                              const std::vector<LinIneq>& cell_cons, int k) {
+  // One warm solver per computation, rebuilt from the cell constraints on
+  // entry: reuse across calls would make results depend on traversal
+  // order, a full Reset keeps every computation self-contained (and hence
+  // bitwise-identical between the serial and parallel look-ahead passes).
+  thread_local CellBoundSolver solver;
+  solver.Reset(ctx.space, ctx.pref_dim, cell_cons.data(),
+               static_cast<int>(cell_cons.size()));
   Traversal t;
   t.ctx = &ctx;
-  t.cons = &cell_cons;
+  t.lp = &solver;
   t.k = k;
 
   if (ctx.space == Space::kTransformed) {
     // p's score interval over the cell.
     double c0;
     Vec obj = ScoreObjective(ctx.space, ctx.p, &c0);
-    BoundResult lo = MinimizeOverCell(ctx.space, ctx.pref_dim, obj, c0,
-                                      cell_cons, ctx.stats);
-    BoundResult hi = MaximizeOverCell(ctx.space, ctx.pref_dim, obj, c0,
-                                      cell_cons, ctx.stats);
+    BoundResult lo = solver.Minimize(obj, c0, ctx.stats);
+    BoundResult hi = solver.Maximize(obj, c0, ctx.stats);
     if (!lo.ok || !hi.ok) {
       // Numerical trouble: return vacuous (but valid) bounds.
       RankBounds rb;
@@ -228,10 +230,8 @@ RankBounds ComputeRankBounds(const BoundsContext& ctx,
       for (int j = 0; j < dp && ok; ++j) {
         Vec axis(dp);
         axis.v[j] = 1.0;
-        BoundResult mn =
-            MinimizeOverCell(ctx.space, dp, axis, 0.0, cell_cons, ctx.stats);
-        BoundResult mx =
-            MaximizeOverCell(ctx.space, dp, axis, 0.0, cell_cons, ctx.stats);
+        BoundResult mn = solver.Minimize(axis, 0.0, ctx.stats);
+        BoundResult mx = solver.Maximize(axis, 0.0, ctx.stats);
         ok = mn.ok && mx.ok;
         if (ok) {
           t.w_lo.v[j] = mn.value;
@@ -241,10 +241,8 @@ RankBounds ComputeRankBounds(const BoundsContext& ctx,
       if (ok) {
         Vec ones(dp);
         for (int j = 0; j < dp; ++j) ones.v[j] = 1.0;
-        BoundResult smn =
-            MinimizeOverCell(ctx.space, dp, ones, 0.0, cell_cons, ctx.stats);
-        BoundResult smx =
-            MaximizeOverCell(ctx.space, dp, ones, 0.0, cell_cons, ctx.stats);
+        BoundResult smn = solver.Minimize(ones, 0.0, ctx.stats);
+        BoundResult smx = solver.Maximize(ones, 0.0, ctx.stats);
         ok = smn.ok && smx.ok;
         if (ok) {
           t.w_lo.v[dp] = std::max(0.0, 1.0 - smx.value);

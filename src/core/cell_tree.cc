@@ -1,6 +1,8 @@
 #include "core/cell_tree.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/types.h"
 
@@ -33,8 +35,10 @@ void CellTree::InsertHyperplane(RecordId rid,
     case RecordHyperplane::Kind::kRegular:
       break;
   }
-  assert(seed_state_.path_cons.empty() && seed_state_.cover_cons.empty() &&
-         seed_state_.neg_on_path.empty());
+  assert(seed_state_.neg_on_path.empty() && seed_state_.lp.depth() == 0);
+  // Cheap when the context is already bound to this space: pops restored
+  // the base tableau bitwise, so only the first insertion pays a build.
+  seed_state_.lp.Reset(store_->space(), store_->pref_dim());
 
   InsertCtx ctx;
   ctx.ds = &seed_state_;
@@ -71,12 +75,10 @@ void CellTree::InsertHyperplane(RecordId rid,
 
 FeasibilityResult CellTree::TestSide(const RecordHyperplane& h,
                                      bool positive_side, InsertCtx* ctx) {
+  // The path (and, in the lemma2 ablation, cover) constraints are already
+  // pushed into the descent's warm LP context; the side test is
+  // "parent-optimal tableau + one extra row" with no per-call copy.
   const int dim = store_->pref_dim();
-  const DescentState& ds = *ctx->ds;
-  std::vector<LinIneq> cons = ds.path_cons;
-  if (!options_->use_lemma2) {
-    cons.insert(cons.end(), ds.cover_cons.begin(), ds.cover_cons.end());
-  }
   LinIneq side;
   if (positive_side) {
     side.a = h.a * -1.0;
@@ -85,10 +87,10 @@ FeasibilityResult CellTree::TestSide(const RecordHyperplane& h,
     side.a = h.a;
     side.b = h.b;
   }
-  cons.push_back(side);
-  ctx->stats->constraints_full += static_cast<int64_t>(
-      ds.path_cons.size() + ds.cover_cons.size() + 1 + dim + 1);
-  return TestInterior(store_->space(), dim, cons, ctx->stats);
+  CellLpContext& lp = ctx->ds->lp;
+  ctx->stats->constraints_full +=
+      static_cast<int64_t>(lp.depth()) + 1 + dim + 1;
+  return lp.TestWithRow(side, ctx->stats);
 }
 
 int CellTree::AllocNode(Node&& node, InsertCtx* ctx) {
@@ -152,39 +154,70 @@ bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     }
   }
 
-  // Witness shortcut (Sec 4.3.2): decide on which side the cached interior
-  // point lies; that side is guaranteed nonempty.
-  int witness_side = 0;  // +1: witness in h+, -1: witness in h-
+  // Witness shortcut (Sec 4.3.2) plus the inscribed-ball pre-filter: the
+  // cached interior point decides its own side without an LP, and when the
+  // cached ball is CUT by h (the witness-to-hyperplane distance stays
+  // below the ball radius by a safety margin) BOTH sides are provably
+  // nonempty — case III is decided with zero LPs, and a split seeds the
+  // children with the two spherical caps of the parent ball.
+  int witness_side = 0;    // +1: witness in h+, -1: witness in h-
+  bool ball_cut = false;
+  double margin = 0.0;     // signed distance h.Eval(witness); ||h.a|| = 1
   if (options_->use_witness_cache && n.has_witness) {
-    const double m = h.Eval(n.witness);
-    if (m > tol::kWitness) {
+    margin = h.Eval(n.witness);
+    if (margin > tol::kWitness) {
       witness_side = 1;
-    } else if (m < -tol::kWitness) {
+    } else if (margin < -tol::kWitness) {
       witness_side = -1;
     }
     if (witness_side != 0) ++ctx->stats->witness_hits;
+    ball_cut = options_->use_ball_filter && n.ball_radius > 0.0 &&
+               n.ball_radius - std::abs(margin) > tol::kBallCut;
   }
 
   bool neg_nonempty;
   bool pos_nonempty;
   Vec neg_witness;
   Vec pos_witness;
+  double neg_radius = 0.0;
+  double pos_radius = 0.0;
   bool have_neg_witness = false;
   bool have_pos_witness = false;
 
-  if (witness_side == -1) {
+  if (ball_cut) {
+    // The witness shortcut would have decided at most one side; the ball
+    // saves the LPs for the remaining one or two.
+    ctx->stats->lp_skipped_by_ball += witness_side != 0 ? 1 : 2;
+    neg_nonempty = true;
+    pos_nonempty = true;
+    if (n.leaf()) {
+      // Cap balls of B(witness, r) on either side of h: centre shifted
+      // along the unit normal, radius (r -+ margin) / 2 — both strictly
+      // positive because the cut margin exceeded tol::kBallCut.
+      const double r = n.ball_radius;
+      neg_witness = n.witness - h.a * ((margin + r) * 0.5);
+      neg_radius = (r - margin) * 0.5;
+      have_neg_witness = true;
+      pos_witness = n.witness + h.a * ((r - margin) * 0.5);
+      pos_radius = (r + margin) * 0.5;
+      have_pos_witness = true;
+    }
+  } else if (witness_side == -1) {
     neg_nonempty = true;
     neg_witness = n.witness;
+    neg_radius = std::min(n.ball_radius, -margin);
     have_neg_witness = true;
   } else {
     FeasibilityResult f = TestSide(h, /*positive_side=*/false, ctx);
     neg_nonempty = f.feasible;
     if (f.feasible) {
       neg_witness = f.witness;
+      neg_radius = f.radius;
       have_neg_witness = true;
       if (!n.has_witness) {
         n.has_witness = true;
         n.witness = f.witness;
+        n.ball_radius = f.radius;
       }
     }
   }
@@ -197,19 +230,24 @@ bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     return false;
   }
 
-  if (witness_side == 1) {
+  if (ball_cut) {
+    // pos_nonempty already true; nothing to test.
+  } else if (witness_side == 1) {
     pos_nonempty = true;
     pos_witness = n.witness;
+    pos_radius = std::min(n.ball_radius, margin);
     have_pos_witness = true;
   } else {
     FeasibilityResult f = TestSide(h, /*positive_side=*/true, ctx);
     pos_nonempty = f.feasible;
     if (f.feasible) {
       pos_witness = f.witness;
+      pos_radius = f.radius;
       have_pos_witness = true;
       if (!n.has_witness) {
         n.has_witness = true;
         n.witness = f.witness;
+        n.ball_radius = f.radius;
       }
     }
   }
@@ -228,6 +266,7 @@ bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     if (have_neg_witness) {
       left.has_witness = true;
       left.witness = neg_witness;
+      left.ball_radius = neg_radius;
     }
     Node right;
     right.parent = nid;
@@ -235,6 +274,7 @@ bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     if (have_pos_witness) {
       right.has_witness = true;
       right.witness = pos_witness;
+      right.ball_radius = pos_radius;
     }
     const int left_id = AllocNode(std::move(left), ctx);
     const int right_id = AllocNode(std::move(right), ctx);
@@ -260,8 +300,8 @@ bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     Node& child = nodes_[child_id];
     if (child.dead()) continue;
     DescentState& ds = *ctx->ds;
-    ds.path_cons.push_back(store_->AsStrictIneq(child.edge));
-    const size_t cover_mark = ds.cover_cons.size();
+    ds.lp.PushConstraint(store_->AsStrictIneq(child.edge));
+    int pushed = 1;
     // Record what this scope pushed so the unwind pops exactly that —
     // without re-reading the child's cover, which a descent into the
     // child (here or later in its task) may have grown via case I/II.
@@ -273,7 +313,8 @@ bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     }
     for (const HalfspaceRef& ref : child.cover) {
       if (!options_->use_lemma2) {
-        ds.cover_cons.push_back(store_->AsStrictIneq(ref));
+        ds.lp.PushConstraint(store_->AsStrictIneq(ref));
+        ++pushed;
       }
       if (!ref.positive) {
         ++ds.neg_on_path[ref.rid];
@@ -285,12 +326,13 @@ bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
         ctx->plan != nullptr ? (*ctx->plan->subtree_cells)[child_id] : 0;
     if (ctx->plan != nullptr && cells >= ctx->plan->min_cells &&
         cells <= ctx->plan->chunk) {
-      // Fork: snapshot the descent state; a worker continues the identical
-      // recursion from this child later.
+      // Fork: snapshot the descent state — including the warm LP solver,
+      // so the worker's side tests are bitwise those of a serial descent;
+      // a worker continues the identical recursion from this child later.
       InsertTask task;
       task.nid = child_id;
       task.pos_above = pos_here;
-      task.state = ds;
+      task.state.CopyForFork(ds);
       task.splice_pos = ctx->new_leaves->size();
       ctx->plan->tasks.push_back(std::move(task));
       forked = true;
@@ -305,8 +347,7 @@ bool CellTree::InsertRec(int nid, RecordId rid, const RecordHyperplane& h,
     }
 
     // Unwind exactly what this scope pushed.
-    ds.path_cons.pop_back();
-    ds.cover_cons.resize(cover_mark);
+    while (pushed-- > 0) ds.lp.PopConstraint();
     for (RecordId r : neg_scope) {
       auto it = ds.neg_on_path.find(r);
       assert(it != ds.neg_on_path.end());

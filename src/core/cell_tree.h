@@ -139,24 +139,35 @@ class CellTree {
     bool reported = false;
     bool has_witness = false;
     Vec witness;
+    /// Radius of a ball around `witness` inscribed in the node's cell
+    /// (0 = unknown). Source: the side-test LP that produced the witness,
+    /// or the spherical cap of the parent ball on a ball-filter split.
+    /// Backs the zero-LP side-test pre-filter: a hyperplane that cuts the
+    /// ball proves case III outright.
+    double ball_radius = 0.0;
 
     bool leaf() const { return left < 0 && right < 0; }
     bool dead() const { return eliminated || reported; }
   };
 
-  /// Descent-scoped constraint state: edge-label inequalities root..current,
-  /// cover-set inequalities (lemma2 ablation only) and the multiset of
-  /// records contributing a negative halfspace to the current node's full
-  /// halfspace set. One instance per concurrent descent.
+  /// Descent-scoped constraint state: the warm-started LP context holding
+  /// the edge-label inequalities root..current (plus cover-set rows in the
+  /// lemma2 ablation) as pushed constraints, and the multiset of records
+  /// contributing a negative halfspace to the current node's full
+  /// halfspace set. One instance per concurrent descent; constraints are
+  /// pushed/popped in lockstep with the recursion instead of being copied
+  /// into a fresh vector per side test.
   struct DescentState {
-    std::vector<LinIneq> path_cons;
-    std::vector<LinIneq> cover_cons;
+    CellLpContext lp;
     std::unordered_map<RecordId, int> neg_on_path;
 
-    void Clear() {
-      path_cons.clear();
-      cover_cons.clear();
-      neg_on_path.clear();
+    void Clear() { neg_on_path.clear(); }
+
+    /// Seeds a forked task's state: full solver state minus the pop
+    /// snapshots of seed frames the task will never unwind.
+    void CopyForFork(const DescentState& o) {
+      lp.AssignForFork(o.lp);
+      neg_on_path = o.neg_on_path;
     }
   };
 

@@ -53,6 +53,13 @@ struct KsprOptions {
   /// Witness-point caching (Sec 4.3.2).
   bool use_witness_cache = true;
 
+  /// Inscribed-ball pre-filter on side tests: a cached node ball that the
+  /// new hyperplane cuts proves BOTH sides nonempty (case III) with zero
+  /// LPs, and split-off children inherit cap balls of the parent ball.
+  /// Requires the witness cache; disabling reproduces the pre-ball
+  /// behaviour for ablations.
+  bool use_ball_filter = true;
+
   /// Dominance-graph shortcut during insertion (Sec 5).
   bool use_dominance_shortcut = true;
 

@@ -36,7 +36,8 @@ CacheKey CacheKey::Make(const Vec& focal, RecordId focal_id,
                   (options.use_dominance_shortcut ? 4u : 0u) |
                   (options.lookahead_per_split ? 8u : 0u) |
                   (options.finalize_geometry ? 16u : 0u) |
-                  (options.compute_volume ? 32u : 0u);
+                  (options.compute_volume ? 32u : 0u) |
+                  (options.use_ball_filter ? 64u : 0u);
   key.lookahead_stride = options.lookahead_stride;
   key.volume_samples = options.compute_volume ? options.volume_samples : 0;
   return key;

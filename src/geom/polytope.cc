@@ -47,16 +47,15 @@ std::vector<LinIneq> RemoveRedundant(Space space, int dim,
                                      KsprStats* stats) {
   std::vector<LinIneq> kept = cons;
   // Test each constraint against the others (plus space bounds); remove
-  // as we go so duplicated constraints don't mask each other.
+  // as we go so duplicated constraints don't mask each other. The solver
+  // is fed the kept set with one index skipped instead of a freshly
+  // copied "all but i" vector per test.
+  thread_local CellBoundSolver solver;
   for (size_t i = 0; i < kept.size();) {
-    std::vector<LinIneq> others;
-    others.reserve(kept.size() - 1);
-    for (size_t j = 0; j < kept.size(); ++j) {
-      if (j != i) others.push_back(kept[j]);
-    }
     if (stats != nullptr) ++stats->finalize_lps;
-    BoundResult r = MaximizeOverCell(space, dim, kept[i].a, 0.0, others,
-                                     /*stats=*/nullptr);
+    solver.Reset(space, dim, kept.data(), static_cast<int>(kept.size()),
+                 static_cast<int>(i));
+    BoundResult r = solver.Maximize(kept[i].a, 0.0, /*stats=*/nullptr);
     if (r.ok && r.value <= kept[i].b + tol::kGeom) {
       kept.erase(kept.begin() + static_cast<long>(i));
     } else {

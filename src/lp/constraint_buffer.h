@@ -1,0 +1,130 @@
+// Flat, row-major constraint storage for the LP kernel.
+//
+// kSPR issues millions of tiny LPs whose constraint sets evolve by one row
+// at a time (a descent pushes an edge inequality, a side test appends one
+// extra row). Storing rows as a structure-of-arrays — one flat coefficient
+// array with a fixed stride plus parallel rhs/norm arrays — gives the
+// solver contiguous row access, makes push/pop of rows O(num_vars) with no
+// per-row allocation, and lets thread_local arenas keep their capacity
+// across calls.
+
+#ifndef KSPR_LP_CONSTRAINT_BUFFER_H_
+#define KSPR_LP_CONSTRAINT_BUFFER_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <initializer_list>
+#include <vector>
+
+namespace kspr::lp {
+
+/// Rows a_i . x <= b_i stored row-major with stride num_vars(). Each row
+/// also carries the L2 norm of its structural coefficient prefix (used by
+/// the inscribed-ball formulation); callers that do not need it may leave
+/// it at the value computed by Add().
+class ConstraintBuffer {
+ public:
+  void Reset(int num_vars) {
+    assert(num_vars >= 0);
+    num_vars_ = num_vars;
+    size_ = 0;
+  }
+
+  void Clear() { size_ = 0; }
+
+  int num_vars() const { return num_vars_; }
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends a zero-initialised row and returns its coefficient pointer;
+  /// the caller fills coefficients and may set rhs/norm afterwards.
+  double* AddRow(double b) {
+    Grow();
+    double* row = RowMut(size_);
+    std::memset(row, 0, sizeof(double) * static_cast<size_t>(num_vars_));
+    b_[static_cast<size_t>(size_)] = b;
+    norm_[static_cast<size_t>(size_)] = 0.0;
+    return RowMut(size_++);
+  }
+
+  /// Appends a . x <= b, zero-filling coefficients beyond `len`. Widens the
+  /// buffer when `len` exceeds the current num_vars (convenience for tests
+  /// that add rows before fixing the variable count).
+  void Add(const double* a, int len, double b) {
+    if (len > num_vars_) Widen(len);
+    double* row = AddRow(b);
+    std::memcpy(row, a, sizeof(double) * static_cast<size_t>(len));
+    double s = 0.0;
+    for (int j = 0; j < len; ++j) s += a[j] * a[j];
+    norm_[static_cast<size_t>(size_ - 1)] = std::sqrt(s);
+  }
+
+  void Add(std::initializer_list<double> a, double b) {
+    Add(a.begin(), static_cast<int>(a.size()), b);
+  }
+
+  void PopRow() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  void Truncate(int new_size) {
+    assert(new_size >= 0 && new_size <= size_);
+    size_ = new_size;
+  }
+
+  const double* Row(int i) const {
+    assert(i >= 0 && i < size_);
+    return &a_[static_cast<size_t>(i) * num_vars_];
+  }
+  double rhs(int i) const {
+    assert(i >= 0 && i < size_);
+    return b_[static_cast<size_t>(i)];
+  }
+  double norm(int i) const {
+    assert(i >= 0 && i < size_);
+    return norm_[static_cast<size_t>(i)];
+  }
+  void set_rhs(int i, double b) {
+    assert(i >= 0 && i < size_);
+    b_[static_cast<size_t>(i)] = b;
+  }
+  void set_norm(int i, double n) {
+    assert(i >= 0 && i < size_);
+    norm_[static_cast<size_t>(i)] = n;
+  }
+
+ private:
+  double* RowMut(int i) { return &a_[static_cast<size_t>(i) * num_vars_]; }
+
+  void Grow() {
+    const size_t need = static_cast<size_t>(size_ + 1) * num_vars_;
+    if (a_.size() < need) a_.resize(need);
+    if (b_.size() < static_cast<size_t>(size_ + 1)) {
+      b_.resize(static_cast<size_t>(size_ + 1));
+      norm_.resize(static_cast<size_t>(size_ + 1));
+    }
+  }
+
+  // Re-strides existing rows to a wider num_vars (rare; test convenience).
+  void Widen(int new_vars) {
+    std::vector<double> wide(static_cast<size_t>(size_) * new_vars, 0.0);
+    for (int i = 0; i < size_; ++i) {
+      std::memcpy(&wide[static_cast<size_t>(i) * new_vars], Row(i),
+                  sizeof(double) * static_cast<size_t>(num_vars_));
+    }
+    a_ = std::move(wide);
+    num_vars_ = new_vars;
+  }
+
+  int num_vars_ = 0;
+  int size_ = 0;
+  std::vector<double> a_;     // size_ x num_vars_, row-major
+  std::vector<double> b_;     // rhs per row
+  std::vector<double> norm_;  // L2 norm of the structural prefix per row
+};
+
+}  // namespace kspr::lp
+
+#endif  // KSPR_LP_CONSTRAINT_BUFFER_H_

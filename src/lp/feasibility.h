@@ -5,22 +5,51 @@
 // decide nonemptiness by maximising the radius t of a ball inscribed in the
 // closed polytope:  a_i . w + ||a_i|| t <= b_i. The open cell is nonempty
 // iff t* > tol::kInterior, and the maximiser w* is a well-centred witness
-// point that we cache on the CellTree node (paper Sec 4.3.2).
+// point that we cache on the CellTree node (paper Sec 4.3.2) together with
+// its radius — the cached ball both decides future side tests without any
+// LP (a hyperplane that cuts the ball splits the cell, one that clears it
+// proves that side nonempty) and seeds the split-off children with valid
+// inscribed balls of their own.
 //
-// Reentrancy: every routine here (and the simplex solver beneath) keeps
-// its scratch tableaux in thread_local arenas, so concurrent calls from
-// different worker threads are contention-free and allocation-free once
-// each thread's arena is warm. This is what the intra-query parallel
+// Three entry tiers, fastest first:
+//
+//   1. CellLpContext — the allocation-free warm-started descent kernel.
+//      Constraints are PUSHED and POPPED as the traversal walks the tree;
+//      every push appends one row to the parent-optimal tableau and
+//      re-optimises with a short dual-simplex pass, and every side test is
+//      "optimal tableau + one extra row" on a scratch copy. Pops restore
+//      bitwise-exact snapshots, so traversal order cannot perturb results,
+//      and forked parallel tasks inherit the solver state by value. On any
+//      numerical trouble (iteration guard, unexpected status) the context
+//      deterministically falls back to the cold two-phase solver until the
+//      offending rows are popped.
+//   2. CellBoundSolver — one closed cell, many objectives. The tableau is
+//      built once (space rows are feasible by construction, cell rows are
+//      dual-appended) and each Minimize/Maximize only reloads the
+//      objective and re-optimises primally from the current basis.
+//   3. TestInterior / MinimizeOverCell / MaximizeOverCell — one-shot
+//      wrappers for callers without an incremental structure (baselines,
+//      finalisation, benches, tests). They share the flat ConstraintBuffer
+//      problem representation, so even the cold path allocates nothing
+//      once its thread arena is warm.
+//
+// Reentrancy: every routine keeps its scratch in thread_local arenas (or,
+// for the incremental classes, in the instance itself), so concurrent
+// calls from different worker threads are contention-free and
+// allocation-free once warm. This is what the intra-query parallel
 // traversal relies on.
 
 #ifndef KSPR_LP_FEASIBILITY_H_
 #define KSPR_LP_FEASIBILITY_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/vec.h"
+#include "lp/constraint_buffer.h"
 #include "lp/simplex.h"
+#include "lp/warm_tableau.h"
 
 namespace kspr {
 
@@ -47,6 +76,11 @@ enum class Space {
 
 /// Appends the boundary inequalities of `space` in dimension `dim`.
 void AppendSpaceBounds(Space space, int dim, std::vector<LinIneq>* out);
+
+/// Number of boundary inequalities AppendSpaceBounds produces.
+inline int NumSpaceBounds(Space space, int dim) {
+  return space == Space::kTransformed ? dim + 1 : 2 * dim;
+}
 
 struct FeasibilityResult {
   bool feasible = false;
@@ -86,6 +120,106 @@ BoundResult MaximizeOverCell(Space space, int dim, const Vec& obj,
                              double obj_const,
                              const std::vector<LinIneq>& cons,
                              KsprStats* stats);
+
+/// Warm-started, allocation-free inscribed-ball solver for one descent.
+///
+/// The context mirrors the root path of the current CellTree node: the
+/// traversal pushes the edge inequality when it enters a child and pops it
+/// on unwind; TestWithRow answers the Sec 4.2 side test for the pushed
+/// path plus one extra row. Value semantics: copying a context snapshots
+/// the whole solver state, which is how forked subtree tasks of the
+/// parallel traversal reproduce the serial descent bitwise.
+class CellLpContext {
+ public:
+  /// (Re)binds the context to a preference space. Cheap when the context
+  /// is already at depth 0 for the same space/dim: the base tableau (space
+  /// bounds only) is retained across insertions.
+  void Reset(Space space, int dim);
+
+  /// Pushes constraint `c` (strict) onto the path and re-optimises the
+  /// base tableau via one dual-simplex row append.
+  void PushConstraint(const LinIneq& c);
+
+  /// Pops the most recent push, restoring the previous solver state
+  /// bitwise from its snapshot.
+  void PopConstraint();
+
+  /// Pushed rows currently on the path.
+  int depth() const { return static_cast<int>(levels_.size()); }
+
+  /// Inscribed-ball feasibility of (pushed rows + `side` + space bounds),
+  /// open interpretation — the warm equivalent of TestInterior. Updates
+  /// feasibility_lps / constraints_used / lp_warm_starts / lp_cold_starts.
+  FeasibilityResult TestWithRow(const LinIneq& side, KsprStats* stats);
+
+  /// Inscribed-ball feasibility of the pushed path itself (no extra row).
+  /// Free when warm: the answer is the base tableau's current optimum.
+  FeasibilityResult TestCurrent(KsprStats* stats);
+
+  /// Assigns `o`'s current solver state without its snapshot history and
+  /// seeds a forked traversal task: the task never unwinds past its fork
+  /// point, so the pop snapshots of the seed descent's frames would be
+  /// dead weight in the copy.
+  void AssignForFork(const CellLpContext& o);
+
+ private:
+  enum class LevelKind : uint8_t {
+    kWarm,         // appended to the tableau; snapshot saved
+    kColdEntered,  // append failed; snapshot saved, cold mode begins here
+    kInert,        // pushed while not warm; no tableau mutation or snapshot
+    kTrivial,      // degenerate row 0.w < b with b > 0; row is a no-op
+    kInfeasible,   // degenerate row 0.w < b with b <= 0; path is empty
+  };
+
+  bool warm() const {
+    return base_warm_ && cold_levels_ == 0 && infeasible_levels_ == 0;
+  }
+  void SaveSnapshot();
+  // Appends `c` in ball form (a, +||a||, -||a||) to `tab`.
+  lp::Status AppendBallRow(lp::WarmTableau* tab, const LinIneq& c) const;
+  FeasibilityResult ReadBall(const lp::WarmTableau& tab) const;
+  FeasibilityResult SolveCold(const LinIneq* side, KsprStats* stats) const;
+
+  Space space_ = Space::kTransformed;
+  int dim_ = -1;
+  bool init_ = false;
+  bool base_warm_ = false;  // the space-bound base tableau solved cleanly
+  lp::WarmTableau tab_;                 // optimal tableau of the pushed path
+  lp::ConstraintBuffer rows_;           // pushed rows, ball form, push order
+  std::vector<LevelKind> levels_;       // one entry per push
+  std::vector<lp::WarmTableau> snaps_;  // pop snapshots (reused storage)
+  int snap_count_ = 0;
+  int cold_levels_ = 0;
+  int infeasible_levels_ = 0;
+  lp::WarmTableau work_;  // scratch for TestWithRow (not part of the state)
+};
+
+/// Warm bound solver for one closed cell and many objectives: the tableau
+/// is built once per Reset and every Minimize/Maximize re-optimises from
+/// the previous basis after an objective reload. Falls back to the cold
+/// solver per call on numerical trouble, so results are always available.
+class CellBoundSolver {
+ public:
+  /// Binds the solver to the closed cell (cons + space bounds). `skip`
+  /// omits one constraint index (used by redundancy elimination); pass -1
+  /// to keep all. Zero-norm rows are dropped exactly like the one-shot
+  /// bound path does.
+  void Reset(Space space, int dim, const LinIneq* cons, int n, int skip = -1);
+
+  BoundResult Minimize(const Vec& obj, double obj_const, KsprStats* stats);
+  BoundResult Maximize(const Vec& obj, double obj_const, KsprStats* stats);
+
+ private:
+  BoundResult SolveObjective(const Vec& obj, double obj_const, bool maximize,
+                             KsprStats* stats);
+
+  Space space_ = Space::kTransformed;
+  int dim_ = 0;
+  bool warm_ = false;  // tableau holds a feasible basis
+  lp::WarmTableau tab_;
+  lp::ConstraintBuffer rows_;  // space rows + cell rows (cold fallback)
+  std::vector<double> obj_scratch_;
+};
 
 }  // namespace kspr
 

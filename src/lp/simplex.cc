@@ -19,15 +19,13 @@ namespace {
 class Tableau {
  public:
   void Init(const Problem& p) {
-    m_ = static_cast<int>(p.rows.size());
+    m_ = p.rows.size();
     n_ = p.num_vars;
 
-    std::vector<int> needs_artificial;
-    needs_artificial.clear();
+    num_artificial_ = 0;
     for (int i = 0; i < m_; ++i) {
-      if (p.rows[i].b < 0) needs_artificial.push_back(i);
+      if (p.rows.rhs(i) < 0) ++num_artificial_;
     }
-    num_artificial_ = static_cast<int>(needs_artificial.size());
     cols_ = n_ + m_ + num_artificial_;
     stride_ = cols_ + 1;  // + RHS column
 
@@ -38,10 +36,11 @@ class Tableau {
     int art = 0;
     for (int i = 0; i < m_; ++i) {
       double* row = Row(i);
-      const double sign = p.rows[i].b < 0 ? -1.0 : 1.0;
-      const int len = std::min<int>(n_, static_cast<int>(p.rows[i].a.size()));
-      for (int j = 0; j < len; ++j) row[j] = sign * p.rows[i].a[j];
-      row[cols_] = sign * p.rows[i].b;
+      const double sign = p.rows.rhs(i) < 0 ? -1.0 : 1.0;
+      const double* src = p.rows.Row(i);
+      const int len = std::min<int>(n_, p.rows.num_vars());
+      for (int j = 0; j < len; ++j) row[j] = sign * src[j];
+      row[cols_] = sign * p.rows.rhs(i);
       row[n_ + i] = sign;  // slack (+1) or surplus (-1)
       if (sign > 0) {
         SetBasis(i, n_ + i);
@@ -188,7 +187,7 @@ Solution Solve(const Problem& problem) {
   const int n = problem.num_vars;
   assert(static_cast<int>(problem.objective.size()) == n);
 
-  if (problem.rows.empty()) {
+  if (problem.rows.size() == 0) {
     for (double cj : problem.objective) {
       if (cj > tol::kPivot) {
         sol.status = Status::kUnbounded;

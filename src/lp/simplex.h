@@ -3,7 +3,9 @@
 // This replaces lp_solve [1] used by the paper. All LPs in kSPR processing
 // are tiny (at most d' + 2 <= 9 structural variables and a few hundred
 // constraints), so a textbook tableau implementation with Bland's
-// anti-cycling rule is exact, fast, and dependency-free.
+// anti-cycling rule is exact, fast, and dependency-free. It is the COLD
+// path of the LP kernel: the warm-started incremental path lives in
+// lp/warm_tableau.h and falls back to this solver on numerical trouble.
 //
 // Problem form:   maximize  c . x
 //                 subject to a_i . x <= b_i   (i = 1..m)
@@ -11,12 +13,16 @@
 //
 // Callers encode ">=" rows by negation and free variables by splitting
 // (the feasibility wrapper in lp/feasibility.h does this for the
-// inscribed-ball slack variable).
+// inscribed-ball slack variable). Rows live in a flat row-major
+// ConstraintBuffer, so building a Problem in a reused scratch instance is
+// allocation-free once warm.
 
 #ifndef KSPR_LP_SIMPLEX_H_
 #define KSPR_LP_SIMPLEX_H_
 
 #include <vector>
+
+#include "lp/constraint_buffer.h"
 
 namespace kspr::lp {
 
@@ -27,16 +33,10 @@ enum class Status {
   kStalled,  // iteration guard tripped; should not happen with Bland's rule
 };
 
-/// One row: a . x <= b.
-struct Constraint {
-  std::vector<double> a;
-  double b = 0.0;
-};
-
 struct Problem {
   int num_vars = 0;
   std::vector<double> objective;  // size num_vars; maximised
-  std::vector<Constraint> rows;
+  ConstraintBuffer rows;          // rows a . x <= b, stride >= num_vars
 };
 
 struct Solution {

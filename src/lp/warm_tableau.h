@@ -1,0 +1,93 @@
+// Warm-startable dense simplex tableau.
+//
+// The cold solver (lp/simplex.h) runs a two-phase method from scratch on
+// every call. Along a CellTree descent, though, consecutive LPs differ by
+// exactly one constraint row, and a kSPR query solves thousands of such
+// incrementally related problems. This class keeps the optimal tableau
+// alive between solves and supports the three warm transitions the kernel
+// needs:
+//
+//   * InitFromFeasibleRows — build a tableau from rows whose rhs is
+//     non-negative (the space-boundary rows), where the slack basis is
+//     primal feasible and a plain primal pass reaches the optimum without
+//     artificial variables;
+//   * AddRowReoptimize — append one row to an optimal tableau, express it
+//     in the current basis, and restore optimality with a dual-simplex
+//     pass (the parent-optimal-plus-one-row step of the descent);
+//   * SetObjectiveReoptimize — swap the objective over an unchanged row
+//     set and re-optimise with a primal pass from the current basis (the
+//     many-objectives-one-cell pattern of the look-ahead bounds).
+//
+// All pivots use Bland-style smallest-index tie-breaking, so every entry
+// point is deterministic; an iteration guard returns kStalled, on which
+// callers fall back to the cold two-phase solver. Tableaus are plain
+// value types: CopyFrom() snapshots exactly the used region, which is how
+// the descent implements push/pop and how forked traversal tasks inherit
+// bitwise-identical solver state.
+
+#ifndef KSPR_LP_WARM_TABLEAU_H_
+#define KSPR_LP_WARM_TABLEAU_H_
+
+#include <vector>
+
+#include "lp/constraint_buffer.h"
+#include "lp/simplex.h"
+
+namespace kspr::lp {
+
+class WarmTableau {
+ public:
+  /// Builds the tableau for rows a_i . x <= b_i with every b_i >= 0 and
+  /// maximises `obj` (size num_vars) from the slack basis.
+  /// Returns kOptimal, kUnbounded or kStalled.
+  Status InitFromFeasibleRows(int num_vars, const double* obj,
+                              const ConstraintBuffer& rows);
+
+  /// Appends a . x <= b (len coefficients, rest zero) to an optimal
+  /// tableau and re-optimises via dual simplex. Returns kOptimal,
+  /// kInfeasible (the enlarged system has no feasible point) or kStalled.
+  Status AddRowReoptimize(const double* a, int len, double b);
+
+  /// Replaces the objective (size num_vars, maximised) and re-optimises
+  /// via primal simplex from the current feasible basis.
+  Status SetObjectiveReoptimize(const double* obj);
+
+  /// Objective value of the current optimal basis.
+  double ObjectiveValue() const { return RowConst(m_)[stride_ - 1]; }
+
+  /// Value of structural variable `var` in the current basic solution.
+  double VarValue(int var) const;
+
+  int num_rows() const { return m_; }
+  int num_vars() const { return n_; }
+
+  /// Snapshot: copies exactly the used region of `o` into this instance,
+  /// reusing capacity. The copy is bitwise-exact, so save/restore pairs
+  /// reproduce solver state deterministically.
+  void CopyFrom(const WarmTableau& o);
+
+ private:
+  double* Row(int i) { return &t_[static_cast<size_t>(i) * stride_]; }
+  const double* RowConst(int i) const {
+    return &t_[static_cast<size_t>(i) * stride_];
+  }
+
+  void EnsureCapacity(int rows, int cols);
+  void LoadObjective(const double* obj);
+  Status PrimalOptimize();
+  Status DualReoptimize();
+  void Pivot(int row, int col);
+  void SetBasis(int row, int col);
+
+  int m_ = 0;       // constraint rows; the objective row lives at index m_
+  int n_ = 0;       // structural variables
+  int cols_ = 0;    // n_ + m_ (one slack per row); rhs at stride_ - 1
+  int stride_ = 0;  // allocated row width (>= cols_ + 1)
+  std::vector<double> t_;
+  std::vector<int> basis_;      // size m_
+  std::vector<char> is_basic_;  // size cols_
+};
+
+}  // namespace kspr::lp
+
+#endif  // KSPR_LP_WARM_TABLEAU_H_

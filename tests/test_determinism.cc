@@ -78,6 +78,43 @@ TEST(StatsInvariants, CountersAreConsistent) {
   }
 }
 
+TEST(StatsInvariants, WarmAndColdStartsPartitionLpSolves) {
+  SyntheticInstance inst(Distribution::kIndependent, 400, 3, 11);
+  KsprOptions options;
+  options.k = 6;
+  options.algorithm = Algorithm::kLpCta;
+  KsprResult r = inst.solver().QueryRecord(inst.sky(0), options);
+  // Every counted LP solve took exactly one of the two kernel paths (the
+  // finalisation pass deliberately runs uncounted, hence <=).
+  EXPECT_LE(r.stats.lp_warm_starts + r.stats.lp_cold_starts,
+            r.stats.feasibility_lps + r.stats.bound_lps);
+  // The descent and look-ahead workload is overwhelmingly warm.
+  EXPECT_GT(r.stats.lp_warm_starts, r.stats.lp_cold_starts);
+  // The ball filter fires on this workload and is on by default.
+  EXPECT_GT(r.stats.lp_skipped_by_ball, 0);
+}
+
+TEST(StatsInvariants, BallFilterPreservesStructure) {
+  SyntheticInstance inst(Distribution::kIndependent, 300, 4, 17);
+  KsprOptions with;
+  with.k = 5;
+  with.algorithm = Algorithm::kPcta;
+  KsprOptions without = with;
+  without.use_ball_filter = false;
+  KsprResult a = inst.solver().QueryRecord(inst.sky(1), with);
+  KsprResult b = inst.solver().QueryRecord(inst.sky(1), without);
+  // The filter only skips LPs whose case-III verdict the cached ball
+  // already proves; the reported regions must not change.
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i].rank_lb, b.regions[i].rank_lb);
+    EXPECT_EQ(a.regions[i].rank_ub, b.regions[i].rank_ub);
+  }
+  EXPECT_LE(a.stats.feasibility_lps, b.stats.feasibility_lps);
+  EXPECT_GT(a.stats.lp_skipped_by_ball, 0);
+  EXPECT_EQ(b.stats.lp_skipped_by_ball, 0);
+}
+
 TEST(StatsInvariants, WitnessCacheOnlyReducesWork) {
   SyntheticInstance inst(Distribution::kIndependent, 300, 4, 17);
   KsprOptions with;

@@ -12,7 +12,6 @@
 namespace kspr {
 namespace {
 
-using lp::Constraint;
 using lp::Problem;
 using lp::Solution;
 using lp::Status;
@@ -22,11 +21,9 @@ Problem MakeProblem(int n, std::vector<double> c,
   Problem p;
   p.num_vars = n;
   p.objective = std::move(c);
+  p.rows.Reset(n);
   for (auto& [a, b] : rows) {
-    Constraint row;
-    row.a = a;
-    row.b = b;
-    p.rows.push_back(row);
+    p.rows.Add(a.data(), static_cast<int>(a.size()), b);
   }
   return p;
 }
@@ -112,9 +109,10 @@ TEST_P(SimplexRandomTest, MatchesGridScan) {
   Problem p;
   p.num_vars = dim;
   p.objective = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  p.rows.Reset(dim);
   // Box rows.
-  p.rows.push_back({{1, 0}, 1.0});
-  p.rows.push_back({{0, 1}, 1.0});
+  p.rows.Add({1, 0}, 1.0);
+  p.rows.Add({0, 1}, 1.0);
   const int extra = 3;
   for (int i = 0; i < extra; ++i) {
     // Random halfspace through a point in the box: keeps (0.5, 0.5)-ish
@@ -122,7 +120,7 @@ TEST_P(SimplexRandomTest, MatchesGridScan) {
     double a0 = rng.Uniform(-1, 1);
     double a1 = rng.Uniform(-1, 1);
     double b = a0 * rng.Uniform() + a1 * rng.Uniform();
-    p.rows.push_back({{a0, a1}, b});
+    p.rows.Add({a0, a1}, b);
   }
   Solution s = Solve(p);
 
@@ -135,8 +133,9 @@ TEST_P(SimplexRandomTest, MatchesGridScan) {
       const double x = static_cast<double>(i) / grid;
       const double y = static_cast<double>(j) / grid;
       bool ok = true;
-      for (const Constraint& row : p.rows) {
-        if (row.a[0] * x + row.a[1] * y > row.b + 1e-12) {
+      for (int r = 0; r < p.rows.size(); ++r) {
+        if (p.rows.Row(r)[0] * x + p.rows.Row(r)[1] * y >
+            p.rows.rhs(r) + 1e-12) {
           ok = false;
           break;
         }
@@ -152,8 +151,9 @@ TEST_P(SimplexRandomTest, MatchesGridScan) {
     EXPECT_GE(s.objective, best - 1e-9);
     EXPECT_LE(best, s.objective + 0.05);
     // The LP solution itself must be feasible.
-    for (const Constraint& row : p.rows) {
-      EXPECT_LE(row.a[0] * s.x[0] + row.a[1] * s.x[1], row.b + 1e-7);
+    for (int r = 0; r < p.rows.size(); ++r) {
+      EXPECT_LE(p.rows.Row(r)[0] * s.x[0] + p.rows.Row(r)[1] * s.x[1],
+                p.rows.rhs(r) + 1e-7);
     }
   } else {
     // Infeasible LP: the grid must agree (up to boundary resolution).

@@ -60,6 +60,9 @@ void ExpectBitwiseEqual(const KsprResult& a, const KsprResult& b,
   EXPECT_EQ(sa.finalize_lps, sb.finalize_lps) << what;
   EXPECT_EQ(sa.witness_hits, sb.witness_hits) << what;
   EXPECT_EQ(sa.dominance_shortcuts, sb.dominance_shortcuts) << what;
+  EXPECT_EQ(sa.lp_warm_starts, sb.lp_warm_starts) << what;
+  EXPECT_EQ(sa.lp_cold_starts, sb.lp_cold_starts) << what;
+  EXPECT_EQ(sa.lp_skipped_by_ball, sb.lp_skipped_by_ball) << what;
   EXPECT_EQ(sa.constraints_full, sb.constraints_full) << what;
   EXPECT_EQ(sa.constraints_used, sb.constraints_used) << what;
   EXPECT_EQ(sa.lookahead_reported, sb.lookahead_reported) << what;
@@ -142,6 +145,35 @@ INSTANTIATE_TEST_SUITE_P(
                       Workload{Algorithm::kLpCta, 500, 3, 2026, 8},
                       Workload{Algorithm::kLpCta, 300, 4, 99, 8},
                       Workload{Algorithm::kOlpCta, 250, 3, 17, 6}));
+
+// The warm-LP kernel's fork snapshots must keep the identity in BOTH ball
+// filter modes: with the filter on (default — exercises zero-LP case-III
+// verdicts and cap-ball child seeding inside forked tasks) and off (every
+// undecided side test runs a warm LP from the snapshotted tableau).
+
+TEST(ParallelTraversal, BitwiseIdenticalWithBallFilterOff) {
+  SyntheticInstance inst(Distribution::kIndependent, 450, 3, 515);
+  for (bool ball : {true, false}) {
+    KsprOptions options;
+    options.algorithm = Algorithm::kLpCta;
+    options.k = 8;
+    options.use_ball_filter = ball;
+    const RecordId focal = inst.sky(0);
+    const KsprResult serial = inst.solver().QueryRecord(focal, options);
+    ThreadTeam team(6);
+    KsprOptions parallel = options;
+    parallel.executor = &team;
+    parallel.parallel.min_cells_per_task = 2;
+    const KsprResult result = inst.solver().QueryRecord(focal, parallel);
+    ExpectBitwiseEqual(serial, result,
+                       ball ? "ball filter on" : "ball filter off");
+    if (ball) {
+      EXPECT_GT(serial.stats.lp_skipped_by_ball, 0);
+    } else {
+      EXPECT_EQ(serial.stats.lp_skipped_by_ball, 0);
+    }
+  }
+}
 
 // The num_threads option (no explicit executor): the solver spins up a
 // transient team and the answer stays bitwise-identical.

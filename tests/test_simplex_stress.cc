@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -13,7 +14,6 @@
 namespace kspr {
 namespace {
 
-using lp::Constraint;
 using lp::Problem;
 using lp::Solution;
 using lp::Status;
@@ -34,25 +34,21 @@ TEST_P(SimplexStressTest, OptimumDominatesSampledFeasiblePoints) {
   p.num_vars = c.dim;
   p.objective.resize(c.dim);
   for (double& x : p.objective) x = rng.Uniform(-1, 1);
+  p.rows.Reset(c.dim);
   // Box [0,1]^dim plus random cuts through points of the box (so the
   // feasible set is often, but not always, nonempty).
   for (int j = 0; j < c.dim; ++j) {
-    Constraint row;
-    row.a.assign(c.dim, 0.0);
-    row.a[j] = 1.0;
-    row.b = 1.0;
-    p.rows.push_back(row);
+    double* row = p.rows.AddRow(1.0);
+    row[j] = 1.0;
   }
+  std::vector<double> a(c.dim);
   for (int i = 0; i < c.rows; ++i) {
-    Constraint row;
-    row.a.resize(c.dim);
     double b = 0.0;
     for (int j = 0; j < c.dim; ++j) {
-      row.a[j] = rng.Uniform(-1, 1);
-      b += row.a[j] * rng.Uniform();
+      a[j] = rng.Uniform(-1, 1);
+      b += a[j] * rng.Uniform();
     }
-    row.b = b;
-    p.rows.push_back(row);
+    p.rows.Add(a.data(), c.dim, b);
   }
 
   Solution s = lp::Solve(p);
@@ -60,10 +56,11 @@ TEST_P(SimplexStressTest, OptimumDominatesSampledFeasiblePoints) {
   ASSERT_NE(s.status, Status::kUnbounded);  // box-bounded
 
   auto feasible = [&](const std::vector<double>& x, double eps) {
-    for (const Constraint& row : p.rows) {
+    for (int i = 0; i < p.rows.size(); ++i) {
+      const double* row = p.rows.Row(i);
       double dot = 0.0;
-      for (int j = 0; j < c.dim; ++j) dot += row.a[j] * x[j];
-      if (dot > row.b + eps) return false;
+      for (int j = 0; j < c.dim; ++j) dot += row[j] * x[j];
+      if (dot > p.rows.rhs(i) + eps) return false;
     }
     return true;
   };
@@ -114,10 +111,7 @@ TEST(SimplexStress, ManyRedundantRows) {
   p.num_vars = 3;
   p.objective = {1.0, 1.0, 1.0};
   for (int i = 0; i < 200; ++i) {
-    Constraint row;
-    row.a = {1.0, 1.0, 1.0};
-    row.b = 1.0;
-    p.rows.push_back(row);
+    p.rows.Add({1.0, 1.0, 1.0}, 1.0);
   }
   Solution s = lp::Solve(p);
   ASSERT_EQ(s.status, Status::kOptimal);
@@ -128,10 +122,7 @@ TEST(SimplexStress, TinyCoefficients) {
   Problem p;
   p.num_vars = 2;
   p.objective = {1e-6, 1e-6};
-  Constraint row;
-  row.a = {1e-6, 1e-6};
-  row.b = 1e-6;
-  p.rows.push_back(row);
+  p.rows.Add({1e-6, 1e-6}, 1e-6);
   Solution s = lp::Solve(p);
   ASSERT_EQ(s.status, Status::kOptimal);
   EXPECT_NEAR(s.objective, 1e-6, 1e-12);
@@ -142,11 +133,8 @@ TEST(SimplexStress, EqualityChainViaPairs) {
   Problem p;
   p.num_vars = 2;
   p.objective = {3.0, -2.0};
-  auto add = [&](std::vector<double> a, double b) {
-    Constraint row;
-    row.a = std::move(a);
-    row.b = b;
-    p.rows.push_back(row);
+  auto add = [&](std::initializer_list<double> a, double b) {
+    p.rows.Add(a, b);
   };
   add({1, 0}, 0.3);
   add({-1, 0}, -0.3);
