@@ -5,6 +5,7 @@
 //            [--algo cta|pcta|lpcta|opcta|olpcta|skyband]
 //            [--focal ID] [--seed S] [--volume] [--csv FILE]
 //            [--threads N] [--batch Q] [--intra-threads T]
+//            [--updates U] [--update-size M] [--amortized]
 //
 // With --csv the dataset is read from a headerless CSV of d numeric
 // columns (larger = better) instead of being generated. With --batch Q
@@ -15,7 +16,21 @@
 // (the result is bitwise-identical to the serial run): alone it speeds up
 // the one-query mode; combined with --batch/--threads the engine splits
 // its budget between queries and subtrees.
+//
+// --updates U applies U dynamic update batches (half inserts of fresh
+// synthetic records, half deletes of random live records; M records per
+// batch, default 64) through QueryEngine::ApplyUpdates, re-running the
+// query batch after each one and reporting how much of the result cache
+// the version sweep invalidated vs retained. The focal id and the query
+// workload are RE-VALIDATED against the shrunken dataset after every
+// batch — a focal that is out of range or tombstoned is rejected with a
+// clear error, never fed to the solver. An explicitly requested --focal
+// is excluded from the random delete pool so default runs stay
+// reproducible end to end. --amortized (CTA only) serves the workload
+// through the engine's amortized CellTree contexts: after each batch only
+// the delta hyperplanes are inserted.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/solver.h"
 #include "datagen/synthetic.h"
 #include "engine/query_engine.h"
@@ -75,6 +91,10 @@ int main(int argc, char** argv) {
   int intra_threads = 1;
   int batch = 0;  // set via --batch; 0 without the flag = single-query mode
   bool batch_set = false;
+  int updates = 0;       // --updates: dynamic update batches to apply
+  int update_size = 64;  // --update-size: records per update batch
+  bool amortized = false;
+  bool focal_set = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -94,6 +114,13 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next("--seed"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--focal")) {
       focal = std::atoi(next("--focal"));
+      focal_set = true;
+    } else if (!std::strcmp(argv[i], "--updates")) {
+      updates = std::atoi(next("--updates"));
+    } else if (!std::strcmp(argv[i], "--update-size")) {
+      update_size = std::atoi(next("--update-size"));
+    } else if (!std::strcmp(argv[i], "--amortized")) {
+      amortized = true;
     } else if (!std::strcmp(argv[i], "--volume")) {
       volume = true;
     } else if (!std::strcmp(argv[i], "--csv")) {
@@ -145,11 +172,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--batch %d out of range (must be >= 1)\n", batch);
     return 1;
   }
+  if (updates < 0 || updates > 1000000) {
+    std::fprintf(stderr, "--updates %d out of range [0, 1000000]\n", updates);
+    return 1;
+  }
+  if (update_size < 1 || update_size > 1000000) {
+    std::fprintf(stderr, "--update-size %d out of range [1, 1000000]\n",
+                 update_size);
+    return 1;
+  }
+  if (amortized && algo != Algorithm::kCta) {
+    std::fprintf(stderr,
+                 "--amortized requires --algo cta (the amortized context "
+                 "reuses the CTA CellTree skeleton)\n");
+    return 1;
+  }
 
   Dataset data =
       csv.empty() ? GenerateSynthetic(dist, n, d, seed) : LoadCsv(csv, d);
   RTree tree = RTree::BulkLoad(data);
-  const bool batch_mode = batch > 0 || threads > 1;
+  // Updates and amortized contexts route through the engine, so they
+  // imply batch mode.
+  const bool batch_mode =
+      batch > 0 || threads > 1 || updates > 0 || amortized;
   std::vector<RecordId> skyline;  // needed for the default focal and batch
   if (focal == kInvalidRecord || batch_mode) {
     skyline = Skyline(data, tree);
@@ -157,11 +202,26 @@ int main(int argc, char** argv) {
   if (focal == kInvalidRecord) {
     focal = skyline.front();  // an informative default
   }
-  if (focal < 0 || focal >= data.size()) {
-    std::fprintf(stderr, "--focal %d out of range (dataset has %d records)\n",
-                 focal, data.size());
-    return 1;
-  }
+
+  // Focal validation: range AND liveness, with a clear error instead of an
+  // assert deep in the engine. Checked at startup and — because update
+  // batches shrink the live set — again after every ApplyUpdates. Returns
+  // false instead of exiting so callers unwind normally (the batch path
+  // holds a live QueryEngine whose worker threads must join).
+  auto check_focal = [&data](RecordId f, const char* when) {
+    if (f < 0 || f >= data.size()) {
+      std::fprintf(stderr,
+                   "--focal %d out of range %s (dataset has %d records)\n", f,
+                   when, data.size());
+      return false;
+    }
+    if (!data.IsLive(f)) {
+      std::fprintf(stderr, "--focal %d is not a live record %s\n", f, when);
+      return false;
+    }
+    return true;
+  };
+  if (!check_focal(focal, "at startup")) return 1;
 
   KsprOptions options;
   options.k = k;
@@ -173,47 +233,125 @@ int main(int argc, char** argv) {
     // Batch mode: route through the concurrent QueryEngine. The workload
     // cycles over skyline records starting at the focal (skyline members
     // keep the queries informative; see bench/bench_common.h).
-    std::vector<QueryRequest> requests;
     const int count = batch > 0 ? batch : 1;
-    // The requested focal always leads the batch — at its skyline position
-    // when it is a skyline member, otherwise as an explicit first query
-    // (never silently substituted).
-    size_t start = skyline.size();
-    for (size_t s = 0; s < skyline.size(); ++s) {
-      if (skyline[s] == focal) start = s;
-    }
-    for (int q = 0; q < count; ++q) {
-      QueryRequest request;
-      if (start < skyline.size()) {
-        request.focal_id = skyline[(start + q) % skyline.size()];
-      } else {
-        request.focal_id =
-            q == 0 ? focal : skyline[(q - 1) % skyline.size()];
+    auto build_requests = [&]() {
+      std::vector<QueryRequest> requests;
+      // The requested focal always leads the batch — at its skyline
+      // position when it is a skyline member, otherwise as an explicit
+      // first query (never silently substituted).
+      size_t start = skyline.size();
+      for (size_t s = 0; s < skyline.size(); ++s) {
+        if (skyline[s] == focal) start = s;
       }
-      request.options = options;
-      requests.push_back(request);
-    }
+      for (int q = 0; q < count; ++q) {
+        QueryRequest request;
+        if (start < skyline.size()) {
+          request.focal_id = skyline[(start + q) % skyline.size()];
+        } else {
+          request.focal_id =
+              q == 0 ? focal : skyline[(q - 1) % skyline.size()];
+        }
+        request.options = options;
+        request.amortized = amortized;
+        requests.push_back(request);
+      }
+      return requests;
+    };
 
     EngineOptions engine_options;
     engine_options.workers = threads;
     engine_options.intra_threads = intra_threads;
+    engine_options.amortized_contexts = amortized ? 16 : 0;
     QueryEngine engine(&data, &tree, engine_options);
+
+    std::vector<QueryRequest> requests = build_requests();
     std::vector<QueryResponse> responses = engine.RunAll(requests);
     for (size_t i = 0; i < responses.size(); ++i) {
-      std::printf("query %zu focal=%d regions=%zu %.2fms%s\n", i,
+      std::printf("query %zu focal=%d regions=%zu %.2fms%s%s\n", i,
                   requests[i].focal_id, responses[i].result->regions.size(),
                   responses[i].latency_ms,
-                  responses[i].cache_hit ? " (cache hit)" : "");
+                  responses[i].cache_hit ? " (cache hit)" : "",
+                  responses[i].amortized ? " (amortized)" : "");
     }
+
+    // Dynamic update rounds: mutate, re-validate, re-query.
+    Rng urng(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (int u = 1; u <= updates; ++u) {
+      UpdateBatch ub;
+      const int num_inserts = (update_size + 1) / 2;
+      const int num_deletes = update_size / 2;
+      for (int j = 0; j < num_inserts; ++j) {
+        Vec r(d);
+        for (int x = 0; x < d; ++x) r.v[x] = urng.Uniform();
+        ub.inserts.push_back(r);
+      }
+      // Random live victims; the current focal is kept out of the pool so
+      // the run never self-destructs on its own random deletes (the
+      // re-validation below still guards every other shrink path).
+      int attempts = 0;
+      while (static_cast<int>(ub.deletes.size()) < num_deletes &&
+             attempts++ < 20 * num_deletes) {
+        const RecordId cand =
+            static_cast<RecordId>(urng.UniformInt(data.size()));
+        if (!data.IsLive(cand)) continue;
+        if (cand == focal) continue;
+        if (std::find(ub.deletes.begin(), ub.deletes.end(), cand) !=
+            ub.deletes.end()) {
+          continue;
+        }
+        ub.deletes.push_back(cand);
+      }
+
+      UpdateResult ur = engine.ApplyUpdates(ub);
+      std::printf("# update %d: +%zu -%zu version=%llu cache dropped=%zu "
+                  "retained=%zu\n",
+                  u, ur.inserted_ids.size(), ur.deletes_applied,
+                  static_cast<unsigned long long>(ur.version),
+                  ur.cache_dropped, ur.cache_retained);
+
+      // Re-validate against the shrunken dataset and rebuild the workload
+      // over the fresh skyline (old skyline ids may be tombstoned). A
+      // default focal is re-derived when it dies; an explicit --focal is a
+      // hard error (never silently substituted).
+      skyline = Skyline(data, tree);
+      if (skyline.empty()) {
+        std::fprintf(stderr, "dataset drained by updates: no records left\n");
+        return 1;
+      }
+      if (!focal_set && !data.IsLive(focal)) {
+        focal = skyline.front();
+        std::printf("# focal deleted by updates; continuing with %d\n",
+                    focal);
+      }
+      if (!check_focal(focal, "after update batch")) return 1;
+      requests = build_requests();
+      responses = engine.RunAll(requests);
+      size_t hits = 0;
+      size_t regions = 0;
+      double ms = 0.0;
+      for (const QueryResponse& r : responses) {
+        hits += r.cache_hit ? 1 : 0;
+        regions += r.result->regions.size();
+        ms += r.latency_ms;
+      }
+      std::printf("# post-update %d: %zu queries hits=%zu regions=%zu "
+                  "avg=%.2fms\n",
+                  u, responses.size(), hits, regions,
+                  ms / static_cast<double>(responses.size()));
+    }
+
     EngineStats::Snapshot stats = engine.stats();
     std::printf("# %s batch=%lld threads=%d intra=%d hits=%lld avg=%.2fms "
-                "max=%.2fms lp_calls=%lld\n",
+                "max=%.2fms lp_calls=%lld updates=%lld amortized=%lld+%lld\n",
                 data.Summary().c_str(),
                 static_cast<long long>(stats.queries), engine.workers(),
                 engine.intra_threads(),
                 static_cast<long long>(stats.cache_hits),
                 stats.avg_latency_ms(), stats.max_latency_ms,
-                static_cast<long long>(stats.lp_calls));
+                static_cast<long long>(stats.lp_calls),
+                static_cast<long long>(stats.updates),
+                static_cast<long long>(stats.amortized_builds),
+                static_cast<long long>(stats.amortized_reuses));
     return 0;
   }
 

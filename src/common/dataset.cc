@@ -27,12 +27,17 @@ bool Dataset::Dominates(const Vec& a, const Vec& b) {
 }
 
 void Dataset::NormalizeToUnitBox() {
-  if (empty()) return;
+  if (num_live_ == 0) return;
   const RecordId n = size();
   for (int j = 0; j < dim_; ++j) {
+    // Per-dimension extent over the LIVE records only, so tombstoned
+    // outliers cannot skew the scale; dead rows are rescaled with the same
+    // map (their values are never read, but staying finite keeps asserts
+    // and debug dumps sane).
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
     for (RecordId i = 0; i < n; ++i) {
+      if (!IsLive(i)) continue;
       lo = std::min(lo, At(i, j));
       hi = std::max(hi, At(i, j));
     }
@@ -42,11 +47,15 @@ void Dataset::NormalizeToUnitBox() {
       x = range > 0 ? (x - lo) / range : 0.5;
     }
   }
+  ++version_;
 }
 
 std::string Dataset::Summary() const {
-  return "Dataset(n=" + std::to_string(size()) +
-         ", d=" + std::to_string(dim_) + ")";
+  std::string s = "Dataset(n=" + std::to_string(num_live_);
+  if (num_live_ != size()) {
+    s += "/" + std::to_string(size());  // live/slots when tombstones exist
+  }
+  return s + ", d=" + std::to_string(dim_) + ")";
 }
 
 }  // namespace kspr

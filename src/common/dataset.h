@@ -4,12 +4,21 @@
 // (row major). Attribute values follow the paper's convention: LARGER IS
 // BETTER in every dimension, and weights are positive, so the score
 // S(r) = r . w is monotonically increasing in every attribute.
+//
+// Dynamic updates: Insert appends a record and Delete tombstones one.
+// Record ids are STABLE — a deleted id is never reused, its row stays
+// addressable (At/Get/Row keep working so in-flight references and
+// hyperplane caches stay valid), and `size()` keeps counting all slots
+// including tombstones. Live-set consumers filter with IsLive; num_live()
+// gives the live cardinality. Every mutation bumps `version()`, the
+// monotonic stamp the query engine folds into its result-cache keys.
 
 #ifndef KSPR_COMMON_DATASET_H_
 #define KSPR_COMMON_DATASET_H_
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,8 +44,40 @@ class Dataset {
   RecordId Add(const Vec& r) {
     assert(r.dim == dim_);
     for (int i = 0; i < dim_; ++i) values_.push_back(r[i]);
+    live_.push_back(1);
+    ++num_live_;
+    ++version_;
     return size() - 1;
   }
+
+  /// Dynamic insert: identical to Add (the alias exists so update-path
+  /// call sites read as what they are).
+  RecordId Insert(const Vec& r) { return Add(r); }
+
+  /// Tombstones record `id`. Returns false when `id` is out of range or
+  /// already deleted; on success bumps the version. The row's values stay
+  /// addressable (stable ids), only the live flag flips.
+  bool Delete(RecordId id) {
+    if (id < 0 || id >= size() || !live_[static_cast<size_t>(id)]) {
+      return false;
+    }
+    live_[static_cast<size_t>(id)] = 0;
+    --num_live_;
+    ++version_;
+    return true;
+  }
+
+  /// True iff `id` names a record that has not been deleted.
+  bool IsLive(RecordId id) const {
+    return id >= 0 && id < size() && live_[static_cast<size_t>(id)] != 0;
+  }
+
+  /// Number of live (non-tombstoned) records.
+  RecordId num_live() const { return num_live_; }
+
+  /// Monotonic mutation stamp: bumped by every Add/Insert/Delete. Two
+  /// reads returning the same value bracket an unchanged live set.
+  uint64_t version() const { return version_; }
 
   double At(RecordId id, int attr) const {
     assert(id >= 0 && id < size() && attr >= 0 && attr < dim_);
@@ -82,6 +123,9 @@ class Dataset {
  private:
   int dim_ = 0;
   std::vector<double> values_;
+  std::vector<uint8_t> live_;  // parallel to records; 0 = tombstone
+  RecordId num_live_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace kspr

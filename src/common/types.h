@@ -38,6 +38,15 @@ inline constexpr double kBallCut = 1e-8;
 /// Generic geometric comparisons (vertex dedup, constraint satisfaction).
 inline constexpr double kGeom = 1e-7;
 
+/// Floor applied to uniform draws before -log(u) in the exponential
+/// simplex sampler (geom/volume.cc, NegLogClamped). Rng::Uniform can
+/// return exactly 0.0 (one in 2^53 draws), and -log(0) = inf would poison
+/// the normalised-exponential point with NaNs; flooring at 1e-300 keeps
+/// -log(u) <= ~691 while perturbing no non-degenerate draw (the smallest
+/// nonzero Uniform() value is 2^-53 ~= 1.1e-16). Every clamp is counted
+/// (see VolumeSampleClamps in geom/volume.h).
+inline constexpr double kMinLogSample = 1e-300;
+
 }  // namespace tol
 
 }  // namespace kspr

@@ -1,0 +1,113 @@
+#include "core/amortized.h"
+
+#include <cassert>
+
+#include "core/cta.h"
+
+namespace kspr {
+
+AmortizedCta::AmortizedCta(const Dataset* data, const Vec& focal,
+                           RecordId focal_id, const KsprOptions& options)
+    : data_(data), focal_(focal), focal_id_(focal_id), options_(options) {
+  // The context is reused across queries and mutated in place, so the
+  // traversal runs serially (serial == parallel is bitwise-identical, see
+  // core/parallel.h, so this changes nothing but thread usage).
+  options_.executor = nullptr;
+  options_.parallel = ParallelOptions{};
+
+  initial_size_ = data_->size();
+  QueryPrep prep = PrepareQuery(*data_, focal_, focal_id_, options_.k);
+  num_dominators_ = prep.num_dominators;
+  if (prep.ResultEmpty()) {
+    // From-scratch returns an empty result with zero stats before building
+    // any tree. Insert-only deltas cannot raise k_effective, so the
+    // context stays in this state for its lifetime.
+    cursor_ = initial_size_;
+    return;
+  }
+
+  store_ = std::make_unique<HyperplaneStore>(data_, focal_,
+                                             Space::kTransformed);
+  tree_ = std::make_unique<CellTree>(store_.get(), prep.k_effective,
+                                     &options_, &insert_stats_);
+
+  // Initial pass: the RunCta insertion loop over the records known at
+  // construction, including its early exit once every cell is gone.
+  for (RecordId rid = 0; rid < initial_size_; ++rid) {
+    if (prep.skip[rid]) continue;
+    tree_->InsertHyperplane(rid);
+    ++insert_stats_.processed_records;
+    if (tree_->RootDead()) {
+      root_dead_ = true;
+      break;
+    }
+  }
+  // Every record below initial_size_ was handled by the prep above —
+  // inserted, skipped, or (after a root death) irrelevant to the
+  // from-scratch insertion sequence, which stops at the same record. The
+  // cursor therefore starts at initial_size_ even on the early exit:
+  // Advance must never re-classify prefix records (a prefix dominator is
+  // already folded into num_dominators_ and would otherwise force a
+  // rebuild on every query), and the engine's "delete below the cursor
+  // invalidates" rule must cover the whole prefix (deleting a prefix
+  // dominator changes k_effective even when its hyperplane was never
+  // inserted).
+  cursor_ = initial_size_;
+}
+
+AmortizedCta::Rel AmortizedCta::Classify(RecordId rid) const {
+  // Mirrors the per-record test in PrepareQuery.
+  if (rid == focal_id_) return Rel::kSkip;
+  const double* r = data_->Row(rid);
+  bool r_ge = true;
+  bool p_ge = true;
+  for (int j = 0; j < data_->dim(); ++j) {
+    if (r[j] < focal_.v[j]) r_ge = false;
+    if (focal_.v[j] < r[j]) p_ge = false;
+  }
+  if (r_ge && p_ge) return Rel::kSkip;       // tie on every attribute
+  if (r_ge) return Rel::kDominator;
+  if (p_ge) return Rel::kSkip;               // dominated: never outscores
+  return Rel::kRegular;
+}
+
+bool AmortizedCta::Advance() {
+  if (tree_ == nullptr) {
+    // Empty-result prep: inserts can only shrink k_effective further, so
+    // any delta keeps the from-scratch result empty.
+    cursor_ = data_->size();
+    return true;
+  }
+  for (; cursor_ < data_->size(); ++cursor_) {
+    if (!data_->IsLive(cursor_)) continue;  // tombstoned before first query
+    switch (Classify(cursor_)) {
+      case Rel::kSkip:
+        continue;
+      case Rel::kDominator:
+        // A from-scratch run would lower k_effective for the WHOLE
+        // insertion sequence; the cached skeleton was built with the old
+        // threshold and cannot be patched.
+        return false;
+      case Rel::kRegular:
+        break;
+    }
+    if (root_dead_) continue;  // from-scratch stopped inserting here too
+    tree_->InsertHyperplane(cursor_);
+    ++insert_stats_.processed_records;
+    if (tree_->RootDead()) root_dead_ = true;
+  }
+  return true;
+}
+
+KsprResult AmortizedCta::Collect() {
+  KsprResult result;
+  if (tree_ == nullptr) return result;  // ResultEmpty: zero stats, like CTA
+  result.stats = insert_stats_;
+  // prune = false: the harvest must not mutate the skeleton, or later
+  // delta insertions would skip work a from-scratch run still performs.
+  HarvestRegions(tree_.get(), store_.get(), options_, num_dominators_,
+                 &result, /*executor=*/nullptr, /*prune=*/false);
+  return result;
+}
+
+}  // namespace kspr

@@ -1,0 +1,90 @@
+// Amortized CTA query context for dynamic datasets.
+//
+// CTA (Sec 4) inserts record hyperplanes in ascending id order, and
+// Dataset updates append with monotonically increasing stable ids. An
+// AmortizedCta therefore keeps the CellTree of a focal record alive
+// between queries: after an insert-only update batch, Advance() processes
+// exactly the delta records' hyperplanes on top of the cached skeleton,
+// and Collect() harvests the regions non-destructively — producing
+// regions AND stats bitwise-identical to a from-scratch CTA run over the
+// mutated dataset (the from-scratch run performs the same insertion
+// sequence; the skeleton merely removes the duplicated prefix work).
+//
+// Invalidation rules (enforced here and by the QueryEngine):
+//  * a delta record that DOMINATES the focal changes the preprocessing
+//    (k_effective shrinks) — Advance() returns false and the caller
+//    rebuilds from scratch (records tied with or dominated by the focal
+//    are skipped by the preprocessing in both runs, so they need no
+//    invalidation);
+//  * deleting a record with id BELOW the cursor may remove a hyperplane
+//    already folded into the tree — CellTrees cannot un-insert, so the
+//    engine drops the context (deletes at/above the cursor are harmless:
+//    both the amortized and the from-scratch run skip tombstones).
+
+#ifndef KSPR_CORE_AMORTIZED_H_
+#define KSPR_CORE_AMORTIZED_H_
+
+#include <memory>
+
+#include "common/dataset.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "common/vec.h"
+#include "core/cell_tree.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "geom/hyperplane.h"
+
+namespace kspr {
+
+class AmortizedCta {
+ public:
+  /// Builds the context and processes every current live record (the
+  /// normal CTA insertion pass). `data` must outlive the context; only
+  /// options fields that affect CTA are honoured, and the traversal is
+  /// forced serial (serial == parallel is bitwise anyway).
+  AmortizedCta(const Dataset* data, const Vec& focal, RecordId focal_id,
+               const KsprOptions& options);
+
+  AmortizedCta(const AmortizedCta&) = delete;
+  AmortizedCta& operator=(const AmortizedCta&) = delete;
+
+  /// Processes live records in [cursor(), data->size()) — the delta of
+  /// every insert batch since the last call. Returns false when a delta
+  /// record dominates the focal: the context can no longer mirror a
+  /// from-scratch run and must be rebuilt by the caller.
+  bool Advance();
+
+  /// Non-destructive harvest: regions plus cumulative stats, equal to what
+  /// RunCta would return on the current dataset. May be called repeatedly.
+  KsprResult Collect();
+
+  /// First record id not yet examined. Deleting any id below this
+  /// invalidates the context.
+  RecordId cursor() const { return cursor_; }
+
+  const Vec& focal() const { return focal_; }
+  RecordId focal_id() const { return focal_id_; }
+
+ private:
+  /// Classification of a record against the focal (the PrepareQuery
+  /// per-record test).
+  enum class Rel { kRegular, kDominator, kSkip };
+  Rel Classify(RecordId rid) const;
+
+  const Dataset* data_;
+  Vec focal_;
+  RecordId focal_id_;
+  KsprOptions options_;
+  int num_dominators_ = 0;  // dominators found by the initial prep
+  RecordId initial_size_ = 0;  // dataset slots at construction time
+  KsprStats insert_stats_;  // cumulative insertion-phase counters
+  std::unique_ptr<HyperplaneStore> store_;
+  std::unique_ptr<CellTree> tree_;  // null when the prep emptied the result
+  RecordId cursor_ = 0;
+  bool root_dead_ = false;  // from-scratch would have stopped inserting
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_CORE_AMORTIZED_H_

@@ -154,8 +154,7 @@ struct Traversal {
     if (bounds.lb > k) return;  // cell will be pruned regardless
     const RTree::Node& node = ctx->tree->Fetch(node_id);
     if (node.leaf) {
-      for (int i = node.first; i < node.first + node.num_children; ++i) {
-        const RecordId rid = ctx->tree->RecordAt(i);
+      for (RecordId rid : node.items) {
         if (rid == ctx->focal_id) continue;
         const Vec r = ctx->data->Get(rid);
         if (PivotDominated(r)) continue;  // kBelow, no LP needed
@@ -170,7 +169,7 @@ struct Traversal {
       }
       return;
     }
-    for (int c = node.first; c < node.first + node.num_children; ++c) {
+    for (int c : node.items) {
       if (bounds.lb > k) return;
       const RTree::Node& child = ctx->tree->Fetch(c);
       if (PivotDominated(child.mbr)) continue;  // kBelow, no LP needed

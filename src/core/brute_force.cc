@@ -25,7 +25,7 @@ int RankAt(const Dataset& data, const Vec& p, RecordId focal_id,
   const double sp = p.Dot(w_full);
   int rank = 1;
   for (RecordId i = 0; i < data.size(); ++i) {
-    if (i == focal_id) continue;
+    if (i == focal_id || !data.IsLive(i)) continue;
     if (data.Score(i, w_full) > sp) ++rank;
   }
   return rank;
@@ -36,7 +36,7 @@ double MinScoreMargin(const Dataset& data, const Vec& p, RecordId focal_id,
   const double sp = p.Dot(w_full);
   double margin = std::numeric_limits<double>::infinity();
   for (RecordId i = 0; i < data.size(); ++i) {
-    if (i == focal_id) continue;
+    if (i == focal_id || !data.IsLive(i)) continue;
     const double diff = std::abs(data.Score(i, w_full) - sp);
     if (diff == 0.0) continue;  // exact tie everywhere: ignored by kSPR
     margin = std::min(margin, diff);

@@ -465,7 +465,8 @@ void CellTree::MarkEliminated(int node_id) {
   PropagateDeath(node_id);
 }
 
-void CellTree::CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id) {
+void CellTree::CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id,
+                                 bool prune) {
   // Iterative DFS maintaining path/neg/pos record stacks.
   std::vector<HalfspaceRef> path;
   std::vector<RecordId> neg_records;
@@ -498,8 +499,10 @@ void CellTree::CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id) {
     }
     const int rank = base_rank() + pos_here;
     if (rank > k_tree_) {
-      Kill(nid);
-      PropagateDeath(nid);
+      if (prune) {
+        Kill(nid);
+        PropagateDeath(nid);
+      }
     } else if (n.leaf()) {
       if (nid >= min_node_id) {
         LeafInfo info;
@@ -515,7 +518,9 @@ void CellTree::CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id) {
     } else {
       self(self, n.left, pos_here);
       self(self, n.right, pos_here);
-      if (nodes_[n.left].dead() && nodes_[n.right].dead()) Kill(nid);
+      if (prune && nodes_[n.left].dead() && nodes_[n.right].dead()) {
+        Kill(nid);
+      }
     }
     path.resize(path_mark);
     neg_records.resize(neg_mark);

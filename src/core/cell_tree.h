@@ -93,8 +93,15 @@ class CellTree {
   };
 
   /// Collects all live leaves with node_id >= min_node_id. Leaves whose
-  /// rank exceeds k are eliminated on the fly rather than returned.
-  void CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id = 0);
+  /// rank exceeds k are never returned; with `prune` (the default) they
+  /// are eliminated on the fly and their deaths propagated upward. The
+  /// amortized query path passes prune = false so that a harvest leaves
+  /// the tree bitwise-identical to one that was never harvested — eager
+  /// death propagation would let later delta insertions skip zombie
+  /// subtrees a from-scratch run still classifies (fewer LPs, diverging
+  /// stats).
+  void CollectLiveLeaves(std::vector<LeafInfo>* out, int min_node_id = 0,
+                         bool prune = true);
 
   /// Marks a leaf as part of the kSPR answer; it is removed from all
   /// subsequent processing.

@@ -14,8 +14,8 @@ QueryPrep PrepareQuery(const Dataset& data, const Vec& p, RecordId focal_id,
   prep.skip.assign(data.size(), 0);
   const int d = data.dim();
   for (RecordId i = 0; i < data.size(); ++i) {
-    if (i == focal_id) {
-      prep.skip[i] = 1;
+    if (i == focal_id || !data.IsLive(i)) {
+      prep.skip[i] = 1;  // the focal itself, or a tombstoned record
       continue;
     }
     const double* r = data.Row(i);
@@ -63,10 +63,10 @@ void FinalizeRegions(KsprResult* result, size_t from, size_t to,
 
 void HarvestRegions(CellTree* tree, HyperplaneStore* store,
                     const KsprOptions& options, int rank_offset,
-                    KsprResult* result, Executor* executor) {
+                    KsprResult* result, Executor* executor, bool prune) {
   const size_t first = result->regions.size();
   std::vector<CellTree::LeafInfo> leaves;
-  tree->CollectLiveLeaves(&leaves);
+  tree->CollectLiveLeaves(&leaves, /*min_node_id=*/0, prune);
   for (const CellTree::LeafInfo& leaf : leaves) {
     Region region;
     region.space = store->space();

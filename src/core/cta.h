@@ -41,10 +41,13 @@ void FinalizeRegions(KsprResult* result, size_t from, size_t to,
                      const KsprOptions& options, Executor* executor);
 
 /// Converts the surviving leaves of `tree` into result regions and runs the
-/// finalisation step (on `executor` when non-null).
+/// finalisation step (on `executor` when non-null). `prune` is forwarded to
+/// CellTree::CollectLiveLeaves — the amortized path passes false so the
+/// harvest leaves the tree untouched.
 void HarvestRegions(CellTree* tree, HyperplaneStore* store,
                     const KsprOptions& options, int rank_offset,
-                    KsprResult* result, Executor* executor = nullptr);
+                    KsprResult* result, Executor* executor = nullptr,
+                    bool prune = true);
 
 /// Runs plain CTA: inserts every non-skipped record's hyperplane in dataset
 /// order, then harvests. `space` selects the transformed or original

@@ -22,6 +22,47 @@ double KsprResult::TopKProbability() const {
   return TotalVolume() / SpaceVolume(regions[0].space, regions[0].dim);
 }
 
+bool ResultsBitwiseEqual(const KsprResult& a, const KsprResult& b) {
+  if (a.regions.size() != b.regions.size()) return false;
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    const Region& ra = a.regions[i];
+    const Region& rb = b.regions[i];
+    if (ra.space != rb.space || ra.dim != rb.dim) return false;
+    if (ra.rank_lb != rb.rank_lb || ra.rank_ub != rb.rank_ub) return false;
+    if (!(ra.witness == rb.witness)) return false;
+    if (ra.volume != rb.volume) return false;
+    if (ra.constraints.size() != rb.constraints.size()) return false;
+    for (size_t c = 0; c < ra.constraints.size(); ++c) {
+      if (ra.constraints[c].b != rb.constraints[c].b) return false;
+      if (!(ra.constraints[c].a == rb.constraints[c].a)) return false;
+    }
+    if (ra.vertices.size() != rb.vertices.size()) return false;
+    for (size_t v = 0; v < ra.vertices.size(); ++v) {
+      if (!(ra.vertices[v] == rb.vertices[v])) return false;
+    }
+  }
+  const KsprStats& sa = a.stats;
+  const KsprStats& sb = b.stats;
+  return sa.processed_records == sb.processed_records &&
+         sa.cell_tree_nodes == sb.cell_tree_nodes &&
+         sa.live_leaves == sb.live_leaves &&
+         sa.feasibility_lps == sb.feasibility_lps &&
+         sa.bound_lps == sb.bound_lps &&
+         sa.finalize_lps == sb.finalize_lps &&
+         sa.witness_hits == sb.witness_hits &&
+         sa.dominance_shortcuts == sb.dominance_shortcuts &&
+         sa.lp_warm_starts == sb.lp_warm_starts &&
+         sa.lp_cold_starts == sb.lp_cold_starts &&
+         sa.lp_skipped_by_ball == sb.lp_skipped_by_ball &&
+         sa.constraints_full == sb.constraints_full &&
+         sa.constraints_used == sb.constraints_used &&
+         sa.lookahead_reported == sb.lookahead_reported &&
+         sa.lookahead_pruned == sb.lookahead_pruned &&
+         sa.batches == sb.batches && sa.bytes == sb.bytes &&
+         sa.page_reads == sb.page_reads &&
+         sa.result_regions == sb.result_regions;
+}
+
 void FinalizeRegion(Region* region, bool compute_volume, int volume_samples,
                     KsprStats* stats) {
   region->constraints =

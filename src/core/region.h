@@ -58,6 +58,13 @@ struct KsprResult {
 void FinalizeRegion(Region* region, bool compute_volume, int volume_samples,
                     KsprStats* stats);
 
+/// Exact equality of two results: every region field (order included,
+/// doubles compared bitwise via ==) and every KsprStats counter. This is
+/// the single definition of "bitwise-identical" behind the serial ==
+/// parallel and amortized == from-scratch guarantees; the test helper
+/// (tests/test_support.h) and the gated fig24 bench both delegate to it.
+bool ResultsBitwiseEqual(const KsprResult& a, const KsprResult& b);
+
 }  // namespace kspr
 
 #endif  // KSPR_CORE_REGION_H_

@@ -22,6 +22,15 @@ class EngineStats {
     int64_t cache_misses = 0;
     int64_t lp_calls = 0;  // feasibility + bound + finalisation LPs
     int64_t regions = 0;
+    // Dynamic-update path (QueryEngine::ApplyUpdates).
+    int64_t updates = 0;            // batches applied
+    int64_t records_inserted = 0;
+    int64_t records_deleted = 0;
+    int64_t cache_invalidated = 0;  // entries dropped by update sweeps
+    int64_t cache_retained = 0;     // entries restamped (proven unaffected)
+    // Amortized CTA contexts.
+    int64_t amortized_builds = 0;   // full from-scratch context builds
+    int64_t amortized_reuses = 0;   // delta-only advances
     double total_latency_ms = 0.0;
     double max_latency_ms = 0.0;
 
@@ -60,6 +69,23 @@ class EngineStats {
     }
   }
 
+  /// Records one ApplyUpdates batch.
+  void RecordUpdate(int64_t inserted, int64_t deleted, int64_t invalidated,
+                    int64_t retained) {
+    updates_.fetch_add(1, std::memory_order_relaxed);
+    records_inserted_.fetch_add(inserted, std::memory_order_relaxed);
+    records_deleted_.fetch_add(deleted, std::memory_order_relaxed);
+    cache_invalidated_.fetch_add(invalidated, std::memory_order_relaxed);
+    cache_retained_.fetch_add(retained, std::memory_order_relaxed);
+  }
+
+  void RecordAmortizedBuild() {
+    amortized_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordAmortizedReuse() {
+    amortized_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   Snapshot Get() const {
     Snapshot s;
     s.queries = queries_.load(std::memory_order_relaxed);
@@ -67,6 +93,13 @@ class EngineStats {
     s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
     s.lp_calls = lp_calls_.load(std::memory_order_relaxed);
     s.regions = regions_.load(std::memory_order_relaxed);
+    s.updates = updates_.load(std::memory_order_relaxed);
+    s.records_inserted = records_inserted_.load(std::memory_order_relaxed);
+    s.records_deleted = records_deleted_.load(std::memory_order_relaxed);
+    s.cache_invalidated = cache_invalidated_.load(std::memory_order_relaxed);
+    s.cache_retained = cache_retained_.load(std::memory_order_relaxed);
+    s.amortized_builds = amortized_builds_.load(std::memory_order_relaxed);
+    s.amortized_reuses = amortized_reuses_.load(std::memory_order_relaxed);
     s.total_latency_ms =
         static_cast<double>(latency_ns_total_.load(std::memory_order_relaxed)) /
         1e6;
@@ -82,6 +115,13 @@ class EngineStats {
     cache_misses_.store(0, std::memory_order_relaxed);
     lp_calls_.store(0, std::memory_order_relaxed);
     regions_.store(0, std::memory_order_relaxed);
+    updates_.store(0, std::memory_order_relaxed);
+    records_inserted_.store(0, std::memory_order_relaxed);
+    records_deleted_.store(0, std::memory_order_relaxed);
+    cache_invalidated_.store(0, std::memory_order_relaxed);
+    cache_retained_.store(0, std::memory_order_relaxed);
+    amortized_builds_.store(0, std::memory_order_relaxed);
+    amortized_reuses_.store(0, std::memory_order_relaxed);
     latency_ns_total_.store(0, std::memory_order_relaxed);
     latency_ns_max_.store(0, std::memory_order_relaxed);
   }
@@ -92,6 +132,13 @@ class EngineStats {
   std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> lp_calls_{0};
   std::atomic<int64_t> regions_{0};
+  std::atomic<int64_t> updates_{0};
+  std::atomic<int64_t> records_inserted_{0};
+  std::atomic<int64_t> records_deleted_{0};
+  std::atomic<int64_t> cache_invalidated_{0};
+  std::atomic<int64_t> cache_retained_{0};
+  std::atomic<int64_t> amortized_builds_{0};
+  std::atomic<int64_t> amortized_reuses_{0};
   std::atomic<int64_t> latency_ns_total_{0};
   std::atomic<int64_t> latency_ns_max_{0};
 };

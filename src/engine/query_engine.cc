@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "common/timer.h"
@@ -34,6 +35,10 @@ QueryEngine::QueryEngine(const Dataset* data, const RTree* index,
     : data_(data),
       solver_(data, index),
       cache_(options.cache_capacity),
+      update_policy_(options.update_policy),
+      targeted_invalidation_max_delta_(
+          options.targeted_invalidation_max_delta),
+      amortized_capacity_(options.amortized_contexts),
       pool_(PoolWorkers(options)) {
   if (options.intra_threads > 1) {
     // Honour the total budget even when it is smaller than intra_threads
@@ -49,7 +54,15 @@ QueryEngine::QueryEngine(const Dataset* data, const RTree* index,
   }
 }
 
+QueryEngine::QueryEngine(Dataset* data, RTree* index, EngineOptions options)
+    : QueryEngine(static_cast<const Dataset*>(data),
+                  static_cast<const RTree*>(index), options) {
+  mutable_data_ = data;
+  mutable_index_ = index;
+}
+
 void QueryEngine::Canonicalize(QueryRequest* request) const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
   if (request->focal_id != kInvalidRecord) {
     assert(request->focal_id >= 0 && request->focal_id < data_->size());
     request->focal = data_->Get(request->focal_id);
@@ -58,18 +71,96 @@ void QueryEngine::Canonicalize(QueryRequest* request) const {
   }
 }
 
+uint64_t QueryEngine::dataset_version() const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return data_->version();
+}
+
+bool QueryEngine::ExecuteAmortized(const QueryRequest& request,
+                                   QueryResponse* response) {
+  if (amortized_capacity_ == 0 ||
+      request.options.algorithm != Algorithm::kCta) {
+    return false;
+  }
+
+  // Context identity: same key as the result cache, minus the version (a
+  // context survives versions — that is the point).
+  const CacheKey key =
+      CacheKey::Make(request.focal, request.focal_id, request.options,
+                     /*dataset_version=*/0);
+
+  std::shared_ptr<AmortizedSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(amortized_mu_);
+    for (auto it = amortized_.begin(); it != amortized_.end(); ++it) {
+      if ((*it)->key == key) {
+        slot = *it;
+        amortized_.erase(it);
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      slot = std::make_shared<AmortizedSlot>();
+      slot->key = key;
+    }
+    amortized_.insert(amortized_.begin(), slot);  // MRU
+    if (amortized_.size() > amortized_capacity_) {
+      // The evicted slot may still be driving an in-flight query; the
+      // shared_ptr keeps it alive until that query finishes.
+      amortized_.pop_back();
+    }
+  }
+
+  std::lock_guard<std::mutex> slot_lock(slot->mu);
+  bool built = false;
+  if (slot->ctx == nullptr) {
+    slot->ctx = std::make_unique<AmortizedCta>(data_, request.focal,
+                                               request.focal_id,
+                                               request.options);
+    built = true;
+  } else if (!slot->ctx->Advance()) {
+    // A delta record dominates the focal: the skeleton cannot mirror a
+    // from-scratch run any more — rebuild it.
+    slot->ctx = std::make_unique<AmortizedCta>(data_, request.focal,
+                                               request.focal_id,
+                                               request.options);
+    built = true;
+  }
+  if (built) {
+    stats_.RecordAmortizedBuild();
+  } else {
+    stats_.RecordAmortizedReuse();
+  }
+  response->result = std::make_shared<KsprResult>(slot->ctx->Collect());
+  response->amortized = true;
+  return true;
+}
+
 QueryResponse QueryEngine::Execute(const QueryRequest& request, int worker) {
   Timer timer;
   QueryResponse response;
   response.worker = worker;
 
-  const CacheKey key =
-      CacheKey::Make(request.focal, request.focal_id, request.options);
+  // Shared-side of the update quiesce: ApplyUpdates blocks until every
+  // in-flight Execute has released this lock.
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+
+  const CacheKey key = CacheKey::Make(request.focal, request.focal_id,
+                                      request.options, data_->version());
   if (std::shared_ptr<const KsprResult> hit = cache_.Get(key)) {
     response.result = std::move(hit);
     response.cache_hit = true;
     response.latency_ms = timer.Millis();
     stats_.RecordQuery(/*solver_stats=*/nullptr,
+                       static_cast<int64_t>(response.result->regions.size()),
+                       response.latency_ms);
+    return response;
+  }
+
+  if (request.amortized && ExecuteAmortized(request, &response)) {
+    cache_.Put(key, response.result);
+    response.latency_ms = timer.Millis();
+    stats_.RecordQuery(&response.result->stats,
                        static_cast<int64_t>(response.result->regions.size()),
                        response.latency_ms);
     return response;
@@ -93,6 +184,103 @@ QueryResponse QueryEngine::Execute(const QueryRequest& request, int worker) {
                      static_cast<int64_t>(response.result->regions.size()),
                      response.latency_ms);
   return response;
+}
+
+UpdateResult QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
+  UpdateResult out;
+  if (mutable_data_ == nullptr) return out;  // read-only engine
+  out.applied = true;
+
+  // Writer side of the quiesce: waits for all in-flight queries, blocks
+  // new ones until the batch (and the cache sweep) is done.
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  Dataset& data = *mutable_data_;
+  RTree& index = *mutable_index_;
+  const bool incremental =
+      update_policy_ == IndexUpdatePolicy::kIncremental;
+
+  // Values of every record entering or leaving the live set — the inputs
+  // of the targeted cache sweep (delete values captured pre-tombstone).
+  std::vector<Vec> delta;
+  delta.reserve(batch.inserts.size() + batch.deletes.size());
+  std::vector<RecordId> deleted_ids;
+
+  for (RecordId id : batch.deletes) {
+    if (!data.IsLive(id)) continue;  // unknown or already-deleted id: no-op
+    delta.push_back(data.Get(id));
+    if (incremental) index.Delete(data, id);
+    data.Delete(id);
+    deleted_ids.push_back(id);
+    ++out.deletes_applied;
+  }
+  out.inserted_ids.reserve(batch.inserts.size());
+  for (const Vec& v : batch.inserts) {
+    assert(v.dim == data.dim());
+    const RecordId id = data.Insert(v);
+    out.inserted_ids.push_back(id);
+    if (incremental) index.Insert(data, id);
+    delta.push_back(v);
+  }
+  if (!incremental) {
+    PageTracker* tracker = index.tracker();
+    index = RTree::BulkLoad(data, index.leaf_capacity(), index.fanout());
+    if (tracker != nullptr) {
+      // Every node page of the discarded tree is gone, and the rebuilt
+      // tree recycles the same ids — flush the residency so stale pages
+      // cannot serve phantom buffer hits.
+      tracker->RetireAll();
+      index.SetTracker(tracker);
+    }
+    out.index_rebuilt = true;
+  }
+  out.version = data.version();
+
+  // Result-cache sweep. An entry may be RETAINED only when its focal
+  // dominates every delta record: such records never outscore the focal
+  // anywhere in preference space, so the query preprocessing drops them
+  // and the region set is provably unchanged. Everything else (including
+  // entries whose focal record was itself deleted) is dropped.
+  if (delta.size() <= targeted_invalidation_max_delta_) {
+    auto drop = [&](const CacheKey& cached) {
+      if (cached.focal_id != kInvalidRecord &&
+          !data.IsLive(cached.focal_id)) {
+        return true;
+      }
+      for (const Vec& r : delta) {
+        if (!Dataset::Dominates(cached.focal, r)) return true;
+      }
+      return false;
+    };
+    std::tie(out.cache_dropped, out.cache_retained) =
+        cache_.OnDatasetUpdate(out.version, drop);
+  } else {
+    out.cache_dropped = cache_.size();
+    out.cache_retained = 0;
+    cache_.Clear();
+  }
+
+  // Amortized contexts: a delete below a context's cursor removes a
+  // hyperplane already folded into its CellTree — unrecoverable, so the
+  // context is discarded (the slot stays; the next query rebuilds).
+  // Inserts are handled lazily by AmortizedCta::Advance.
+  {
+    std::lock_guard<std::mutex> alock(amortized_mu_);
+    for (auto& slot : amortized_) {
+      if (slot->ctx == nullptr) continue;
+      for (RecordId id : deleted_ids) {
+        if (id < slot->ctx->cursor()) {
+          slot->ctx.reset();
+          break;
+        }
+      }
+    }
+  }
+
+  stats_.RecordUpdate(static_cast<int64_t>(out.inserted_ids.size()),
+                      static_cast<int64_t>(out.deletes_applied),
+                      static_cast<int64_t>(out.cache_dropped),
+                      static_cast<int64_t>(out.cache_retained));
+  return out;
 }
 
 std::future<QueryResponse> QueryEngine::Submit(QueryRequest request) {

@@ -8,11 +8,25 @@
 // allocation beyond the result object itself; RTree/PageTracker serialise
 // their only mutable state internally).
 //
+// Dynamic datasets: constructed over MUTABLE data/index pointers, the
+// engine additionally serves ApplyUpdates — a batch of inserts and
+// deletes applied under a writer lock that quiesces all in-flight
+// queries. Each batch bumps the dataset version, which is folded into
+// every result-cache key, so a result computed against an older live set
+// can never be served for a newer one. Cached entries provably unaffected
+// by the batch (their focal dominates every delta record, so no delta
+// hyperplane intersects a region) are retained and restamped instead of
+// dropped. Optionally the engine keeps amortized CTA contexts per focal:
+// after an insert-only batch a re-submitted focal reuses its cached
+// CellTree skeleton and only inserts the delta hyperplanes — regions and
+// stats stay bitwise-identical to a from-scratch run (core/amortized.h).
+//
 // Usage:
 //   kspr::QueryEngine engine(&data, &index, {.workers = 4});
 //   std::future<kspr::QueryResponse> f = engine.SubmitRecord(42, options);
 //   ... or ...
 //   std::vector<kspr::QueryResponse> out = engine.RunAll(requests);
+//   kspr::UpdateResult u = engine.ApplyUpdates(batch);   // mutable ctor
 //   kspr::EngineStats::Snapshot s = engine.stats();
 
 #ifndef KSPR_ENGINE_QUERY_ENGINE_H_
@@ -20,12 +34,15 @@
 
 #include <future>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/dataset.h"
 #include "core/parallel.h"
 #include "common/types.h"
 #include "common/vec.h"
+#include "core/amortized.h"
 #include "core/options.h"
 #include "core/region.h"
 #include "core/solver.h"
@@ -35,6 +52,21 @@
 #include "index/rtree.h"
 
 namespace kspr {
+
+/// How ApplyUpdates maintains the R-tree.
+enum class IndexUpdatePolicy {
+  /// Dynamic insert/delete on the existing tree (Guttman maintenance).
+  /// Fast per batch; the tree shape diverges from what a fresh BulkLoad
+  /// would produce, so index-driven algorithms (P-CTA/LP-CTA) return the
+  /// same region set as a from-scratch build but may traverse differently
+  /// (counters, region order). CTA results are index-independent and stay
+  /// bitwise-identical.
+  kIncremental,
+  /// STR BulkLoad over the live set after every batch. Costs O(n log n)
+  /// per batch but reproduces the from-scratch tree exactly, making every
+  /// algorithm's post-update results bitwise-identical to a clean rebuild.
+  kRebuild,
+};
 
 struct EngineOptions {
   /// Total thread budget; <= 0 means std::thread::hardware_concurrency().
@@ -53,6 +85,19 @@ struct EngineOptions {
   /// 1) for throughput on many small queries, and intra-query parallelism
   /// for tail latency on few heavy ones.
   int intra_threads = 1;
+
+  /// R-tree maintenance policy for ApplyUpdates.
+  IndexUpdatePolicy update_policy = IndexUpdatePolicy::kIncremental;
+
+  /// Update batches with at most this many delta records get the targeted
+  /// cache sweep (per-entry dominance test against each delta); larger
+  /// batches drop the whole cache, as the sweep cost approaches a rebuild.
+  size_t targeted_invalidation_max_delta = 16;
+
+  /// Cached amortized CTA contexts (0 disables the amortized query mode).
+  /// Each context pins a CellTree for one (focal, options) pair; see
+  /// QueryRequest::amortized.
+  size_t amortized_contexts = 0;
 };
 
 /// One kSPR query. For a focal record that is part of the dataset set
@@ -62,23 +107,52 @@ struct QueryRequest {
   Vec focal;
   RecordId focal_id = kInvalidRecord;
   KsprOptions options;
+
+  /// Serve through an amortized CTA context (requires
+  /// EngineOptions::amortized_contexts > 0 and algorithm == kCta; other
+  /// algorithms fall back to the normal path). The first query builds the
+  /// context; after update batches a re-query only inserts the delta.
+  bool amortized = false;
 };
 
 struct QueryResponse {
   /// Immutable, possibly shared with the cache and other responses.
   std::shared_ptr<const KsprResult> result;
   bool cache_hit = false;
+  bool amortized = false;   // served via an amortized CTA context
   double latency_ms = 0.0;  // wall time inside the worker
   int worker = -1;          // pool worker that served the query
 };
 
+/// A batch of dataset mutations for ApplyUpdates.
+struct UpdateBatch {
+  std::vector<Vec> inserts;        // records to append
+  std::vector<RecordId> deletes;   // live ids to tombstone
+};
+
+struct UpdateResult {
+  bool applied = false;            // false: engine was constructed read-only
+  uint64_t version = 0;            // dataset version after the batch
+  std::vector<RecordId> inserted_ids;  // aligned with UpdateBatch::inserts
+  size_t deletes_applied = 0;      // ids that were live and got removed
+  size_t cache_dropped = 0;
+  size_t cache_retained = 0;
+  bool index_rebuilt = false;      // kRebuild (or empty-tree bootstrap)
+};
+
 class QueryEngine {
  public:
-  /// `data` and `index` must outlive the engine; the index must have been
-  /// built over exactly `data`. No other thread may mutate either (e.g.
-  /// RTree::SetTracker) while the engine is serving.
+  /// Read-only serving: `data` and `index` must outlive the engine; the
+  /// index must have been built over exactly `data`. No other thread may
+  /// mutate either (e.g. RTree::SetTracker) while the engine is serving.
+  /// ApplyUpdates is unavailable (returns applied = false).
   QueryEngine(const Dataset* data, const RTree* index,
               EngineOptions options = {});
+
+  /// Dynamic serving: same contract, but the engine may mutate dataset and
+  /// index through ApplyUpdates. Callers must not mutate either themselves
+  /// while the engine exists.
+  QueryEngine(Dataset* data, RTree* index, EngineOptions options = {});
 
   /// Drains queued work (every submitted future is fulfilled) and joins
   /// the workers.
@@ -115,6 +189,19 @@ class QueryEngine {
   std::vector<QueryResponse> RunAll(
       const std::vector<QueryRequest>& requests);
 
+  /// Applies a mutation batch: quiesces in-flight queries (writer lock),
+  /// tombstones deletes + appends inserts, maintains the R-tree per the
+  /// configured policy, bumps the dataset version, and sweeps the result
+  /// cache — dropping every entry a delta record could affect and
+  /// restamping the provably untouched rest. Amortized contexts whose
+  /// already-processed prefix is invalidated by a delete are discarded.
+  /// Blocks until all running queries finish; must not be called from a
+  /// pool worker (deadlock). Thread-safe against Submit/RunAll.
+  UpdateResult ApplyUpdates(const UpdateBatch& batch);
+
+  /// Dataset version the next query will be keyed under.
+  uint64_t dataset_version() const;
+
   EngineStats::Snapshot stats() const { return stats_.Get(); }
   void ResetStats() { stats_.Reset(); }
 
@@ -122,17 +209,43 @@ class QueryEngine {
   void ClearCache() { cache_.Clear(); }
 
  private:
+  /// One cached amortized CTA context. `mu` serialises queries that share
+  /// the context; the slot list itself is guarded by amortized_mu_.
+  struct AmortizedSlot {
+    CacheKey key;  // dataset_version zeroed: identity across versions
+    std::mutex mu;
+    std::unique_ptr<AmortizedCta> ctx;
+  };
+
   /// Runs one query on worker `worker`: cache lookup, solver call on miss,
   /// stats recording.
   QueryResponse Execute(const QueryRequest& request, int worker);
+
+  /// The amortized-context path of Execute (returns false when the request
+  /// cannot be served amortized and must fall through to the solver).
+  bool ExecuteAmortized(const QueryRequest& request,
+                        QueryResponse* response);
 
   /// Fills in `focal` from the dataset when only `focal_id` was given.
   void Canonicalize(QueryRequest* request) const;
 
   const Dataset* data_;
+  Dataset* mutable_data_ = nullptr;  // non-null for the dynamic ctor
+  RTree* mutable_index_ = nullptr;
   KsprSolver solver_;
   ResultCache cache_;
   EngineStats stats_;
+  IndexUpdatePolicy update_policy_ = IndexUpdatePolicy::kIncremental;
+  size_t targeted_invalidation_max_delta_ = 16;
+  size_t amortized_capacity_ = 0;
+
+  /// Readers (Execute, Canonicalize) hold shared; ApplyUpdates holds
+  /// unique — that is the quiesce.
+  mutable std::shared_mutex update_mu_;
+
+  std::mutex amortized_mu_;
+  std::vector<std::shared_ptr<AmortizedSlot>> amortized_;  // MRU front
+
   // One traversal team per pool worker (parallel_intra_query mode only);
   // declared before the pool so in-flight queries outlive their teams.
   std::vector<std::unique_ptr<ThreadTeam>> intra_teams_;

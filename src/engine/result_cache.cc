@@ -15,7 +15,8 @@ inline uint64_t FnvMix(uint64_t h, uint64_t x) {
 }  // namespace
 
 CacheKey CacheKey::Make(const Vec& focal, RecordId focal_id,
-                        const KsprOptions& options) {
+                        const KsprOptions& options,
+                        uint64_t dataset_version) {
   // Deliberately excluded: options.parallel and options.executor — the
   // intra-query parallel traversal is bitwise-identical to the serial
   // run, so serial and parallel executions of the same query share one
@@ -28,6 +29,7 @@ CacheKey CacheKey::Make(const Vec& focal, RecordId focal_id,
     if (key.focal.v[i] == 0.0) key.focal.v[i] = 0.0;
   }
   key.focal_id = focal_id;
+  key.dataset_version = dataset_version;
   key.k = options.k;
   key.algorithm = options.algorithm;
   key.bound_mode = options.bound_mode;
@@ -49,7 +51,8 @@ bool CacheKey::operator==(const CacheKey& o) const {
   return focal.dim == o.focal.dim &&
          std::memcmp(focal.v.data(), o.focal.v.data(),
                      sizeof(focal.v)) == 0 &&
-         focal_id == o.focal_id && k == o.k && algorithm == o.algorithm &&
+         focal_id == o.focal_id && dataset_version == o.dataset_version &&
+         k == o.k && algorithm == o.algorithm &&
          bound_mode == o.bound_mode && flag_bits == o.flag_bits &&
          lookahead_stride == o.lookahead_stride &&
          volume_samples == o.volume_samples;
@@ -63,6 +66,7 @@ uint64_t CacheKey::Hash() const {
     h = FnvMix(h, bits);
   }
   h = FnvMix(h, static_cast<uint64_t>(static_cast<uint32_t>(focal_id)));
+  h = FnvMix(h, dataset_version);
   h = FnvMix(h, static_cast<uint64_t>(k));
   h = FnvMix(h, static_cast<uint64_t>(algorithm));
   h = FnvMix(h, static_cast<uint64_t>(bound_mode));
@@ -99,6 +103,27 @@ void ResultCache::Put(const CacheKey& key,
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
+}
+
+std::pair<size_t, size_t> ResultCache::OnDatasetUpdate(
+    uint64_t new_version, const std::function<bool(const CacheKey&)>& drop) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (drop(it->key)) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      // Restamp in place: the hash changes with the version, so the index
+      // entry must move to the new bucket.
+      index_.erase(it->key);
+      it->key.dataset_version = new_version;
+      index_[it->key] = it;
+      ++it;
+    }
+  }
+  return {dropped, lru_.size()};
 }
 
 void ResultCache::Clear() {

@@ -12,10 +12,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "common/types.h"
 #include "common/vec.h"
@@ -24,14 +26,19 @@
 
 namespace kspr {
 
-/// Exact cache identity of a query: the focal record (by id and by value)
-/// plus every result-affecting KsprOptions field. Two keys compare equal
-/// only if the solver is guaranteed to produce an identical KsprResult for
-/// both (bound mode and look-ahead settings are included because they
-/// change the reported [rank_lb, rank_ub] intervals, not just the speed).
+/// Exact cache identity of a query: the focal record (by id and by value),
+/// the dataset version the answer was computed against, plus every
+/// result-affecting KsprOptions field. Two keys compare equal only if the
+/// solver is guaranteed to produce an identical KsprResult for both (bound
+/// mode and look-ahead settings are included because they change the
+/// reported [rank_lb, rank_ub] intervals, not just the speed; the dataset
+/// version because ANY mutation may change the answer — entries proven
+/// unaffected by an update are restamped to the new version rather than
+/// matched across versions, see ResultCache::OnDatasetUpdate).
 struct CacheKey {
   Vec focal;
   RecordId focal_id = kInvalidRecord;
+  uint64_t dataset_version = 0;
   int k = 0;
   Algorithm algorithm = Algorithm::kLpCta;
   BoundMode bound_mode = BoundMode::kFast;
@@ -40,7 +47,8 @@ struct CacheKey {
   int volume_samples = 0;
 
   static CacheKey Make(const Vec& focal, RecordId focal_id,
-                       const KsprOptions& options);
+                       const KsprOptions& options,
+                       uint64_t dataset_version = 0);
 
   bool operator==(const CacheKey& o) const;
 
@@ -66,6 +74,15 @@ class ResultCache {
 
   /// Inserts (or refreshes) an entry, evicting from the LRU tail.
   void Put(const CacheKey& key, std::shared_ptr<const KsprResult> result);
+
+  /// Dataset-update sweep: every entry for which `drop` returns true is
+  /// removed; every survivor has its key restamped to `new_version` (so
+  /// lookups under the new version keep hitting it). Returns
+  /// {dropped, retained}. The caller must have quiesced queries only if it
+  /// needs the sweep to be atomic with the dataset mutation — the cache
+  /// itself stays internally consistent either way.
+  std::pair<size_t, size_t> OnDatasetUpdate(
+      uint64_t new_version, const std::function<bool(const CacheKey&)>& drop);
 
   void Clear();
 

@@ -54,6 +54,13 @@ HyperplaneStore::HyperplaneStore(const Dataset* data, const Vec& p,
 
 const RecordHyperplane& HyperplaneStore::Get(RecordId rid) {
   assert(rid >= 0 && rid < data_->size());
+  if (rid >= static_cast<RecordId>(planes_.size())) {
+    // The dataset grew since construction (amortized update path). Only
+    // safe single-threaded, like first-computation memoization itself —
+    // see the thread-safety contract in the header.
+    planes_.resize(static_cast<size_t>(data_->size()));
+    computed_.resize(static_cast<size_t>(data_->size()), 0);
+  }
   if (!computed_[rid]) {
     planes_[rid] = MakeHyperplane(p_, data_->Get(rid), space_);
     computed_[rid] = 1;

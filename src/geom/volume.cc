@@ -1,12 +1,35 @@
 #include "geom/volume.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/types.h"
 #include "geom/polytope.h"
 
 namespace kspr {
+
+namespace {
+
+std::atomic<int64_t> g_sample_clamps{0};
+
+}  // namespace
+
+double NegLogClamped(double u) {
+  if (u < tol::kMinLogSample) {
+    u = tol::kMinLogSample;
+    g_sample_clamps.fetch_add(1, std::memory_order_relaxed);
+  }
+  return -std::log(u);
+}
+
+int64_t VolumeSampleClamps() {
+  return g_sample_clamps.load(std::memory_order_relaxed);
+}
+
+void ResetVolumeSampleClamps() {
+  g_sample_clamps.store(0, std::memory_order_relaxed);
+}
 
 double SpaceVolume(Space space, int dim) {
   if (space == Space::kOriginal) return 1.0;
@@ -51,9 +74,7 @@ Vec SampleSpacePoint(Space space, int dim, Rng* rng) {
   double total = 0.0;
   double e[kMaxDim + 1];
   for (int j = 0; j <= dim; ++j) {
-    double u = rng->Uniform();
-    if (u < 1e-300) u = 1e-300;
-    e[j] = -std::log(u);
+    e[j] = NegLogClamped(rng->Uniform());
     total += e[j];
   }
   for (int j = 0; j < dim; ++j) w.v[j] = e[j] / total;

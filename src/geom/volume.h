@@ -30,6 +30,17 @@ double ConvexPolygonArea(const std::vector<Vec>& vertices);
 /// Samples a point uniformly from `space`.
 Vec SampleSpacePoint(Space space, int dim, Rng* rng);
 
+/// -log(u) with u floored at tol::kMinLogSample, the guard the simplex
+/// sampler needs because Uniform() can return exactly 0. Each triggered
+/// clamp increments a process-wide counter so degenerate sampling is
+/// observable instead of silent.
+double NegLogClamped(double u);
+
+/// Number of times NegLogClamped hit its floor since process start (or the
+/// last reset). Monotonic, thread-safe.
+int64_t VolumeSampleClamps();
+void ResetVolumeSampleClamps();
+
 /// Volume of the polytope { cons } ∩ space. Exact for dim <= 2, Monte-Carlo
 /// with `mc_samples` draws otherwise.
 double PolytopeVolume(Space space, int dim, const std::vector<LinIneq>& cons,

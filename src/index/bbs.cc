@@ -19,8 +19,7 @@ struct HeapEntry {
 void PushChildren(const Dataset& data, const RTree& tree,
                   const RTree::Node& node, std::priority_queue<HeapEntry>* pq) {
   if (node.leaf) {
-    for (int i = node.first; i < node.first + node.num_children; ++i) {
-      const RecordId rid = tree.RecordAt(i);
+    for (RecordId rid : node.items) {
       HeapEntry e;
       e.is_record = true;
       e.id = -1;
@@ -29,7 +28,7 @@ void PushChildren(const Dataset& data, const RTree& tree,
       pq->push(e);
     }
   } else {
-    for (int c = node.first; c < node.first + node.num_children; ++c) {
+    for (int c : node.items) {
       HeapEntry e;
       e.is_record = false;
       e.id = c;
@@ -115,7 +114,7 @@ std::vector<RecordId> KSkyband(const Dataset& data, const RTree& tree, int k) {
 int CountDominators(const Dataset& data, RecordId r) {
   int cnt = 0;
   for (RecordId i = 0; i < data.size(); ++i) {
-    if (i != r && data.Dominates(i, r)) ++cnt;
+    if (i != r && data.IsLive(i) && data.Dominates(i, r)) ++cnt;
   }
   return cnt;
 }
@@ -140,8 +139,7 @@ bool ExistsUnprocessedNotDominated(
     }
     if (pruned) continue;
     if (node.leaf) {
-      for (int i = node.first; i < node.first + node.num_children; ++i) {
-        const RecordId rid = tree.RecordAt(i);
+      for (RecordId rid : node.items) {
         if (processed.contains(rid)) continue;
         if (skip != nullptr && (*skip)[rid]) continue;
         const Vec v = data.Get(rid);
@@ -158,7 +156,7 @@ bool ExistsUnprocessedNotDominated(
         }
       }
     } else {
-      for (int c = node.first; c < node.first + node.num_children; ++c) {
+      for (int c : node.items) {
         stack.push_back(c);
       }
     }

@@ -1,16 +1,27 @@
 // Aggregate R-tree over the dataset (paper Sec 6.2, [24]).
 //
-// Built once per dataset with Sort-Tile-Recursive (STR) bulk loading. Every
-// entry carries its MBR and the number of records in its subtree (G.num),
-// which the LP-CTA look-ahead uses to advance rank bounds by whole groups.
+// Built with Sort-Tile-Recursive (STR) bulk loading and maintained
+// dynamically from there: Insert runs Guttman choose-subtree + quadratic
+// node split, Delete condenses the tree on leaf/internal underflow by
+// re-inserting the orphaned records. Every entry carries its MBR and the
+// number of records in its subtree (G.num), which the LP-CTA look-ahead
+// uses to advance rank bounds by whole groups.
+//
 // Node fetches are optionally routed through a PageTracker to model the
-// disk-resident scenario of Appendix A.
+// disk-resident scenario of Appendix A. Freed nodes retire their page from
+// the tracker's buffer (see page_tracker.h) and their ids are recycled by
+// later inserts.
+//
+// Thread safety: Fetch is safe from many concurrent readers. Insert and
+// Delete are NOT — callers (the QueryEngine's update path) must quiesce
+// all readers first.
 
 #ifndef KSPR_INDEX_RTREE_H_
 #define KSPR_INDEX_RTREE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/dataset.h"
@@ -24,14 +35,20 @@ class RTree {
  public:
   struct Node {
     Mbr mbr;
-    int32_t count = 0;       // records in subtree (the aggregate)
+    int32_t count = 0;   // records in subtree (the aggregate)
     bool leaf = false;
-    int32_t first = 0;       // leaf: index into record_ids_; internal: node id
-    int32_t num_children = 0;
+    bool retired = false;  // freed slot awaiting id reuse; never reachable
+    int32_t parent = -1;   // -1 for the root (and for retired slots)
+    /// Leaf: record ids. Internal: child node ids. Bounded by
+    /// leaf_capacity / fanout respectively (one entry of slack during a
+    /// split).
+    std::vector<int32_t> items;
   };
 
-  /// Bulk-loads the tree. `leaf_capacity`/`fanout` default to values giving
-  /// ~4KB pages for d <= 8 (as in the paper's page-sized nodes).
+  /// Bulk-loads the tree over the LIVE records of `data`.
+  /// `leaf_capacity`/`fanout` default to values giving ~4KB pages for
+  /// d <= 8 (as in the paper's page-sized nodes) and are retained for the
+  /// dynamic Insert/Delete path.
   static RTree BulkLoad(const Dataset& data, int leaf_capacity = 64,
                         int fanout = 64);
 
@@ -43,10 +60,21 @@ class RTree {
   RTree(const RTree&) = delete;
   RTree& operator=(const RTree&) = delete;
 
-  bool empty() const { return nodes_.empty(); }
+  bool empty() const { return root_ < 0; }
   int root() const { return root_; }
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Live (reachable) nodes; retired slots are excluded.
+  int num_nodes() const { return live_nodes_; }
+
   int height() const { return height_; }
+  int leaf_capacity() const { return leaf_capacity_; }
+  int fanout() const { return fanout_; }
+
+  /// True iff `id` names a reachable node (not retired, not out of range).
+  bool IsLiveNode(int id) const {
+    return id >= 0 && id < static_cast<int>(nodes_.size()) &&
+           !nodes_[id].retired;
+  }
 
   /// Fetches a node, charging a (simulated) page access when a tracker is
   /// attached. Safe to call from many threads concurrently: the tracker
@@ -58,9 +86,16 @@ class RTree {
     return nodes_[id];
   }
 
-  /// Record id at position `i` of a leaf's [first, first + num_children)
-  /// range.
-  RecordId RecordAt(int i) const { return record_ids_[i]; }
+  /// Dynamic insert of dataset record `id` (Guttman: least-enlargement
+  /// descent, quadratic split on overflow, aggregate counts and MBRs
+  /// maintained). Deterministic — no randomised choices.
+  void Insert(const Dataset& data, RecordId id);
+
+  /// Dynamic delete of record `id`. Underfull nodes (below the ~40% min
+  /// fill) are condensed: the node is freed (page retired from the
+  /// tracker) and its remaining records re-inserted. Returns false when
+  /// the record is not in the tree.
+  bool Delete(const Dataset& data, RecordId id);
 
   /// Attaches/detaches the page tracker (not owned). Fetches are counted
   /// while attached. May be called while readers are in flight; an
@@ -69,14 +104,44 @@ class RTree {
     tracker_.store(tracker, std::memory_order_release);
   }
 
-  /// Approximate size of the structure in bytes.
+  /// Currently attached tracker (may be null).
+  PageTracker* tracker() const {
+    return tracker_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate size of the structure in bytes (live nodes only).
   int64_t SizeBytes() const;
 
+  /// Exhaustive structural audit for tests: parent links, aggregate
+  /// counts, exact MBRs, capacity bounds, uniform leaf depth, and that the
+  /// reachable record multiset equals the dataset's live set. Returns
+  /// false and describes the first violation in `*error` (may be null).
+  bool CheckInvariants(const Dataset& data, std::string* error = nullptr)
+      const;
+
  private:
+  int AllocNode();
+  void FreeNode(int id);
+  void FreeSubtree(int id);
+  void CollectRecords(int id, std::vector<RecordId>* out) const;
+  int ChooseChild(const Node& node, const Vec& p) const;
+  /// Splits overfull node `nid` into itself + a new sibling (quadratic
+  /// split); returns the sibling id. Parents of moved children and both
+  /// MBR/count aggregates are fixed; attaching the sibling is the
+  /// caller's job.
+  int SplitNode(const Dataset& data, int nid);
+  void RecomputeNode(const Dataset& data, int nid);
+  /// Insert without re-entrancy guards, used by both Insert and the
+  /// condense re-insertion loop.
+  void InsertImpl(const Dataset& data, RecordId id);
+
   std::vector<Node> nodes_;
-  std::vector<RecordId> record_ids_;
+  std::vector<int32_t> free_;  // retired slots, LIFO reuse
   int root_ = -1;
   int height_ = 0;
+  int live_nodes_ = 0;
+  int leaf_capacity_ = 64;
+  int fanout_ = 64;
   mutable std::atomic<PageTracker*> tracker_{nullptr};
 };
 

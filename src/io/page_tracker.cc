@@ -26,10 +26,38 @@ void PageTracker::Access(int page_id) {
   }
 }
 
+void PageTracker::Retire(int page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(page_id);
+  if (it == resident_.end()) return;
+  lru_.erase(it->second);
+  resident_.erase(it);
+  retired_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PageTracker::RetireAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.fetch_add(static_cast<int64_t>(lru_.size()),
+                     std::memory_order_relaxed);
+  lru_.clear();
+  resident_.clear();
+}
+
+int64_t PageTracker::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+std::vector<int> PageTracker::ResidentPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<int>(lru_.begin(), lru_.end());
+}
+
 void PageTracker::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   reads_.store(0, std::memory_order_relaxed);
   accesses_.store(0, std::memory_order_relaxed);
+  retired_.store(0, std::memory_order_relaxed);
   lru_.clear();
   resident_.clear();
 }

@@ -5,8 +5,17 @@
 // small LRU buffer, and charge the configured latency per miss. CPU time is
 // measured for real; I/O time is derived as misses * latency.
 //
+// Dynamic datasets: when the index frees a node (leaf underflow, root
+// collapse), the owning page ceases to exist and MUST be dropped from the
+// buffer via Retire. Without it the dead page would keep occupying a
+// buffer slot (evicting live pages early) and — because node ids are
+// recycled — a later node reusing the id would be served as a phantom
+// "hit" for a page that was never read. resident_pages()/ResidentPages()
+// expose the buffer contents so tests and benches can assert that no
+// phantom page survives an update batch.
+//
 // Thread safety: a PageTracker may be shared by concurrent readers (the
-// query engine runs many queries against one index). Access/Reset
+// query engine runs many queries against one index). Access/Retire/Reset
 // serialise on an internal mutex; the counters are atomics so reads()/
 // accesses() never block the hot path.
 
@@ -18,6 +27,7 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace kspr {
 
@@ -29,13 +39,35 @@ class PageTracker {
   /// Records an access to `page_id`; counts a read on buffer miss.
   void Access(int page_id);
 
+  /// Drops `page_id` from the buffer because the page was deallocated
+  /// (R-tree node freed). A subsequent Access of a recycled id is a miss,
+  /// as it would be on a real device. No-op when the page is not resident.
+  void Retire(int page_id);
+
+  /// Retires every resident page at once — the whole backing structure
+  /// was discarded (e.g. an index rebuild replaces all node pages, and
+  /// the new tree recycles the same ids). Counters are preserved;
+  /// retired() grows by the number of pages evicted.
+  void RetireAll();
+
   int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   int64_t accesses() const {
     return accesses_.load(std::memory_order_relaxed);
   }
+
+  /// Pages retired while resident (each one a phantom page the pre-fix
+  /// accounting would have leaked).
+  int64_t retired() const { return retired_.load(std::memory_order_relaxed); }
+
   double io_millis() const {
     return static_cast<double>(reads()) * latency_ms_;
   }
+
+  /// Current buffer occupancy.
+  int64_t resident_pages() const;
+
+  /// Snapshot of the resident page ids (unordered).
+  std::vector<int> ResidentPages() const;
 
   void Reset();
 
@@ -44,8 +76,9 @@ class PageTracker {
   double latency_ms_;
   std::atomic<int64_t> reads_{0};
   std::atomic<int64_t> accesses_{0};
+  std::atomic<int64_t> retired_{0};
   // LRU list of resident pages (front = most recent) + index into it.
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::list<int> lru_;
   std::unordered_map<int, std::list<int>::iterator> resident_;
 };

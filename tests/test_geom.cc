@@ -253,5 +253,38 @@ TEST(Volume, SimplexSamplerStaysInSimplex) {
   }
 }
 
+TEST(Volume, NegLogClampedFloorsDegenerateDraws) {
+  ResetVolumeSampleClamps();
+  // Normal draws are untouched and not counted.
+  EXPECT_DOUBLE_EQ(NegLogClamped(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(NegLogClamped(0.5), -std::log(0.5));
+  EXPECT_EQ(VolumeSampleClamps(), 0);
+  // A zero draw (possible: Uniform() is [0, 1)) would be -log(0) = inf;
+  // the documented floor keeps it finite and counts the clamp.
+  const double v = NegLogClamped(0.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_DOUBLE_EQ(v, -std::log(tol::kMinLogSample));
+  EXPECT_EQ(VolumeSampleClamps(), 1);
+  NegLogClamped(1e-305);  // below the floor: clamped too
+  EXPECT_EQ(VolumeSampleClamps(), 2);
+  ResetVolumeSampleClamps();
+  EXPECT_EQ(VolumeSampleClamps(), 0);
+}
+
+TEST(Volume, DegeneratePolytopesHaveZeroVolume) {
+  // 1-D: contradictory halfspaces leave an empty interval.
+  std::vector<LinIneq> cons1 = {Ineq({1}, 0.25), Ineq({-1}, -0.75)};
+  EXPECT_NEAR(PolytopeVolume(Space::kTransformed, 1, cons1), 0.0, 1e-12);
+  // 1-D: an infeasible constant constraint (a = 0, b < 0).
+  EXPECT_NEAR(PolytopeVolume(Space::kTransformed, 1, {Ineq({0}, -1.0)}), 0.0,
+              1e-12);
+  // 3-D Monte-Carlo: the empty slab w0 < 0.2 AND w0 > 0.8.
+  std::vector<LinIneq> cons3 = {Ineq({1, 0, 0}, 0.2), Ineq({-1, 0, 0}, -0.8)};
+  EXPECT_NEAR(PolytopeVolume(Space::kOriginal, 3, cons3, 5000), 0.0, 1e-12);
+  // 3-D Monte-Carlo: a measure-zero slice (hyperplane-thin polytope).
+  std::vector<LinIneq> thin = {Ineq({1, 0, 0}, 0.5), Ineq({-1, 0, 0}, -0.5)};
+  EXPECT_NEAR(PolytopeVolume(Space::kOriginal, 3, thin, 5000), 0.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace kspr

@@ -78,8 +78,7 @@ TEST_P(RTreeStructureTest, CountsAndMbrsConsistent) {
     const RTree::Node& node = t.Fetch(nid);
     int count = 0;
     if (node.leaf) {
-      for (int i = node.first; i < node.first + node.num_children; ++i) {
-        RecordId rid = t.RecordAt(i);
+      for (RecordId rid : node.items) {
         seen.insert(rid);
         Vec r = data.Get(rid);
         for (int j = 0; j < data.dim(); ++j) {
@@ -89,7 +88,7 @@ TEST_P(RTreeStructureTest, CountsAndMbrsConsistent) {
         ++count;
       }
     } else {
-      for (int c = node.first; c < node.first + node.num_children; ++c) {
+      for (int c : node.items) {
         const RTree::Node& child = t.Fetch(c);
         for (int j = 0; j < data.dim(); ++j) {
           EXPECT_GE(child.mbr.lo[j], node.mbr.lo[j] - 1e-12);

@@ -1,0 +1,748 @@
+// Dynamic-update subsystem tests: Dataset insert/delete with stable ids
+// and versioning, the R-tree's dynamic maintenance (splits, condensation,
+// page retirement), the version-stamped result cache (no stale result is
+// ever served; provably unaffected entries are retained), the amortized
+// CTA contexts (delta re-insertion bitwise-identical to a from-scratch
+// run), and queries racing ApplyUpdates (TSan target).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/amortized.h"
+#include "core/solver.h"
+#include "engine/query_engine.h"
+#include "index/bbs.h"
+#include "io/page_tracker.h"
+#include "test_support.h"
+
+namespace kspr {
+namespace {
+
+using test::ExpectBitwiseEqual;
+using test::OracleOptions;
+using test::SyntheticInstance;
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+// Compacts the live records of `data` into a fresh Dataset (the
+// "from-scratch build on the mutated dataset" of the acceptance
+// criterion). Maps `focal` to its compact id when non-null.
+Dataset Compact(const Dataset& data, RecordId focal = kInvalidRecord,
+                RecordId* compact_focal = nullptr) {
+  Dataset out(data.dim());
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (!data.IsLive(i)) continue;
+    const RecordId nid = out.Add(data.Get(i));
+    if (compact_focal != nullptr && i == focal) *compact_focal = nid;
+  }
+  return out;
+}
+
+// From-scratch reference: compact dataset, fresh STR bulk load, one query.
+KsprResult FromScratch(const Dataset& data, RecordId focal,
+                       const KsprOptions& options, int leaf_capacity = 16,
+                       int fanout = 16) {
+  RecordId compact_focal = kInvalidRecord;
+  Dataset fresh = Compact(data, focal, &compact_focal);
+  RTree tree = RTree::BulkLoad(fresh, leaf_capacity, fanout);
+  KsprSolver solver(&fresh, &tree);
+  EXPECT_NE(compact_focal, kInvalidRecord) << "focal was deleted";
+  return solver.QueryRecord(compact_focal, options);
+}
+
+// Brute-force skyline over the live records only.
+std::vector<RecordId> BruteSkylineLive(const Dataset& data) {
+  std::vector<RecordId> sky;
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (!data.IsLive(i)) continue;
+    bool dominated = false;
+    for (RecordId j = 0; j < data.size() && !dominated; ++j) {
+      if (j == i || !data.IsLive(j)) continue;
+      if (data.Dominates(j, i)) dominated = true;
+    }
+    if (!dominated) sky.push_back(i);
+  }
+  return sky;
+}
+
+Vec RandomPoint(int d, Rng* rng) {
+  Vec r(d);
+  for (int j = 0; j < d; ++j) r.v[j] = rng->Uniform();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Dataset: stable ids + versioning.
+
+TEST(DatasetUpdates, VersionAndLiveness) {
+  Dataset data(2);
+  const uint64_t v0 = data.version();
+  const RecordId a = data.Add(Vec{0.1, 0.2});
+  const RecordId b = data.Insert(Vec{0.3, 0.4});
+  EXPECT_EQ(data.version(), v0 + 2);
+  EXPECT_EQ(data.size(), 2);
+  EXPECT_EQ(data.num_live(), 2);
+  EXPECT_TRUE(data.IsLive(a));
+
+  EXPECT_TRUE(data.Delete(a));
+  EXPECT_EQ(data.version(), v0 + 3);
+  EXPECT_FALSE(data.IsLive(a));
+  EXPECT_TRUE(data.IsLive(b));
+  EXPECT_EQ(data.num_live(), 1);
+  EXPECT_EQ(data.size(), 2);  // slots are never reclaimed
+
+  EXPECT_FALSE(data.Delete(a));   // double delete
+  EXPECT_FALSE(data.Delete(99));  // out of range
+  EXPECT_FALSE(data.Delete(-1));
+  EXPECT_EQ(data.version(), v0 + 3);  // failed deletes don't bump
+}
+
+TEST(DatasetUpdates, StableIdsAfterDelete) {
+  Dataset data(3);
+  data.Add(Vec{0.1, 0.2, 0.3});
+  data.Add(Vec{0.4, 0.5, 0.6});
+  data.Delete(0);
+  // The tombstoned row stays addressable (hyperplane caches, in-flight
+  // queries) and new inserts never reuse the id.
+  EXPECT_EQ(data.At(0, 1), 0.2);
+  const RecordId c = data.Insert(Vec{0.7, 0.8, 0.9});
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(data.Get(1)[2], 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// R-tree: dynamic maintenance.
+
+TEST(RTreeDynamic, InsertFromEmptyKeepsInvariants) {
+  Dataset data(3);
+  RTree tree = RTree::BulkLoad(data, /*leaf_capacity=*/4, /*fanout=*/4);
+  EXPECT_TRUE(tree.empty());
+  Rng rng(7);
+  std::string err;
+  for (int i = 0; i < 300; ++i) {
+    const RecordId id = data.Insert(RandomPoint(3, &rng));
+    tree.Insert(data, id);
+    if (i % 25 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants(data, &err)) << "i=" << i << ": "
+                                                    << err;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants(data, &err)) << err;
+  EXPECT_GT(tree.height(), 1);
+
+  // The dynamically grown tree answers index queries correctly.
+  std::vector<RecordId> sky = Skyline(data, tree);
+  std::vector<RecordId> brute = BruteSkylineLive(data);
+  std::sort(sky.begin(), sky.end());
+  std::sort(brute.begin(), brute.end());
+  EXPECT_EQ(sky, brute);
+}
+
+TEST(RTreeDynamic, DeleteCondensesAndDrains) {
+  Dataset data = GenerateIndependent(400, 3, /*seed=*/11);
+  RTree tree = RTree::BulkLoad(data, 4, 4);
+  const int initial_nodes = tree.num_nodes();
+  Rng rng(13);
+  std::string err;
+
+  // Delete in random order down to a handful of records.
+  std::vector<RecordId> order(400);
+  for (RecordId i = 0; i < 400; ++i) order[i] = i;
+  for (int i = 399; i > 0; --i) {
+    std::swap(order[i], order[rng.UniformInt(i + 1)]);
+  }
+  for (int i = 0; i < 396; ++i) {
+    ASSERT_TRUE(tree.Delete(data, order[i])) << "i=" << i;
+    ASSERT_TRUE(data.Delete(order[i]));
+    if (i % 40 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants(data, &err)) << "i=" << i << ": "
+                                                    << err;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants(data, &err)) << err;
+  EXPECT_LT(tree.num_nodes(), initial_nodes);  // condensation freed nodes
+
+  // Deleting a non-member fails cleanly.
+  EXPECT_FALSE(tree.Delete(data, order[0]));
+
+  // Drain completely, then grow again from empty.
+  for (int i = 396; i < 400; ++i) {
+    ASSERT_TRUE(tree.Delete(data, order[i]));
+    ASSERT_TRUE(data.Delete(order[i]));
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.num_nodes(), 0);
+  ASSERT_TRUE(tree.CheckInvariants(data, &err)) << err;
+
+  Rng rng2(17);
+  for (int i = 0; i < 50; ++i) {
+    const RecordId id = data.Insert(RandomPoint(3, &rng2));
+    tree.Insert(data, id);
+  }
+  ASSERT_TRUE(tree.CheckInvariants(data, &err)) << err;
+}
+
+TEST(RTreeDynamic, MixedChurnMatchesOracle) {
+  Dataset data = GenerateIndependent(200, 2, /*seed=*/23);
+  RTree tree = RTree::BulkLoad(data, 8, 8);
+  Rng rng(29);
+  std::string err;
+  for (int step = 0; step < 600; ++step) {
+    if (rng.Uniform() < 0.5 && data.num_live() > 20) {
+      // Delete a random live record.
+      RecordId victim;
+      do {
+        victim = static_cast<RecordId>(rng.UniformInt(data.size()));
+      } while (!data.IsLive(victim));
+      ASSERT_TRUE(tree.Delete(data, victim));
+      ASSERT_TRUE(data.Delete(victim));
+    } else {
+      const RecordId id = data.Insert(RandomPoint(2, &rng));
+      tree.Insert(data, id);
+    }
+    if (step % 60 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants(data, &err)) << "step " << step
+                                                    << ": " << err;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants(data, &err)) << err;
+
+  std::vector<RecordId> sky = Skyline(data, tree);
+  std::vector<RecordId> brute = BruteSkylineLive(data);
+  std::sort(sky.begin(), sky.end());
+  std::sort(brute.begin(), brute.end());
+  EXPECT_EQ(sky, brute);
+}
+
+TEST(RTreeDynamic, TrackerRetiresFreedPages) {
+  Dataset data = GenerateIndependent(300, 2, /*seed=*/31);
+  RTree tree = RTree::BulkLoad(data, 4, 4);
+  PageTracker tracker(/*buffer_pages=*/1024);
+  tree.SetTracker(&tracker);
+  Skyline(data, tree);  // pull pages into the buffer
+  EXPECT_GT(tracker.resident_pages(), 0);
+
+  for (RecordId i = 0; i < 280; ++i) {
+    ASSERT_TRUE(tree.Delete(data, i));
+    ASSERT_TRUE(data.Delete(i));
+  }
+  EXPECT_GT(tracker.retired(), 0);  // freed nodes left the buffer
+
+  // No phantom pages: everything still resident is a live node.
+  for (int page : tracker.ResidentPages()) {
+    EXPECT_TRUE(tree.IsLiveNode(page)) << "phantom page " << page;
+  }
+  tree.SetTracker(nullptr);
+}
+
+TEST(PageTrackerUnit, RetireAllFlushesButKeepsCounters) {
+  PageTracker tracker(8);
+  tracker.Access(1);
+  tracker.Access(2);
+  tracker.Access(3);
+  tracker.RetireAll();
+  EXPECT_EQ(tracker.resident_pages(), 0);
+  EXPECT_EQ(tracker.retired(), 3);
+  EXPECT_EQ(tracker.reads(), 3);     // history preserved
+  EXPECT_EQ(tracker.accesses(), 3);
+  tracker.Access(2);  // recycled id: a fresh read
+  EXPECT_EQ(tracker.reads(), 4);
+}
+
+TEST(PageTrackerUnit, RetireRemovesResidency) {
+  PageTracker tracker(4);
+  tracker.Access(1);
+  tracker.Access(2);
+  EXPECT_EQ(tracker.reads(), 2);
+  EXPECT_EQ(tracker.resident_pages(), 2);
+  tracker.Retire(1);
+  EXPECT_EQ(tracker.retired(), 1);
+  EXPECT_EQ(tracker.resident_pages(), 1);
+  tracker.Access(1);  // recycled id: must be a fresh read, not a hit
+  EXPECT_EQ(tracker.reads(), 3);
+  tracker.Retire(99);  // not resident: no-op
+  EXPECT_EQ(tracker.retired(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache: version stamping.
+
+std::shared_ptr<const KsprResult> DummyResult() {
+  auto r = std::make_shared<KsprResult>();
+  r->stats.result_regions = 1;
+  return r;
+}
+
+TEST(ResultCacheVersion, PostUpdateGetMisses) {
+  // Regression for the tentpole's minimal bug: without the version in the
+  // key, a Get after a dataset mutation returned the stale entry.
+  ResultCache cache(8);
+  Vec focal{0.5, 0.5};
+  KsprOptions options;
+  const CacheKey before = CacheKey::Make(focal, 3, options, /*version=*/7);
+  cache.Put(before, DummyResult());
+  EXPECT_NE(cache.Get(before), nullptr);
+  const CacheKey after = CacheKey::Make(focal, 3, options, /*version=*/8);
+  EXPECT_EQ(cache.Get(after), nullptr) << "stale result served";
+}
+
+TEST(ResultCacheVersion, OnDatasetUpdateRestampsSurvivors) {
+  ResultCache cache(8);
+  KsprOptions options;
+  const CacheKey a = CacheKey::Make(Vec{0.9, 0.9}, 1, options, 7);
+  const CacheKey b = CacheKey::Make(Vec{0.2, 0.2}, 2, options, 7);
+  cache.Put(a, DummyResult());
+  cache.Put(b, DummyResult());
+
+  const auto [dropped, retained] = cache.OnDatasetUpdate(
+      8, [&](const CacheKey& key) { return key.focal_id == 2; });
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(retained, 1u);
+
+  const CacheKey a_new = CacheKey::Make(Vec{0.9, 0.9}, 1, options, 8);
+  const CacheKey b_new = CacheKey::Make(Vec{0.2, 0.2}, 2, options, 8);
+  EXPECT_NE(cache.Get(a_new), nullptr) << "survivor not restamped";
+  EXPECT_EQ(cache.Get(b_new), nullptr);
+  EXPECT_EQ(cache.Get(a), nullptr) << "survivor still under old version";
+}
+
+// ---------------------------------------------------------------------------
+// Engine: ApplyUpdates end to end.
+
+EngineOptions SerialEngine(IndexUpdatePolicy policy,
+                           size_t amortized_contexts = 0) {
+  EngineOptions opts;
+  opts.workers = 2;
+  opts.update_policy = policy;
+  opts.amortized_contexts = amortized_contexts;
+  return opts;
+}
+
+TEST(EngineUpdates, ReadOnlyEngineRejectsUpdates) {
+  SyntheticInstance inst(Distribution::kIndependent, 100, 2, 41);
+  QueryEngine engine(&inst.data(), &inst.tree(), {.workers = 1});
+  UpdateBatch batch;
+  batch.inserts.push_back(Vec{0.5, 0.5});
+  EXPECT_FALSE(engine.ApplyUpdates(batch).applied);
+}
+
+TEST(EngineUpdates, CacheMissesAfterUpdateAndResultIsFresh) {
+  SyntheticInstance inst(Distribution::kIndependent, 300, 3, 43);
+  QueryEngine engine(&inst.mutable_data(), &inst.mutable_tree(),
+                     SerialEngine(IndexUpdatePolicy::kRebuild));
+  const RecordId focal = inst.sky(0);
+  KsprOptions options = OracleOptions(Algorithm::kLpCta, 5);
+
+  QueryResponse first = engine.SubmitRecord(focal, options).get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(engine.SubmitRecord(focal, options).get().cache_hit);
+
+  // Insert a strong record that definitely affects the focal's regions.
+  UpdateBatch batch;
+  batch.inserts.push_back(Vec{0.99, 0.99, 0.99});
+  UpdateResult ur = engine.ApplyUpdates(batch);
+  ASSERT_TRUE(ur.applied);
+  EXPECT_EQ(ur.version, engine.dataset_version());
+
+  QueryResponse after = engine.SubmitRecord(focal, options).get();
+  EXPECT_FALSE(after.cache_hit) << "stale cache entry served post-update";
+  ExpectBitwiseEqual(*after.result,
+                     FromScratch(inst.data(), focal, options),
+                     "post-update vs from-scratch");
+}
+
+TEST(EngineUpdates, TargetedInvalidationRetainsUnaffectedFocals) {
+  // Handcrafted instance: focal A dominates the delta record, focal B does
+  // not — only B's cached entry may be dropped.
+  Dataset data(2);
+  const RecordId a = data.Add(Vec{0.9, 0.9});
+  const RecordId b = data.Add(Vec{0.85, 0.2});
+  data.Add(Vec{0.3, 0.8});
+  data.Add(Vec{0.7, 0.6});
+  data.Add(Vec{0.2, 0.3});
+  data.Add(Vec{0.6, 0.1});
+  RTree tree = RTree::BulkLoad(data, 4, 4);
+  QueryEngine engine(&data, &tree,
+                     SerialEngine(IndexUpdatePolicy::kIncremental));
+  KsprOptions options = OracleOptions(Algorithm::kCta, 3);
+
+  EXPECT_FALSE(engine.SubmitRecord(a, options).get().cache_hit);
+  EXPECT_FALSE(engine.SubmitRecord(b, options).get().cache_hit);
+
+  // Delta (0.5, 0.5): dominated by A (0.9 > 0.5 both dims) but not by B
+  // (0.2 < 0.5 in dim 1).
+  UpdateBatch batch;
+  batch.inserts.push_back(Vec{0.5, 0.5});
+  UpdateResult ur = engine.ApplyUpdates(batch);
+  EXPECT_EQ(ur.cache_retained, 1u);
+  EXPECT_EQ(ur.cache_dropped, 1u);
+
+  EXPECT_TRUE(engine.SubmitRecord(a, options).get().cache_hit)
+      << "unaffected focal was invalidated";
+  QueryResponse rb = engine.SubmitRecord(b, options).get();
+  EXPECT_FALSE(rb.cache_hit) << "affected focal served stale";
+  ExpectBitwiseEqual(*rb.result, FromScratch(data, b, options, 4, 4),
+                     "recomputed focal B");
+
+  // Deleting a record dominated by A (but not by B) behaves the same.
+  UpdateBatch del;
+  del.deletes.push_back(ur.inserted_ids[0]);
+  UpdateResult ur2 = engine.ApplyUpdates(del);
+  EXPECT_EQ(ur2.cache_retained, 1u);  // A survived both sweeps
+  EXPECT_TRUE(engine.SubmitRecord(a, options).get().cache_hit);
+  EXPECT_FALSE(engine.SubmitRecord(b, options).get().cache_hit);
+}
+
+TEST(EngineUpdates, RebuildPolicyFlushesTrackerResidency) {
+  // Regression: the rebuilt tree recycles node ids, so the reattached
+  // tracker must not keep residency for pages of the discarded tree
+  // (phantom buffer hits, undercounted reads).
+  SyntheticInstance inst(Distribution::kIndependent, 300, 3, 103);
+  PageTracker tracker(/*buffer_pages=*/1024);
+  inst.mutable_tree().SetTracker(&tracker);
+  QueryEngine engine(&inst.mutable_data(), &inst.mutable_tree(),
+                     SerialEngine(IndexUpdatePolicy::kRebuild));
+  KsprOptions options = OracleOptions(Algorithm::kLpCta, 4);
+  engine.SubmitRecord(inst.sky(0), options).get();
+  EXPECT_GT(tracker.resident_pages(), 0);
+
+  Rng rng(107);
+  UpdateBatch batch;
+  batch.inserts.push_back(RandomPoint(3, &rng));
+  ASSERT_TRUE(engine.ApplyUpdates(batch).index_rebuilt);
+  EXPECT_EQ(tracker.resident_pages(), 0) << "stale residency survived";
+  EXPECT_GT(tracker.retired(), 0);
+
+  engine.SubmitRecord(inst.sky(1), options).get();
+  for (int page : tracker.ResidentPages()) {
+    EXPECT_TRUE(inst.tree().IsLiveNode(page)) << "phantom page " << page;
+  }
+  inst.mutable_tree().SetTracker(nullptr);
+}
+
+class UpdatePolicyBitwiseTest
+    : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(UpdatePolicyBitwiseTest, RebuildPolicyMatchesFromScratch) {
+  // Acceptance gate: after any insert/delete batch, a fresh query equals a
+  // from-scratch build on the mutated dataset — bitwise, regions AND
+  // stats. The kRebuild policy reproduces the from-scratch R-tree, so the
+  // guarantee holds for every algorithm, index-driven ones included.
+  SyntheticInstance inst(Distribution::kIndependent, 250, 3, 47);
+  QueryEngine engine(&inst.mutable_data(), &inst.mutable_tree(),
+                     SerialEngine(IndexUpdatePolicy::kRebuild));
+  const RecordId focal = test::MaxSumRecord(inst.data());
+  KsprOptions options = OracleOptions(GetParam(), 6);
+  options.finalize_geometry = true;  // cover the full pipeline
+
+  Rng rng(53);
+  for (int round = 0; round < 3; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 5; ++i) {
+      batch.inserts.push_back(RandomPoint(3, &rng));
+    }
+    for (int i = 0; i < 5; ++i) {
+      RecordId victim;
+      do {
+        victim = static_cast<RecordId>(rng.UniformInt(inst.data().size()));
+      } while (!inst.data().IsLive(victim) || victim == focal);
+      batch.deletes.push_back(victim);
+    }
+    ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+
+    QueryResponse response = engine.SubmitRecord(focal, options).get();
+    EXPECT_FALSE(response.cache_hit);
+    ExpectBitwiseEqual(*response.result,
+                       FromScratch(inst.data(), focal, options),
+                       "rebuild-policy round");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, UpdatePolicyBitwiseTest,
+                         ::testing::Values(Algorithm::kCta,
+                                           Algorithm::kPcta,
+                                           Algorithm::kLpCta));
+
+TEST(EngineUpdates, IncrementalCtaMatchesFromScratch) {
+  // CTA never touches the R-tree, so even the incremental index policy is
+  // bitwise-identical to a from-scratch rebuild.
+  SyntheticInstance inst(Distribution::kIndependent, 250, 3, 59);
+  QueryEngine engine(&inst.mutable_data(), &inst.mutable_tree(),
+                     SerialEngine(IndexUpdatePolicy::kIncremental));
+  const RecordId focal = test::MaxSumRecord(inst.data());
+  KsprOptions options = OracleOptions(Algorithm::kCta, 6);
+
+  Rng rng(61);
+  for (int round = 0; round < 3; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 8; ++i) batch.inserts.push_back(RandomPoint(3, &rng));
+    for (int i = 0; i < 8; ++i) {
+      RecordId victim;
+      do {
+        victim = static_cast<RecordId>(rng.UniformInt(inst.data().size()));
+      } while (!inst.data().IsLive(victim) || victim == focal);
+      batch.deletes.push_back(victim);
+    }
+    ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+    QueryResponse response = engine.SubmitRecord(focal, options).get();
+    ExpectBitwiseEqual(*response.result,
+                       FromScratch(inst.data(), focal, options),
+                       "incremental CTA round");
+    std::string err;
+    ASSERT_TRUE(inst.tree().CheckInvariants(inst.data(), &err)) << err;
+  }
+}
+
+TEST(EngineUpdates, IncrementalLpCtaIsRegionEquivalent) {
+  // Under the incremental policy the R-tree shape diverges from a fresh
+  // bulk load, so LP-CTA's traversal (counters, region order) may differ —
+  // but the reported region SET must coincide with the from-scratch run.
+  SyntheticInstance inst(Distribution::kIndependent, 250, 3, 67);
+  QueryEngine engine(&inst.mutable_data(), &inst.mutable_tree(),
+                     SerialEngine(IndexUpdatePolicy::kIncremental));
+  const RecordId focal = test::MaxSumRecord(inst.data());
+  KsprOptions options = OracleOptions(Algorithm::kLpCta, 6);
+
+  Rng rng(71);
+  UpdateBatch batch;
+  for (int i = 0; i < 10; ++i) batch.inserts.push_back(RandomPoint(3, &rng));
+  for (int i = 0; i < 10; ++i) {
+    RecordId victim;
+    do {
+      victim = static_cast<RecordId>(rng.UniformInt(inst.data().size()));
+    } while (!inst.data().IsLive(victim) || victim == focal);
+    batch.deletes.push_back(victim);
+  }
+  ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+
+  const KsprResult incremental =
+      *engine.SubmitRecord(focal, options).get().result;
+  const KsprResult scratch = FromScratch(inst.data(), focal, options);
+
+  ASSERT_EQ(incremental.regions.size(), scratch.regions.size());
+  // Match each incremental region to a from-scratch region by witness
+  // containment (cells of the same arrangement: witnesses identify them).
+  std::vector<char> used(scratch.regions.size(), 0);
+  for (const Region& region : incremental.regions) {
+    bool matched = false;
+    for (size_t j = 0; j < scratch.regions.size() && !matched; ++j) {
+      if (used[j]) continue;
+      if (scratch.regions[j].Contains(region.witness)) {
+        EXPECT_EQ(scratch.regions[j].rank_lb, region.rank_lb);
+        EXPECT_EQ(scratch.regions[j].rank_ub, region.rank_ub);
+        used[j] = 1;
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched) << "incremental region with no from-scratch match";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Amortized CTA contexts.
+
+TEST(Amortized, InsertOnlyDeltaIsBitwiseFromScratch) {
+  SyntheticInstance inst(Distribution::kIndependent, 300, 3, 73);
+  QueryEngine engine(
+      &inst.mutable_data(), &inst.mutable_tree(),
+      SerialEngine(IndexUpdatePolicy::kIncremental, /*amortized=*/4));
+  const RecordId focal = test::MaxSumRecord(inst.data());
+  KsprOptions options = OracleOptions(Algorithm::kCta, 6);
+  options.finalize_geometry = true;
+
+  QueryRequest request;
+  request.focal_id = focal;
+  request.options = options;
+  request.amortized = true;
+
+  QueryResponse initial = engine.Submit(request).get();
+  EXPECT_TRUE(initial.amortized);
+  ExpectBitwiseEqual(*initial.result, FromScratch(inst.data(), focal, options),
+                     "amortized initial build");
+  EXPECT_EQ(engine.stats().amortized_builds, 1);
+
+  Rng rng(79);
+  for (int round = 0; round < 4; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 12; ++i) {
+      batch.inserts.push_back(RandomPoint(3, &rng));
+    }
+    ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+
+    QueryResponse response = engine.Submit(request).get();
+    EXPECT_TRUE(response.amortized);
+    EXPECT_FALSE(response.cache_hit);
+    ExpectBitwiseEqual(*response.result,
+                       FromScratch(inst.data(), focal, options),
+                       "amortized delta round");
+    // Re-query in the same version: served by the result cache.
+    EXPECT_TRUE(engine.Submit(request).get().cache_hit);
+  }
+  // All four rounds reused the skeleton — no extra builds.
+  EXPECT_EQ(engine.stats().amortized_builds, 1);
+  EXPECT_EQ(engine.stats().amortized_reuses, 4);
+}
+
+TEST(Amortized, DominatorInsertForcesRebuild) {
+  SyntheticInstance inst(Distribution::kIndependent, 200, 3, 83);
+  QueryEngine engine(
+      &inst.mutable_data(), &inst.mutable_tree(),
+      SerialEngine(IndexUpdatePolicy::kIncremental, /*amortized=*/4));
+  const RecordId focal = test::MaxSumRecord(inst.data());
+  KsprOptions options = OracleOptions(Algorithm::kCta, 6);
+
+  QueryRequest request;
+  request.focal_id = focal;
+  request.options = options;
+  request.amortized = true;
+  engine.Submit(request).get();
+
+  // Insert a record dominating the focal: k_effective changes, the cached
+  // skeleton cannot be patched — the context must rebuild, and the result
+  // must still equal a from-scratch run.
+  Vec dominator = inst.data().Get(focal);
+  for (int j = 0; j < 3; ++j) dominator.v[j] += 0.001;
+  UpdateBatch batch;
+  batch.inserts.push_back(dominator);
+  ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+
+  QueryResponse response = engine.Submit(request).get();
+  EXPECT_TRUE(response.amortized);
+  ExpectBitwiseEqual(*response.result, FromScratch(inst.data(), focal, options),
+                     "post-dominator rebuild");
+  EXPECT_EQ(engine.stats().amortized_builds, 2);
+  EXPECT_EQ(engine.stats().amortized_reuses, 0);
+}
+
+TEST(Amortized, DeleteBelowCursorForcesRebuild) {
+  SyntheticInstance inst(Distribution::kIndependent, 200, 3, 89);
+  QueryEngine engine(
+      &inst.mutable_data(), &inst.mutable_tree(),
+      SerialEngine(IndexUpdatePolicy::kIncremental, /*amortized=*/4));
+  const RecordId focal = test::MaxSumRecord(inst.data());
+  KsprOptions options = OracleOptions(Algorithm::kCta, 6);
+
+  QueryRequest request;
+  request.focal_id = focal;
+  request.options = options;
+  request.amortized = true;
+  engine.Submit(request).get();
+
+  // Victim: a skyline record other than the focal — NOT dominated by the
+  // focal, so the cached result is dropped (not retained) and the re-query
+  // actually reaches the context. Any pre-existing id is below the cursor.
+  RecordId victim = inst.sky(0);
+  for (size_t i = 1; victim == focal; ++i) victim = inst.sky(i);
+  UpdateBatch batch;
+  batch.deletes.push_back(victim);
+  ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+
+  QueryResponse response = engine.Submit(request).get();
+  EXPECT_TRUE(response.amortized);
+  ExpectBitwiseEqual(*response.result, FromScratch(inst.data(), focal, options),
+                     "post-delete rebuild");
+  EXPECT_EQ(engine.stats().amortized_builds, 2);
+}
+
+TEST(Amortized, RootDeadBuildSkipsPrefixOnAdvance) {
+  // f = (0.5, 0.5); records 0 and 1 jointly outscore f on the entire
+  // preference space, so with k_effective = 1 the tree dies during the
+  // initial pass. Record 3 dominates f and is folded into k_effective by
+  // the constructor's prep. Regression: the cursor must land past the
+  // WHOLE prefix even on the early exit — otherwise Advance re-classifies
+  // record 3 as a delta dominator and forces a from-scratch rebuild on
+  // every single query.
+  Dataset data(2);
+  data.Add(Vec{0.9, 0.2});  // 0: outscores f for w0 > 3/7
+  data.Add(Vec{0.2, 0.9});  // 1: outscores f for w0 < 4/7
+  const RecordId focal = data.Add(Vec{0.5, 0.5});  // 2
+  data.Add(Vec{0.6, 0.6});  // 3: dominator of f
+  KsprOptions options = OracleOptions(Algorithm::kCta, 2);  // k_eff = 1
+
+  AmortizedCta ctx(&data, data.Get(focal), focal, options);
+  EXPECT_EQ(ctx.cursor(), data.size()) << "cursor stuck inside the prefix";
+
+  // Insert-only delta on the dead tree: the context stays valid and its
+  // harvest matches a from-scratch run (both report zero regions with
+  // identical stats — the from-scratch insertion loop stops at the same
+  // killer record).
+  data.Insert(Vec{0.8, 0.3});
+  EXPECT_TRUE(ctx.Advance()) << "prefix dominator re-classified as delta";
+  RTree tree = RTree::BulkLoad(data, 4, 4);
+  KsprSolver solver(&data, &tree);
+  const KsprResult scratch = solver.QueryRecord(focal, options);
+  EXPECT_TRUE(scratch.regions.empty());
+  EXPECT_TRUE(ResultsBitwiseEqual(ctx.Collect(), scratch));
+
+  // A delta dominator still invalidates (k_effective shrinks further:
+  // the from-scratch run now returns an empty result with ZERO stats).
+  data.Insert(Vec{0.7, 0.7});
+  EXPECT_FALSE(ctx.Advance());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: queries racing ApplyUpdates (primary TSan target).
+
+TEST(EngineUpdates, ConcurrentQueriesDuringUpdates) {
+  SyntheticInstance inst(Distribution::kIndependent, 300, 3, 97);
+  EngineOptions opts = SerialEngine(IndexUpdatePolicy::kIncremental,
+                                    /*amortized=*/4);
+  opts.workers = 4;
+  QueryEngine engine(&inst.mutable_data(), &inst.mutable_tree(), opts);
+
+  std::vector<RecordId> focals;
+  for (size_t i = 0; i < 6; ++i) focals.push_back(inst.sky(i));
+  KsprOptions options = OracleOptions(Algorithm::kLpCta, 4);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      KsprOptions my_options = options;
+      my_options.algorithm = t == 0 ? Algorithm::kCta : Algorithm::kLpCta;
+      for (int q = 0; q < 25; ++q) {
+        QueryRequest request;
+        request.focal_id = focals[(t + q) % focals.size()];
+        request.options = my_options;
+        request.amortized = t == 0;  // one thread exercises the contexts
+        QueryResponse response = engine.Submit(request).get();
+        if (response.result == nullptr) failed.store(true);
+      }
+    });
+  }
+
+  Rng rng(101);
+  for (int round = 0; round < 12; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 4; ++i) batch.inserts.push_back(RandomPoint(3, &rng));
+    RecordId victim;
+    do {
+      victim = static_cast<RecordId>(rng.UniformInt(inst.data().size()));
+    } while (!inst.data().IsLive(victim) ||
+             std::find(focals.begin(), focals.end(), victim) != focals.end());
+    batch.deletes.push_back(victim);
+    ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+
+  // Quiesced end state: a fresh query equals the from-scratch build (CTA:
+  // exact under the incremental policy).
+  KsprOptions cta = OracleOptions(Algorithm::kCta, 4);
+  QueryResponse final_response = engine.SubmitRecord(focals[0], cta).get();
+  ExpectBitwiseEqual(*final_response.result,
+                     FromScratch(inst.data(), focals[0], cta),
+                     "post-race state");
+  std::string err;
+  ASSERT_TRUE(inst.tree().CheckInvariants(inst.data(), &err)) << err;
+}
+
+}  // namespace
+}  // namespace kspr
