@@ -23,6 +23,7 @@
 
 #include "bench_common.h"
 #include "engine/query_engine.h"
+#include "geom/volume.h"
 #include "io/page_tracker.h"
 
 using namespace kspr;
@@ -48,6 +49,10 @@ void BuildRow(int n, int d, int queries, int k, const char* label) {
     options.k = k;
     options.finalize_geometry = false;
     options.algorithm = algo;
+    // Per-row clamp accounting: the process-wide counter used to carry
+    // over between rows and sections, so later rows inherited earlier
+    // rows' counts. Reset, measure, report (gated exact 0).
+    ResetVolumeSampleClamps();
     RunResult r = RunQueries(solver, focals, options);
     std::printf("  %-8s %-6s query=%8.3fs  +build/1000=%8.5fs  (%+.2f%%)\n",
                 label, algo == Algorithm::kPcta ? "P-CTA" : "LP-CTA",
@@ -59,13 +64,15 @@ void BuildRow(int n, int d, int queries, int k, const char* label) {
         .Int("d", d)
         .Str("algo", algo == Algorithm::kPcta ? "pcta" : "lpcta")
         .Num("query_s", r.avg_seconds)
-        .Num("build_amortised_s", amortised);
+        .Num("build_amortised_s", amortised)
+        .Int("volume_clamps", VolumeSampleClamps());
   }
 }
 
 // Insert-only update rounds, re-queried through the amortized CTA context
 // and verified bitwise against a full from-scratch run.
 void AmortizedSection(int n, int d, int batches, int batch_size) {
+  ResetVolumeSampleClamps();
   std::printf("(c) amortized update workload "
               "(IND, n = %d, d = %d, CTA, k = 10, +%d/batch)\n",
               n, d, batch_size);
@@ -144,11 +151,13 @@ void AmortizedSection(int n, int d, int batches, int batch_size) {
       .Num("speedup", speedup)
       .Int("identical", identical)
       .Int("delta_processed", delta_processed)
-      .Int("amortized_reuses", stats.amortized_reuses);
+      .Int("amortized_reuses", stats.amortized_reuses)
+      .Int("volume_clamps", VolumeSampleClamps());
 }
 
 // Mixed churn with a page tracker: the phantom-page audit.
 void ChurnSection(int n, int d, int rounds) {
+  ResetVolumeSampleClamps();
   std::printf("(d) mixed churn, incremental index + page tracker "
               "(IND, n = %d, d = %d, LP-CTA)\n",
               n, d);
@@ -222,7 +231,8 @@ void ChurnSection(int n, int d, int rounds) {
       .Int("live_nodes", tree.num_nodes())
       .Int("phantom_pages", phantom)
       .Int("cache_dropped", static_cast<int64_t>(dropped))
-      .Int("cache_retained", static_cast<int64_t>(retained));
+      .Int("cache_retained", static_cast<int64_t>(retained))
+      .Int("volume_clamps", VolumeSampleClamps());
 }
 
 }  // namespace

@@ -1,0 +1,321 @@
+// Standing kSPR subscriptions under update batches (engine/subscription.h).
+//
+// Sections:
+//   sweep    — classification selectivity: many skyline subscribers, weak
+//              insert batches (records drawn from the dominated bulk of the
+//              space). Most subscribers are proven IRRELEVANT per batch by
+//              the focal-dominance retention test; `touched_ratio` tracks
+//              the fraction that needed any work at all.
+//   speedup  — maintenance cost: ApplyUpdates with subscribers attached
+//              (classify + delta-advance + diff per batch) vs re-running
+//              every subscriber's query from scratch after each batch.
+//   identity — the correctness gate: replay every subscriber's diff stream
+//              (the kInitial event plus each batch diff, via
+//              ApplyResultDiff) and compare bitwise — regions AND stats —
+//              against a from-scratch run on the compacted live set after
+//              every batch. `identical` (gated exact 1 in
+//              bench/baseline.json) and `stale_regions` (gated exact 0)
+//              hold across delta, rebuild and focal-deletion paths.
+//
+// Every section resets the process-wide volume-clamp counter on entry and
+// reports `volume_clamps` in its JSON row (gated exact 0), so a section
+// can never inherit an earlier section's clamp count.
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/query_engine.h"
+#include "geom/volume.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+namespace {
+
+JsonReport report("subscriptions");
+
+KsprOptions SubscriptionOptions() {
+  KsprOptions options;
+  options.k = 10;
+  options.finalize_geometry = false;
+  options.algorithm = Algorithm::kCta;  // amortized contexts are CTA-only
+  return options;
+}
+
+/// Distinct skyline focals, capped at the skyline size.
+std::vector<RecordId> SubscriberFocals(const Dataset& data, const RTree& tree,
+                                       int want) {
+  std::vector<RecordId> sky = Skyline(data, tree);
+  if (static_cast<int>(sky.size()) > want) sky.resize(want);
+  return sky;
+}
+
+/// From-scratch reference: compact the live records into a fresh dataset,
+/// bulk load, one query. CTA ignores the index, so this is exactly what a
+/// clean rebuild would answer (tests/test_support.h has the gtest twin).
+KsprResult FromScratchCompact(const Dataset& data, RecordId focal,
+                              const KsprOptions& options) {
+  Dataset fresh(data.dim());
+  RecordId compact_focal = kInvalidRecord;
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (!data.IsLive(i)) continue;
+    const RecordId nid = fresh.Add(data.Get(i));
+    if (i == focal) compact_focal = nid;
+  }
+  RTree tree = RTree::BulkLoad(fresh);
+  KsprSolver solver(&fresh, &tree);
+  return solver.QueryRecord(compact_focal, options);
+}
+
+// Weak-insert batches against a wall of skyline subscribers: the
+// classification sweep should prove almost everyone untouched.
+void SweepSection(int n, int d, int subscribers, int batches,
+                  int batch_size) {
+  ResetVolumeSampleClamps();
+  std::printf("(a) classification sweep "
+              "(IND, n = %d, d = %d, CTA, k = 10, +%d/batch)\n",
+              n, d, batch_size);
+  Dataset data = GenerateIndependent(n, d, 42);
+  RTree tree = RTree::BulkLoad(data);
+  EngineOptions engine_options;
+  engine_options.workers = 1;
+  QueryEngine engine(&data, &tree, engine_options);
+  const KsprOptions options = SubscriptionOptions();
+
+  std::vector<RecordId> sky = Skyline(data, tree);
+  size_t events = 0;
+  int registered = 0;
+  for (int i = 0; i < subscribers && !sky.empty(); ++i) {
+    const SubscriptionId id =
+        engine.Subscribe(sky[i % sky.size()], options,
+                         [&events](const SubscriptionEvent&) { ++events; });
+    if (id != kInvalidSubscription) ++registered;
+  }
+
+  Rng rng(7);
+  size_t examined = 0;
+  size_t irrelevant = 0;
+  size_t notified = 0;
+  Timer timer;
+  for (int b = 0; b < batches; ++b) {
+    UpdateBatch batch;
+    for (int i = 0; i < batch_size; ++i) {
+      Vec r(d);
+      // Deep in the dominated bulk: most skyline focals dominate these.
+      for (int j = 0; j < d; ++j) r.v[j] = 0.02 + 0.45 * rng.Uniform();
+      batch.inserts.push_back(r);
+    }
+    UpdateResult ur = engine.ApplyUpdates(batch);
+    examined += ur.subscribers_examined;
+    irrelevant += ur.subscribers_irrelevant;
+    notified += ur.subscribers_notified;
+  }
+  const double sweep_ms = timer.Millis() / batches;
+
+  EngineStats::Snapshot stats = engine.stats();
+  const double touched_ratio =
+      examined > 0
+          ? 1.0 - static_cast<double>(irrelevant) / static_cast<double>(examined)
+          : 0.0;
+  const int64_t clamps = VolumeSampleClamps();
+  std::printf("  subs=%d  batch sweep=%8.3fms  examined=%zu  irrelevant=%zu "
+              "(touched=%.3f)  delta=%lld  rebuilds=%lld  events=%zu  "
+              "clamps=%lld\n",
+              registered, sweep_ms, examined, irrelevant, touched_ratio,
+              static_cast<long long>(stats.sub_delta),
+              static_cast<long long>(stats.sub_rebuilds), notified,
+              static_cast<long long>(clamps));
+  report.AddRow()
+      .Str("section", "sweep")
+      .Int("n", n)
+      .Int("d", d)
+      .Int("subscribers", registered)
+      .Int("batches", batches)
+      .Int("batch_size", batch_size)
+      .Num("sweep_ms", sweep_ms)
+      .Int("examined", static_cast<int64_t>(examined))
+      .Int("irrelevant", static_cast<int64_t>(irrelevant))
+      .Num("touched_ratio", touched_ratio)
+      .Int("delta_advanced", stats.sub_delta)
+      .Int("rebuilds", stats.sub_rebuilds)
+      .Int("events", static_cast<int64_t>(events))
+      .Int("volume_clamps", clamps);
+}
+
+// Diff maintenance vs per-subscriber re-query: the reason subscriptions
+// exist. Full-range inserts so subscribers actually take the delta path.
+void SpeedupSection(int n, int d, int subscribers, int batches,
+                    int batch_size) {
+  ResetVolumeSampleClamps();
+  std::printf("(b) diff maintenance vs re-query "
+              "(IND, n = %d, d = %d, CTA, k = 10, +%d/batch)\n",
+              n, d, batch_size);
+  Dataset data = GenerateIndependent(n, d, 42);
+  RTree tree = RTree::BulkLoad(data);
+  EngineOptions engine_options;
+  engine_options.workers = 1;
+  QueryEngine engine(&data, &tree, engine_options);
+  const KsprOptions options = SubscriptionOptions();
+
+  const std::vector<RecordId> focals =
+      SubscriberFocals(data, tree, subscribers);
+  size_t events = 0;
+  for (RecordId focal : focals) {
+    engine.Subscribe(focal, options,
+                     [&events](const SubscriptionEvent&) { ++events; });
+  }
+
+  Rng rng(11);
+  double maintain_ms = 0.0;
+  double requery_ms = 0.0;
+  for (int b = 0; b < batches; ++b) {
+    UpdateBatch batch;
+    for (int i = 0; i < batch_size; ++i) {
+      Vec r(d);
+      for (int j = 0; j < d; ++j) r.v[j] = rng.Uniform();
+      batch.inserts.push_back(r);
+    }
+    Timer maintain;
+    engine.ApplyUpdates(batch);  // classify + advance + diff all subscribers
+    maintain_ms += maintain.Millis();
+
+    KsprSolver solver(&data, &tree);
+    Timer requery;
+    for (RecordId focal : focals) solver.QueryRecord(focal, options);
+    requery_ms += requery.Millis();
+  }
+  maintain_ms /= batches;
+  requery_ms /= batches;
+  const double speedup = maintain_ms > 0 ? requery_ms / maintain_ms : 0.0;
+
+  const int64_t clamps = VolumeSampleClamps();
+  std::printf("  subs=%zu  maintain=%8.3fms  requery=%8.3fms  "
+              "speedup=%5.2fx  events=%zu  clamps=%lld\n",
+              focals.size(), maintain_ms, requery_ms, speedup, events,
+              static_cast<long long>(clamps));
+  report.AddRow()
+      .Str("section", "speedup")
+      .Int("n", n)
+      .Int("d", d)
+      .Int("subscribers", static_cast<int64_t>(focals.size()))
+      .Int("batches", batches)
+      .Int("batch_size", batch_size)
+      .Num("maintain_ms", maintain_ms)
+      .Num("requery_ms", requery_ms)
+      .Num("speedup", speedup)
+      .Int("volume_clamps", clamps);
+}
+
+/// Replay target for one subscriber: the diff stream applied in order.
+struct Replay {
+  RecordId focal = kInvalidRecord;
+  KsprResult state;
+  bool terminated = false;
+};
+
+// Mixed churn with a focal deletion: after every batch, every surviving
+// subscriber's replayed state must be bitwise-identical to a from-scratch
+// run on the mutated dataset — whichever classification path the batch
+// took. This is the bench twin of the diff-replay ctest gate.
+void IdentitySection(int n, int d, int subscribers, int rounds) {
+  ResetVolumeSampleClamps();
+  std::printf("(c) diff-replay bitwise identity "
+              "(IND, n = %d, d = %d, CTA, k = 10, %d rounds)\n",
+              n, d, rounds);
+  Dataset data = GenerateIndependent(n, d, 42);
+  RTree tree = RTree::BulkLoad(data);
+  EngineOptions engine_options;
+  engine_options.workers = 2;
+  QueryEngine engine(&data, &tree, engine_options);
+  const KsprOptions options = SubscriptionOptions();
+
+  const std::vector<RecordId> focals =
+      SubscriberFocals(data, tree, subscribers);
+  std::vector<std::unique_ptr<Replay>> replays;
+  for (RecordId focal : focals) {
+    auto replay = std::make_unique<Replay>();
+    replay->focal = focal;
+    Replay* r = replay.get();
+    engine.Subscribe(focal, options, [r](const SubscriptionEvent& event) {
+      if (event.kind == SubscriptionEventKind::kFocalGone) {
+        r->terminated = true;
+        r->state = KsprResult{};
+        return;
+      }
+      ApplyResultDiff(event.diff, &r->state);
+    });
+    replays.push_back(std::move(replay));
+  }
+
+  Rng rng(5);
+  int identical = 1;
+  int64_t stale_regions = 0;
+  size_t comparisons = 0;
+  for (int round = 0; round < rounds; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 6; ++i) {
+      Vec r(d);
+      for (int j = 0; j < d; ++j) r.v[j] = rng.Uniform();
+      batch.inserts.push_back(r);
+    }
+    if (round == 1 && !replays.empty()) {
+      // Delete one subscriber's focal: exercises the kFocalGone terminal
+      // path (and forces rebuilds on contexts that already folded it in).
+      batch.deletes.push_back(replays.back()->focal);
+    }
+    engine.ApplyUpdates(batch);
+
+    for (const auto& replay : replays) {
+      if (replay->terminated) continue;
+      const KsprResult scratch =
+          FromScratchCompact(data, replay->focal, options);
+      ++comparisons;
+      if (!ResultsBitwiseEqual(replay->state, scratch)) {
+        identical = 0;
+        ++stale_regions;
+      }
+    }
+  }
+
+  size_t terminated = 0;
+  for (const auto& replay : replays) terminated += replay->terminated ? 1 : 0;
+  EngineStats::Snapshot stats = engine.stats();
+  const int64_t clamps = VolumeSampleClamps();
+  std::printf("  subs=%zu  comparisons=%zu  identical=%d  stale=%lld  "
+              "rebuilds=%lld  gone=%zu  clamps=%lld\n",
+              replays.size(), comparisons, identical,
+              static_cast<long long>(stale_regions),
+              static_cast<long long>(stats.sub_rebuilds), terminated,
+              static_cast<long long>(clamps));
+  report.AddRow()
+      .Str("section", "identity")
+      .Int("n", n)
+      .Int("d", d)
+      .Int("subscribers", static_cast<int64_t>(replays.size()))
+      .Int("rounds", rounds)
+      .Int("comparisons", static_cast<int64_t>(comparisons))
+      .Int("identical", identical)
+      .Int("stale_regions", stale_regions)
+      .Int("rebuilds", stats.sub_rebuilds)
+      .Int("focal_gone", static_cast<int64_t>(terminated))
+      .Int("volume_clamps", clamps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Subscriptions",
+              "Standing kSPR queries maintained under update batches");
+
+  SweepSection(cfg.full ? 20000 : 4000, 3, cfg.full ? 256 : 64,
+               /*batches=*/6, /*batch_size=*/16);
+  SpeedupSection(cfg.full ? 8000 : 2000, 3, cfg.full ? 32 : 12,
+                 /*batches=*/4, /*batch_size=*/12);
+  IdentitySection(cfg.full ? 4000 : 1200, 3, /*subscribers=*/8,
+                  /*rounds=*/4);
+
+  report.WriteTo(cfg.json_path);
+  return 0;
+}

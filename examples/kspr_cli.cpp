@@ -6,6 +6,7 @@
 //            [--focal ID] [--seed S] [--volume] [--csv FILE]
 //            [--threads N] [--batch Q] [--intra-threads T]
 //            [--updates U] [--update-size M] [--amortized]
+//            [--subscribe S]
 //
 // With --csv the dataset is read from a headerless CSV of d numeric
 // columns (larger = better) instead of being generated. With --batch Q
@@ -29,6 +30,13 @@
 // reproducible end to end. --amortized (CTA only) serves the workload
 // through the engine's amortized CellTree contexts: after each batch only
 // the delta hyperplanes are inserted.
+//
+// --subscribe S (CTA only) registers S standing subscriptions over
+// skyline records starting at the focal and prints their diff streams:
+// one "# sub" line per event (initial / delta / rebuild / focal-gone)
+// with the regions added and removed by the diff, plus a per-batch
+// classification summary. Combine with --updates to watch regions being
+// maintained instead of re-queried.
 
 #include <algorithm>
 #include <cstdio>
@@ -94,6 +102,7 @@ int main(int argc, char** argv) {
   int updates = 0;       // --updates: dynamic update batches to apply
   int update_size = 64;  // --update-size: records per update batch
   bool amortized = false;
+  int subscribe = 0;     // --subscribe: standing subscriptions to register
   bool focal_set = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +130,8 @@ int main(int argc, char** argv) {
       update_size = std::atoi(next("--update-size"));
     } else if (!std::strcmp(argv[i], "--amortized")) {
       amortized = true;
+    } else if (!std::strcmp(argv[i], "--subscribe")) {
+      subscribe = std::atoi(next("--subscribe"));
     } else if (!std::strcmp(argv[i], "--volume")) {
       volume = true;
     } else if (!std::strcmp(argv[i], "--csv")) {
@@ -156,8 +167,22 @@ int main(int argc, char** argv) {
   }
 
   // Validate flag ranges the same way --focal is validated below: a clear
-  // stderr message and exit 1, never an assert deep in the engine.
+  // stderr message and exit 1, never an assert deep in the engine. This
+  // also catches non-numeric values, which atoi turns into 0.
   constexpr int kMaxThreads = 256;
+  constexpr int kMaxRecords = 10000000;
+  if (n < 1 || n > kMaxRecords) {
+    std::fprintf(stderr, "--n %d out of range [1, %d]\n", n, kMaxRecords);
+    return 1;
+  }
+  if (d < 1 || d > kMaxDim) {
+    std::fprintf(stderr, "--d %d out of range [1, %d]\n", d, kMaxDim);
+    return 1;
+  }
+  if (k < 1 || k > n) {
+    std::fprintf(stderr, "--k %d out of range [1, n=%d]\n", k, n);
+    return 1;
+  }
   if (threads < 1 || threads > kMaxThreads) {
     std::fprintf(stderr, "--threads %d out of range [1, %d]\n", threads,
                  kMaxThreads);
@@ -187,14 +212,26 @@ int main(int argc, char** argv) {
                  "reuses the CTA CellTree skeleton)\n");
     return 1;
   }
+  constexpr int kMaxSubscriptions = 4096;
+  if (subscribe < 0 || subscribe > kMaxSubscriptions) {
+    std::fprintf(stderr, "--subscribe %d out of range [0, %d]\n", subscribe,
+                 kMaxSubscriptions);
+    return 1;
+  }
+  if (subscribe > 0 && algo != Algorithm::kCta) {
+    std::fprintf(stderr,
+                 "--subscribe requires --algo cta (standing subscriptions "
+                 "are maintained through amortized CTA contexts)\n");
+    return 1;
+  }
 
   Dataset data =
       csv.empty() ? GenerateSynthetic(dist, n, d, seed) : LoadCsv(csv, d);
   RTree tree = RTree::BulkLoad(data);
-  // Updates and amortized contexts route through the engine, so they
-  // imply batch mode.
+  // Updates, amortized contexts and subscriptions route through the
+  // engine, so they imply batch mode.
   const bool batch_mode =
-      batch > 0 || threads > 1 || updates > 0 || amortized;
+      batch > 0 || threads > 1 || updates > 0 || amortized || subscribe > 0;
   std::vector<RecordId> skyline;  // needed for the default focal and batch
   if (focal == kInvalidRecord || batch_mode) {
     skyline = Skyline(data, tree);
@@ -264,6 +301,37 @@ int main(int argc, char** argv) {
     engine_options.amortized_contexts = amortized ? 16 : 0;
     QueryEngine engine(&data, &tree, engine_options);
 
+    // Standing subscriptions: register S skyline focals (starting at the
+    // requested focal) and print every diff event as it is pushed.
+    if (subscribe > 0) {
+      size_t start = 0;
+      for (size_t s = 0; s < skyline.size(); ++s) {
+        if (skyline[s] == focal) start = s;
+      }
+      KsprOptions sub_options = options;
+      sub_options.parallel = ParallelOptions{};
+      auto print_event = [](const SubscriptionEvent& e) {
+        std::printf("# sub %lld focal=%d %s v=%llu +%zu -%zu regions=%zu\n",
+                    static_cast<long long>(e.subscription), e.focal_id,
+                    ToString(e.kind),
+                    static_cast<unsigned long long>(e.version),
+                    e.diff.regions_added.size(), e.diff.regions_removed,
+                    e.num_regions);
+      };
+      const int want =
+          std::min<int>(subscribe, static_cast<int>(skyline.size()));
+      for (int s = 0; s < want; ++s) {
+        const RecordId id = skyline[(start + s) % skyline.size()];
+        if (engine.Subscribe(id, sub_options, print_event) ==
+            kInvalidSubscription) {
+          std::fprintf(stderr, "subscribe failed for record %d\n", id);
+          return 1;
+        }
+      }
+      std::printf("# subscriptions registered: %zu\n",
+                  engine.num_subscriptions());
+    }
+
     std::vector<QueryRequest> requests = build_requests();
     std::vector<QueryResponse> responses = engine.RunAll(requests);
     for (size_t i = 0; i < responses.size(); ++i) {
@@ -308,6 +376,12 @@ int main(int argc, char** argv) {
                   u, ur.inserted_ids.size(), ur.deletes_applied,
                   static_cast<unsigned long long>(ur.version),
                   ur.cache_dropped, ur.cache_retained);
+      if (ur.subscribers_examined > 0) {
+        std::printf("# update %d subs: examined=%zu irrelevant=%zu "
+                    "notified=%zu terminated=%zu\n",
+                    u, ur.subscribers_examined, ur.subscribers_irrelevant,
+                    ur.subscribers_notified, ur.subscribers_terminated);
+      }
 
       // Re-validate against the shrunken dataset and rebuild the workload
       // over the fresh skyline (old skyline ids may be tombstoned). A
@@ -352,6 +426,16 @@ int main(int argc, char** argv) {
                 static_cast<long long>(stats.updates),
                 static_cast<long long>(stats.amortized_builds),
                 static_cast<long long>(stats.amortized_reuses));
+    if (stats.sub_registered > 0) {
+      std::printf("# subs registered=%lld irrelevant=%lld delta=%lld "
+                  "rebuilds=%lld gone=%lld events=%lld\n",
+                  static_cast<long long>(stats.sub_registered),
+                  static_cast<long long>(stats.sub_irrelevant),
+                  static_cast<long long>(stats.sub_delta),
+                  static_cast<long long>(stats.sub_rebuilds),
+                  static_cast<long long>(stats.sub_focal_gone),
+                  static_cast<long long>(stats.sub_events));
+    }
     return 0;
   }
 

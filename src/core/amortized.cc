@@ -71,6 +71,22 @@ AmortizedCta::Rel AmortizedCta::Classify(RecordId rid) const {
   return Rel::kRegular;
 }
 
+bool AmortizedCta::InvalidatedByDelete(RecordId rid) const {
+  if (rid == focal_id_) return true;
+  if (rid >= cursor_) return false;
+  const Rel rel = Classify(rid);
+  if (rel == Rel::kSkip) return false;
+  if (tree_ == nullptr) {
+    // Empty-result prep: the result stays empty unless k_effective rises,
+    // which only removing a dominator can cause.
+    return rel == Rel::kDominator;
+  }
+  // kDominator changes k_effective; kRegular may have a hyperplane folded
+  // into the skeleton (conservatively assumed even after a root death,
+  // where the insertion order relative to the death is not tracked).
+  return true;
+}
+
 bool AmortizedCta::Advance() {
   if (tree_ == nullptr) {
     // Empty-result prep: inserts can only shrink k_effective further, so

@@ -59,19 +59,31 @@ class AmortizedCta {
   /// RunCta would return on the current dataset. May be called repeatedly.
   KsprResult Collect();
 
-  /// First record id not yet examined. Deleting any id below this
-  /// invalidates the context.
+  /// First record id not yet examined. Deletes at or above this are always
+  /// harmless; deletes below it are screened by InvalidatedByDelete.
   RecordId cursor() const { return cursor_; }
 
   const Vec& focal() const { return focal_; }
   RecordId focal_id() const { return focal_id_; }
 
- private:
   /// Classification of a record against the focal (the PrepareQuery
-  /// per-record test).
+  /// per-record test). Public so the engine and the subscription manager
+  /// can reason about invalidation with the same test the context uses.
   enum class Rel { kRegular, kDominator, kSkip };
   Rel Classify(RecordId rid) const;
 
+  /// True iff deleting `rid` breaks the from-scratch equivalence and the
+  /// context must be rebuilt. Deletes at/above the cursor never do (both
+  /// runs skip tombstones). Below the cursor, records the preprocessing
+  /// skips (ties and focal-dominated records) contributed neither a
+  /// hyperplane nor to k_effective, in the old dataset or the new one, so
+  /// their removal is provably invisible; dominators change k_effective
+  /// and regular records may already be folded into the skeleton, so both
+  /// invalidate. Deleting the focal itself always invalidates — callers
+  /// are expected to evict the context outright in that case.
+  bool InvalidatedByDelete(RecordId rid) const;
+
+ private:
   const Dataset* data_;
   Vec focal_;
   RecordId focal_id_;

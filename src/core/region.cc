@@ -22,27 +22,24 @@ double KsprResult::TopKProbability() const {
   return TotalVolume() / SpaceVolume(regions[0].space, regions[0].dim);
 }
 
-bool ResultsBitwiseEqual(const KsprResult& a, const KsprResult& b) {
-  if (a.regions.size() != b.regions.size()) return false;
-  for (size_t i = 0; i < a.regions.size(); ++i) {
-    const Region& ra = a.regions[i];
-    const Region& rb = b.regions[i];
-    if (ra.space != rb.space || ra.dim != rb.dim) return false;
-    if (ra.rank_lb != rb.rank_lb || ra.rank_ub != rb.rank_ub) return false;
-    if (!(ra.witness == rb.witness)) return false;
-    if (ra.volume != rb.volume) return false;
-    if (ra.constraints.size() != rb.constraints.size()) return false;
-    for (size_t c = 0; c < ra.constraints.size(); ++c) {
-      if (ra.constraints[c].b != rb.constraints[c].b) return false;
-      if (!(ra.constraints[c].a == rb.constraints[c].a)) return false;
-    }
-    if (ra.vertices.size() != rb.vertices.size()) return false;
-    for (size_t v = 0; v < ra.vertices.size(); ++v) {
-      if (!(ra.vertices[v] == rb.vertices[v])) return false;
-    }
+bool RegionsBitwiseEqual(const Region& ra, const Region& rb) {
+  if (ra.space != rb.space || ra.dim != rb.dim) return false;
+  if (ra.rank_lb != rb.rank_lb || ra.rank_ub != rb.rank_ub) return false;
+  if (!(ra.witness == rb.witness)) return false;
+  if (ra.volume != rb.volume) return false;
+  if (ra.constraints.size() != rb.constraints.size()) return false;
+  for (size_t c = 0; c < ra.constraints.size(); ++c) {
+    if (ra.constraints[c].b != rb.constraints[c].b) return false;
+    if (!(ra.constraints[c].a == rb.constraints[c].a)) return false;
   }
-  const KsprStats& sa = a.stats;
-  const KsprStats& sb = b.stats;
+  if (ra.vertices.size() != rb.vertices.size()) return false;
+  for (size_t v = 0; v < ra.vertices.size(); ++v) {
+    if (!(ra.vertices[v] == rb.vertices[v])) return false;
+  }
+  return true;
+}
+
+bool StatsBitwiseEqual(const KsprStats& sa, const KsprStats& sb) {
   return sa.processed_records == sb.processed_records &&
          sa.cell_tree_nodes == sb.cell_tree_nodes &&
          sa.live_leaves == sb.live_leaves &&
@@ -61,6 +58,46 @@ bool ResultsBitwiseEqual(const KsprResult& a, const KsprResult& b) {
          sa.batches == sb.batches && sa.bytes == sb.bytes &&
          sa.page_reads == sb.page_reads &&
          sa.result_regions == sb.result_regions;
+}
+
+bool ResultsBitwiseEqual(const KsprResult& a, const KsprResult& b) {
+  if (a.regions.size() != b.regions.size()) return false;
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    if (!RegionsBitwiseEqual(a.regions[i], b.regions[i])) return false;
+  }
+  return StatsBitwiseEqual(a.stats, b.stats);
+}
+
+ResultDiff DiffResults(const KsprResult& before, const KsprResult& after) {
+  ResultDiff diff;
+  const size_t nb = before.regions.size();
+  const size_t na = after.regions.size();
+  size_t prefix = 0;
+  while (prefix < nb && prefix < na &&
+         RegionsBitwiseEqual(before.regions[prefix], after.regions[prefix])) {
+    ++prefix;
+  }
+  size_t suffix = 0;
+  while (suffix < nb - prefix && suffix < na - prefix &&
+         RegionsBitwiseEqual(before.regions[nb - 1 - suffix],
+                             after.regions[na - 1 - suffix])) {
+    ++suffix;
+  }
+  diff.splice_begin = prefix;
+  diff.regions_removed = nb - prefix - suffix;
+  diff.regions_added.assign(after.regions.begin() + prefix,
+                            after.regions.end() - suffix);
+  diff.stats_changed = !StatsBitwiseEqual(before.stats, after.stats);
+  if (diff.stats_changed) diff.stats = after.stats;
+  return diff;
+}
+
+void ApplyResultDiff(const ResultDiff& diff, KsprResult* result) {
+  auto first = result->regions.begin() + diff.splice_begin;
+  result->regions.erase(first, first + diff.regions_removed);
+  result->regions.insert(result->regions.begin() + diff.splice_begin,
+                         diff.regions_added.begin(), diff.regions_added.end());
+  if (diff.stats_changed) result->stats = diff.stats;
 }
 
 void FinalizeRegion(Region* region, bool compute_volume, int volume_samples,

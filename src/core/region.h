@@ -3,6 +3,7 @@
 #ifndef KSPR_CORE_REGION_H_
 #define KSPR_CORE_REGION_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/stats.h"
@@ -58,12 +59,54 @@ struct KsprResult {
 void FinalizeRegion(Region* region, bool compute_volume, int volume_samples,
                     KsprStats* stats);
 
+/// Exact equality of two regions: every field, order included, doubles
+/// compared bitwise via ==. The per-region unit of the result comparison
+/// below and of the subscription diff (DiffResults).
+bool RegionsBitwiseEqual(const Region& a, const Region& b);
+
+/// Exact equality of every KsprStats counter.
+bool StatsBitwiseEqual(const KsprStats& a, const KsprStats& b);
+
 /// Exact equality of two results: every region field (order included,
 /// doubles compared bitwise via ==) and every KsprStats counter. This is
 /// the single definition of "bitwise-identical" behind the serial ==
 /// parallel and amortized == from-scratch guarantees; the test helper
 /// (tests/test_support.h) and the gated fig24 bench both delegate to it.
 bool ResultsBitwiseEqual(const KsprResult& a, const KsprResult& b);
+
+/// A splice-style edit turning one KsprResult into another: regions
+/// [splice_begin, splice_begin + regions_removed) of the old list are
+/// replaced by `regions_added`, and the stats block is overwritten when it
+/// changed. Region lists produced by CellTree harvests are ordered by cell
+/// id, so an update batch perturbs a contiguous window and the common
+/// prefix/suffix trim keeps diffs proportional to the actual change. The
+/// subscription contract is that applying the diff stream in order
+/// (ApplyResultDiff) reproduces the maintained result bitwise.
+struct ResultDiff {
+  size_t splice_begin = 0;
+  size_t regions_removed = 0;
+  std::vector<Region> regions_added;
+
+  /// Post-diff stats; meaningful only when stats_changed. Carried because
+  /// two results can hold identical regions yet different counters (a
+  /// delta advance that only inserts skipped hyperplanes still pays LP
+  /// calls) and replay must reproduce both.
+  bool stats_changed = false;
+  KsprStats stats;
+
+  /// True iff applying the diff is a no-op: the results were bitwise equal.
+  bool Empty() const {
+    return regions_removed == 0 && regions_added.empty() && !stats_changed;
+  }
+};
+
+/// Minimal splice turning `before` into `after`: trims the longest common
+/// prefix and suffix (RegionsBitwiseEqual) and captures the middle.
+ResultDiff DiffResults(const KsprResult& before, const KsprResult& after);
+
+/// Applies `diff` in place. ApplyResultDiff(DiffResults(a, b), &a) makes a
+/// bitwise equal to b.
+void ApplyResultDiff(const ResultDiff& diff, KsprResult* result);
 
 }  // namespace kspr
 

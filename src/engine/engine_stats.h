@@ -31,6 +31,15 @@ class EngineStats {
     // Amortized CTA contexts.
     int64_t amortized_builds = 0;   // full from-scratch context builds
     int64_t amortized_reuses = 0;   // delta-only advances
+    // Standing subscriptions (engine/subscription.h). The per-batch
+    // classification counters sum to subscribers-examined-per-batch;
+    // sub_events counts emitted diffs (initial events included).
+    int64_t sub_registered = 0;     // successful Subscribe calls
+    int64_t sub_irrelevant = 0;     // proven untouched, nothing emitted
+    int64_t sub_delta = 0;          // maintained via delta advance
+    int64_t sub_rebuilds = 0;       // transparent from-scratch rebuilds
+    int64_t sub_focal_gone = 0;     // terminated: focal record deleted
+    int64_t sub_events = 0;         // diff events delivered to callbacks
     double total_latency_ms = 0.0;
     double max_latency_ms = 0.0;
 
@@ -86,6 +95,23 @@ class EngineStats {
     amortized_reuses_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  void RecordSubscriptionRegistered() {
+    sub_registered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Records one subscription sweep (all subscribers of one update batch).
+  void RecordSubscriptionSweep(int64_t irrelevant, int64_t delta,
+                               int64_t rebuilds, int64_t focal_gone,
+                               int64_t events) {
+    sub_irrelevant_.fetch_add(irrelevant, std::memory_order_relaxed);
+    sub_delta_.fetch_add(delta, std::memory_order_relaxed);
+    sub_rebuilds_.fetch_add(rebuilds, std::memory_order_relaxed);
+    sub_focal_gone_.fetch_add(focal_gone, std::memory_order_relaxed);
+    sub_events_.fetch_add(events, std::memory_order_relaxed);
+  }
+  void RecordSubscriptionEvent() {
+    sub_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   Snapshot Get() const {
     Snapshot s;
     s.queries = queries_.load(std::memory_order_relaxed);
@@ -100,6 +126,12 @@ class EngineStats {
     s.cache_retained = cache_retained_.load(std::memory_order_relaxed);
     s.amortized_builds = amortized_builds_.load(std::memory_order_relaxed);
     s.amortized_reuses = amortized_reuses_.load(std::memory_order_relaxed);
+    s.sub_registered = sub_registered_.load(std::memory_order_relaxed);
+    s.sub_irrelevant = sub_irrelevant_.load(std::memory_order_relaxed);
+    s.sub_delta = sub_delta_.load(std::memory_order_relaxed);
+    s.sub_rebuilds = sub_rebuilds_.load(std::memory_order_relaxed);
+    s.sub_focal_gone = sub_focal_gone_.load(std::memory_order_relaxed);
+    s.sub_events = sub_events_.load(std::memory_order_relaxed);
     s.total_latency_ms =
         static_cast<double>(latency_ns_total_.load(std::memory_order_relaxed)) /
         1e6;
@@ -122,6 +154,12 @@ class EngineStats {
     cache_retained_.store(0, std::memory_order_relaxed);
     amortized_builds_.store(0, std::memory_order_relaxed);
     amortized_reuses_.store(0, std::memory_order_relaxed);
+    sub_registered_.store(0, std::memory_order_relaxed);
+    sub_irrelevant_.store(0, std::memory_order_relaxed);
+    sub_delta_.store(0, std::memory_order_relaxed);
+    sub_rebuilds_.store(0, std::memory_order_relaxed);
+    sub_focal_gone_.store(0, std::memory_order_relaxed);
+    sub_events_.store(0, std::memory_order_relaxed);
     latency_ns_total_.store(0, std::memory_order_relaxed);
     latency_ns_max_.store(0, std::memory_order_relaxed);
   }
@@ -139,6 +177,12 @@ class EngineStats {
   std::atomic<int64_t> cache_retained_{0};
   std::atomic<int64_t> amortized_builds_{0};
   std::atomic<int64_t> amortized_reuses_{0};
+  std::atomic<int64_t> sub_registered_{0};
+  std::atomic<int64_t> sub_irrelevant_{0};
+  std::atomic<int64_t> sub_delta_{0};
+  std::atomic<int64_t> sub_rebuilds_{0};
+  std::atomic<int64_t> sub_focal_gone_{0};
+  std::atomic<int64_t> sub_events_{0};
   std::atomic<int64_t> latency_ns_total_{0};
   std::atomic<int64_t> latency_ns_max_{0};
 };

@@ -39,6 +39,7 @@ QueryEngine::QueryEngine(const Dataset* data, const RTree* index,
       targeted_invalidation_max_delta_(
           options.targeted_invalidation_max_delta),
       amortized_capacity_(options.amortized_contexts),
+      subscriptions_(data, &stats_),
       pool_(PoolWorkers(options)) {
   if (options.intra_threads > 1) {
     // Honour the total budget even when it is smaller than intra_threads
@@ -145,6 +146,21 @@ QueryResponse QueryEngine::Execute(const QueryRequest& request, int worker) {
   // in-flight Execute has released this lock.
   std::shared_lock<std::shared_mutex> lock(update_mu_);
 
+  // A record focal may have been deleted between Canonicalize (or the
+  // caller's own validation) and this point. Its tombstoned values are
+  // still addressable, so without this guard the query would compute — and
+  // cache under the CURRENT version — an answer for a record that is no
+  // longer in the live set.
+  if (request.focal_id != kInvalidRecord &&
+      !data_->IsLive(request.focal_id)) {
+    response.focal_live = false;
+    response.result = std::make_shared<KsprResult>();
+    response.latency_ms = timer.Millis();
+    stats_.RecordQuery(&response.result->stats, /*regions=*/0,
+                       response.latency_ms);
+    return response;
+  }
+
   const CacheKey key = CacheKey::Make(request.focal, request.focal_id,
                                       request.options, data_->version());
   if (std::shared_ptr<const KsprResult> hit = cache_.Get(key)) {
@@ -235,6 +251,16 @@ UpdateResult QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
   }
   out.version = data.version();
 
+  // A batch with no effective mutation (empty, or deletes of unknown /
+  // already-dead ids) leaves the version unchanged; running the sweeps
+  // anyway would restamp every cache entry to its own version and count
+  // the whole cache as retained again — back-to-back no-op batches would
+  // inflate cache_retained without a single record changing.
+  if (delta.empty() && deleted_ids.empty()) {
+    stats_.RecordUpdate(0, 0, 0, 0);
+    return out;
+  }
+
   // Result-cache sweep. An entry may be RETAINED only when its focal
   // dominates every delta record: such records never outscore the focal
   // anywhere in preference space, so the query preprocessing drops them
@@ -259,28 +285,73 @@ UpdateResult QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
     cache_.Clear();
   }
 
-  // Amortized contexts: a delete below a context's cursor removes a
-  // hyperplane already folded into its CellTree — unrecoverable, so the
-  // context is discarded (the slot stays; the next query rebuilds).
-  // Inserts are handled lazily by AmortizedCta::Advance.
+  // Amortized contexts. A slot whose focal record was deleted is evicted
+  // outright — slot and context, not just the context: the slot is keyed
+  // on a version-zeroed copy, so it would otherwise match a later query
+  // for the dead focal and resurrect a context (and, through the cache
+  // Put, an entry stamped with the current version) for a record that no
+  // longer exists. For live focals, a delete that removes state already
+  // folded into the context (a hyperplane below the cursor, or a
+  // dominator that shaped k_effective) discards the context; deletes of
+  // records the preprocessing skips are provably invisible and the
+  // context is kept (AmortizedCta::InvalidatedByDelete). Inserts are
+  // handled lazily by AmortizedCta::Advance.
   {
     std::lock_guard<std::mutex> alock(amortized_mu_);
-    for (auto& slot : amortized_) {
-      if (slot->ctx == nullptr) continue;
-      for (RecordId id : deleted_ids) {
-        if (id < slot->ctx->cursor()) {
-          slot->ctx.reset();
-          break;
+    for (auto it = amortized_.begin(); it != amortized_.end();) {
+      const RecordId focal_id = (*it)->key.focal_id;
+      if (focal_id != kInvalidRecord && !data.IsLive(focal_id)) {
+        it = amortized_.erase(it);
+        continue;
+      }
+      if ((*it)->ctx != nullptr) {
+        for (RecordId id : deleted_ids) {
+          if ((*it)->ctx->InvalidatedByDelete(id)) {
+            (*it)->ctx.reset();
+            break;
+          }
         }
       }
+      ++it;
     }
   }
+
+  // Standing subscriptions: classify every subscriber against this batch
+  // and push diffs (engine/subscription.h). Runs under the writer lock so
+  // subscribers observe atomic batch transitions.
+  const SubscriptionManager::SweepStats sweep =
+      subscriptions_.OnUpdates(delta, deleted_ids, out.version);
+  out.subscribers_examined = sweep.examined;
+  out.subscribers_irrelevant = sweep.irrelevant;
+  out.subscribers_notified = sweep.events;
+  out.subscribers_terminated = sweep.focal_gone;
 
   stats_.RecordUpdate(static_cast<int64_t>(out.inserted_ids.size()),
                       static_cast<int64_t>(out.deletes_applied),
                       static_cast<int64_t>(out.cache_dropped),
                       static_cast<int64_t>(out.cache_retained));
   return out;
+}
+
+SubscriptionId QueryEngine::Subscribe(RecordId focal_id,
+                                      const KsprOptions& options,
+                                      SubscriptionCallback callback) {
+  if (options.algorithm != Algorithm::kCta) return kInvalidSubscription;
+  // Shared side of the quiesce: the initial build reads the dataset and
+  // must not interleave with ApplyUpdates (which also sweeps the
+  // subscriber list under the writer lock).
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  if (focal_id == kInvalidRecord || focal_id < 0 ||
+      focal_id >= data_->size() || !data_->IsLive(focal_id)) {
+    return kInvalidSubscription;
+  }
+  return subscriptions_.Subscribe(data_->Get(focal_id), focal_id, options,
+                                  std::move(callback));
+}
+
+bool QueryEngine::Unsubscribe(SubscriptionId id) {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return subscriptions_.Unsubscribe(id);
 }
 
 std::future<QueryResponse> QueryEngine::Submit(QueryRequest request) {

@@ -48,6 +48,7 @@
 #include "core/solver.h"
 #include "engine/engine_stats.h"
 #include "engine/result_cache.h"
+#include "engine/subscription.h"
 #include "engine/thread_pool.h"
 #include "index/rtree.h"
 
@@ -120,6 +121,11 @@ struct QueryResponse {
   std::shared_ptr<const KsprResult> result;
   bool cache_hit = false;
   bool amortized = false;   // served via an amortized CTA context
+  /// False when the requested focal record was deleted before the query
+  /// ran: `result` is then a non-null empty placeholder that was neither
+  /// computed nor cached. Callers racing ApplyUpdates should check this
+  /// instead of treating the empty region set as an answer.
+  bool focal_live = true;
   double latency_ms = 0.0;  // wall time inside the worker
   int worker = -1;          // pool worker that served the query
 };
@@ -138,6 +144,11 @@ struct UpdateResult {
   size_t cache_dropped = 0;
   size_t cache_retained = 0;
   bool index_rebuilt = false;      // kRebuild (or empty-tree bootstrap)
+  // Standing-subscription sweep of this batch (engine/subscription.h).
+  size_t subscribers_examined = 0;
+  size_t subscribers_irrelevant = 0;  // proven untouched, nothing emitted
+  size_t subscribers_notified = 0;    // diff events delivered
+  size_t subscribers_terminated = 0;  // focal record deleted by this batch
 };
 
 class QueryEngine {
@@ -199,6 +210,24 @@ class QueryEngine {
   /// pool worker (deadlock). Thread-safe against Submit/RunAll.
   UpdateResult ApplyUpdates(const UpdateBatch& batch);
 
+  /// Registers dataset record `focal_id` as a standing kSPR query: the
+  /// initial region set is computed immediately (the kInitial event fires
+  /// before this returns) and every subsequent ApplyUpdates batch pushes a
+  /// region diff to `callback` — or nothing at all when the batch provably
+  /// cannot touch the subscriber (see engine/subscription.h for the
+  /// classification rules and the diff-replay contract). The callback runs
+  /// under the engine's update lock: keep it quick and never call back
+  /// into the engine from it. Requires options.algorithm == kCta and a
+  /// live focal record; returns kInvalidSubscription otherwise.
+  SubscriptionId Subscribe(RecordId focal_id, const KsprOptions& options,
+                           SubscriptionCallback callback);
+
+  /// Cancels a standing query (no terminal event). False for unknown ids
+  /// and for subscriptions already terminated by a focal deletion.
+  bool Unsubscribe(SubscriptionId id);
+
+  size_t num_subscriptions() const { return subscriptions_.size(); }
+
   /// Dataset version the next query will be keyed under.
   uint64_t dataset_version() const;
 
@@ -245,6 +274,9 @@ class QueryEngine {
 
   std::mutex amortized_mu_;
   std::vector<std::shared_ptr<AmortizedSlot>> amortized_;  // MRU front
+
+  /// Standing subscriptions; swept by ApplyUpdates under the writer lock.
+  SubscriptionManager subscriptions_;
 
   // One traversal team per pool worker (parallel_intra_query mode only);
   // declared before the pool so in-flight queries outlive their teams.

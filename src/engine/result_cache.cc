@@ -119,7 +119,20 @@ std::pair<size_t, size_t> ResultCache::OnDatasetUpdate(
       // entry must move to the new bucket.
       index_.erase(it->key);
       it->key.dataset_version = new_version;
-      index_[it->key] = it;
+      const auto ins = index_.try_emplace(it->key, it);
+      if (!ins.second) {
+        // Two survivors collapsed onto the same restamped key (entries for
+        // the same query under different dataset versions can coexist, e.g.
+        // when a result computed against an older version is Put back after
+        // a sweep). The index can point at only one list node; silently
+        // overwriting would orphan the other — unreachable through Get yet
+        // occupying capacity and counted as retained. The sweep walks the
+        // list MRU-first, so the mapped entry is the more recently used
+        // one: drop this duplicate instead.
+        it = lru_.erase(it);
+        ++dropped;
+        continue;
+      }
       ++it;
     }
   }

@@ -1,0 +1,154 @@
+// Standing kSPR subscriptions: continuous queries maintained under
+// dataset updates.
+//
+// A SubscriptionManager registers focal records as standing kSPR queries
+// and keeps each subscriber's answer regions current across ApplyUpdates
+// batches, pushing *diffs* instead of making callers re-Execute — the
+// dynamic-query discipline of Berkholz/Keppeler/Schweikardt ("Answering
+// FO+MOD queries under updates"): prove per batch that most standing
+// queries are untouched, and maintain the touched ones incrementally.
+//
+// Per batch, every subscriber is classified into exactly one of:
+//
+//  * IRRELEVANT — the focal dominates every delta record (the same
+//    retention test the result-cache sweep uses): dominated records are
+//    dropped by the query preprocessing in a from-scratch run, so the
+//    region set AND stats are provably bitwise-unchanged. Nothing is
+//    computed and nothing is emitted.
+//  * DELTA-INSERTABLE — the subscriber's AmortizedCta absorbs just the
+//    batch's hyperplanes (AmortizedCta::Advance), then the new harvest is
+//    diffed against the previous one.
+//  * REBUILD-FORCING — a delta record dominates the focal (k_effective
+//    changes), or a delete below the context cursor removes state already
+//    folded into the skeleton (AmortizedCta::InvalidatedByDelete): the
+//    context is transparently rebuilt from scratch and the result diffed
+//    as usual. Subscribers see a kRebuild event, never a stale region.
+//
+// A deleted focal terminates its subscription with a kFocalGone event.
+//
+// Correctness contract (gated by tests/test_subscriptions.cc and
+// bench/bench_subscriptions.cc): replaying the event stream — the
+// kInitial diff followed by every subsequent diff in order, via
+// ApplyResultDiff — reproduces the from-scratch KsprResult over the
+// mutated dataset bitwise after every batch, whichever classification
+// path each batch took.
+
+#ifndef KSPR_ENGINE_SUBSCRIPTION_H_
+#define KSPR_ENGINE_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+#include "common/vec.h"
+#include "core/amortized.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "engine/engine_stats.h"
+
+namespace kspr {
+
+using SubscriptionId = int64_t;
+inline constexpr SubscriptionId kInvalidSubscription = -1;
+
+enum class SubscriptionEventKind {
+  kInitial,   // full region set right after Subscribe (diff from empty)
+  kDelta,     // maintained by inserting only the batch's hyperplanes
+  kRebuild,   // transparently rebuilt from scratch, then diffed
+  kFocalGone, // terminal: the focal record was deleted; diff is empty
+};
+
+const char* ToString(SubscriptionEventKind kind);
+
+struct SubscriptionEvent {
+  SubscriptionId subscription = kInvalidSubscription;
+  RecordId focal_id = kInvalidRecord;
+  SubscriptionEventKind kind = SubscriptionEventKind::kInitial;
+
+  /// Dataset version the post-diff regions are valid for.
+  uint64_t version = 0;
+
+  /// Splice edit from the previous emitted state (empty for kFocalGone).
+  ResultDiff diff;
+
+  /// Region count after applying the diff, for display convenience.
+  size_t num_regions = 0;
+};
+
+/// Invoked synchronously under the engine's update lock (and, for the
+/// initial event, from inside Subscribe). Callbacks must be quick and must
+/// not call back into the QueryEngine or the manager — doing so deadlocks.
+using SubscriptionCallback = std::function<void(const SubscriptionEvent&)>;
+
+class SubscriptionManager {
+ public:
+  /// Tallies of one OnUpdates sweep across all subscribers.
+  struct SweepStats {
+    size_t examined = 0;
+    size_t irrelevant = 0;     // proven untouched, nothing emitted
+    size_t delta_advanced = 0;
+    size_t rebuilt = 0;
+    size_t focal_gone = 0;     // terminated this batch
+    size_t events = 0;         // diffs actually delivered
+  };
+
+  /// `data` must outlive the manager; `stats` may be null.
+  SubscriptionManager(const Dataset* data, EngineStats* stats)
+      : data_(data), stats_(stats) {}
+
+  SubscriptionManager(const SubscriptionManager&) = delete;
+  SubscriptionManager& operator=(const SubscriptionManager&) = delete;
+
+  /// Registers `focal_id` as a standing query, runs the initial build and
+  /// emits the kInitial event before returning. `focal` must be the
+  /// record's current value; `options.algorithm` must be kCta (the
+  /// amortized context is a CTA skeleton). The caller serialises this
+  /// against OnUpdates (the QueryEngine holds its update lock shared).
+  SubscriptionId Subscribe(const Vec& focal, RecordId focal_id,
+                           const KsprOptions& options,
+                           SubscriptionCallback callback);
+
+  /// Removes a subscription; no terminal event is emitted. Returns false
+  /// for unknown (or already terminated) ids.
+  bool Unsubscribe(SubscriptionId id);
+
+  /// Classifies and maintains every subscriber after a dataset mutation
+  /// batch. `delta` holds the values of every record that entered or left
+  /// the live set (delete values captured pre-tombstone — the same vector
+  /// the cache sweep tests), `deleted_ids` the tombstoned ids, `version`
+  /// the post-batch dataset version. Must be called with the dataset
+  /// already mutated and all queries quiesced.
+  SweepStats OnUpdates(const std::vector<Vec>& delta,
+                       const std::vector<RecordId>& deleted_ids,
+                       uint64_t version);
+
+  size_t size() const;
+
+ private:
+  struct Subscriber {
+    SubscriptionId id = kInvalidSubscription;
+    Vec focal;
+    RecordId focal_id = kInvalidRecord;
+    KsprOptions options;
+    std::unique_ptr<AmortizedCta> ctx;
+    KsprResult current;  // last emitted state (replay target)
+    SubscriptionCallback callback;
+  };
+
+  void Emit(const Subscriber& sub, SubscriptionEventKind kind,
+            uint64_t version, ResultDiff diff) const;
+
+  const Dataset* data_;
+  EngineStats* stats_;
+  mutable std::mutex mu_;
+  SubscriptionId next_id_ = 0;
+  std::vector<std::unique_ptr<Subscriber>> subs_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_ENGINE_SUBSCRIPTION_H_

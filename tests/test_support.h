@@ -97,6 +97,33 @@ inline KsprOptions OracleOptions(Algorithm algo, int k) {
   return options;
 }
 
+/// Compacts the live records of `data` into a fresh Dataset (the
+/// "from-scratch build on the mutated dataset" of the dynamic-update
+/// acceptance criteria). Maps `focal` to its compact id when non-null.
+inline Dataset Compact(const Dataset& data, RecordId focal = kInvalidRecord,
+                       RecordId* compact_focal = nullptr) {
+  Dataset out(data.dim());
+  for (RecordId i = 0; i < data.size(); ++i) {
+    if (!data.IsLive(i)) continue;
+    const RecordId nid = out.Add(data.Get(i));
+    if (compact_focal != nullptr && i == focal) *compact_focal = nid;
+  }
+  return out;
+}
+
+/// From-scratch reference: compact dataset, fresh STR bulk load, one query.
+inline KsprResult FromScratch(const Dataset& data, RecordId focal,
+                              const KsprOptions& options,
+                              int leaf_capacity = kTestLeafCapacity,
+                              int fanout = kTestFanout) {
+  RecordId compact_focal = kInvalidRecord;
+  Dataset fresh = Compact(data, focal, &compact_focal);
+  RTree tree = RTree::BulkLoad(fresh, leaf_capacity, fanout);
+  KsprSolver solver(&fresh, &tree);
+  EXPECT_NE(compact_focal, kInvalidRecord) << "focal was deleted";
+  return solver.QueryRecord(compact_focal, options);
+}
+
 /// Full bitwise equality of two KsprResults: every region field (doubles
 /// compared exactly, including order) and every KsprStats counter. Used by
 /// the parallel-traversal and dynamic-update suites, whose contracts are

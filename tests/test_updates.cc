@@ -24,38 +24,14 @@
 namespace kspr {
 namespace {
 
+using test::Compact;
 using test::ExpectBitwiseEqual;
+using test::FromScratch;
 using test::OracleOptions;
 using test::SyntheticInstance;
 
 // ---------------------------------------------------------------------------
 // Helpers.
-
-// Compacts the live records of `data` into a fresh Dataset (the
-// "from-scratch build on the mutated dataset" of the acceptance
-// criterion). Maps `focal` to its compact id when non-null.
-Dataset Compact(const Dataset& data, RecordId focal = kInvalidRecord,
-                RecordId* compact_focal = nullptr) {
-  Dataset out(data.dim());
-  for (RecordId i = 0; i < data.size(); ++i) {
-    if (!data.IsLive(i)) continue;
-    const RecordId nid = out.Add(data.Get(i));
-    if (compact_focal != nullptr && i == focal) *compact_focal = nid;
-  }
-  return out;
-}
-
-// From-scratch reference: compact dataset, fresh STR bulk load, one query.
-KsprResult FromScratch(const Dataset& data, RecordId focal,
-                       const KsprOptions& options, int leaf_capacity = 16,
-                       int fanout = 16) {
-  RecordId compact_focal = kInvalidRecord;
-  Dataset fresh = Compact(data, focal, &compact_focal);
-  RTree tree = RTree::BulkLoad(fresh, leaf_capacity, fanout);
-  KsprSolver solver(&fresh, &tree);
-  EXPECT_NE(compact_focal, kInvalidRecord) << "focal was deleted";
-  return solver.QueryRecord(compact_focal, options);
-}
 
 // Brute-force skyline over the live records only.
 std::vector<RecordId> BruteSkylineLive(const Dataset& data) {
@@ -311,6 +287,38 @@ TEST(ResultCacheVersion, OnDatasetUpdateRestampsSurvivors) {
   EXPECT_NE(cache.Get(a_new), nullptr) << "survivor not restamped";
   EXPECT_EQ(cache.Get(b_new), nullptr);
   EXPECT_EQ(cache.Get(a), nullptr) << "survivor still under old version";
+}
+
+TEST(ResultCacheVersion, RestampCollisionDropsStaleDuplicate) {
+  // Two entries for the same logical query under different dataset
+  // versions (possible through the public API: Put back a result computed
+  // against an older version after a sweep). A sweep restamping both onto
+  // the same new version must not double-count them as retained — the
+  // index can point at only one list node; the older duplicate would be
+  // orphaned (unreachable via Get, still occupying capacity).
+  ResultCache cache(8);
+  KsprOptions options;
+  const Vec focal{0.9, 0.9};
+  const CacheKey v1 = CacheKey::Make(focal, 1, options, /*version=*/7);
+  const CacheKey v2 = CacheKey::Make(focal, 1, options, /*version=*/8);
+  cache.Put(v2, DummyResult());
+  cache.Put(v1, DummyResult());
+  ASSERT_EQ(cache.size(), 2u);
+
+  const auto [dropped, retained] =
+      cache.OnDatasetUpdate(9, [](const CacheKey&) { return false; });
+  EXPECT_EQ(dropped, 1u) << "stale duplicate silently orphaned";
+  EXPECT_EQ(retained, 1u) << "cache_retained double-counted";
+  EXPECT_EQ(cache.size(), 1u);
+
+  const CacheKey v3 = CacheKey::Make(focal, 1, options, /*version=*/9);
+  EXPECT_NE(cache.Get(v3), nullptr);
+
+  // A second sweep sees a clean map: one entry, retained once.
+  const auto [dropped2, retained2] =
+      cache.OnDatasetUpdate(10, [](const CacheKey&) { return false; });
+  EXPECT_EQ(dropped2, 0u);
+  EXPECT_EQ(retained2, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -685,6 +693,121 @@ TEST(Amortized, RootDeadBuildSkipsPrefixOnAdvance) {
   // the from-scratch run now returns an empty result with ZERO stats).
   data.Insert(Vec{0.7, 0.7});
   EXPECT_FALSE(ctx.Advance());
+}
+
+TEST(Amortized, DeletedFocalEvictsSlotAndQueryReportsNotLive) {
+  // The amortized slots key on a version-zeroed CacheKey, so without
+  // explicit eviction a slot outlives its focal record: a later amortized
+  // query for the dead focal would rebuild a context from the tombstoned
+  // row values and cache a "current" result for a record that no longer
+  // exists.
+  SyntheticInstance inst(Distribution::kIndependent, 200, 3, 109);
+  QueryEngine engine(
+      &inst.mutable_data(), &inst.mutable_tree(),
+      SerialEngine(IndexUpdatePolicy::kIncremental, /*amortized=*/4));
+  const RecordId focal = inst.sky(0);
+  KsprOptions options = OracleOptions(Algorithm::kCta, 4);
+
+  QueryRequest request;
+  request.focal_id = focal;
+  request.options = options;
+  request.amortized = true;
+  EXPECT_TRUE(engine.Submit(request).get().amortized);
+  EXPECT_EQ(engine.stats().amortized_builds, 1);
+
+  UpdateBatch batch;
+  batch.deletes.push_back(focal);
+  ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+
+  // Back-to-back batches: the second one must not resurrect anything.
+  UpdateBatch more;
+  more.inserts.push_back(Vec{0.4, 0.4, 0.4});
+  ASSERT_TRUE(engine.ApplyUpdates(more).applied);
+
+  QueryResponse dead = engine.Submit(request).get();
+  EXPECT_FALSE(dead.focal_live);
+  EXPECT_FALSE(dead.amortized);
+  ASSERT_NE(dead.result, nullptr);
+  EXPECT_TRUE(dead.result->regions.empty());
+  EXPECT_EQ(engine.stats().amortized_builds, 1)
+      << "dead focal rebuilt an amortized context";
+  EXPECT_EQ(engine.cache_size(), 0u)
+      << "dead-focal result cached under the current version";
+}
+
+TEST(Amortized, DominatedDeleteRetainsContext) {
+  // Deleting a record the preprocessing skips (dominated by the focal) is
+  // provably invisible to the skeleton: the context must be retained — and
+  // its next harvest still bitwise-equal to a from-scratch run over the
+  // mutated dataset.
+  Dataset data(2);
+  const RecordId focal = data.Add(Vec{0.9, 0.9});
+  data.Add(Vec{0.85, 0.2});
+  data.Add(Vec{0.3, 0.8});
+  const RecordId dominated = data.Add(Vec{0.5, 0.5});
+  data.Add(Vec{0.2, 0.3});
+  data.Add(Vec{0.7, 0.6});
+  RTree tree = RTree::BulkLoad(data, 4, 4);
+  QueryEngine engine(
+      &data, &tree,
+      SerialEngine(IndexUpdatePolicy::kIncremental, /*amortized=*/4));
+  KsprOptions options = OracleOptions(Algorithm::kCta, 3);
+
+  QueryRequest request;
+  request.focal_id = focal;
+  request.options = options;
+  request.amortized = true;
+  engine.Submit(request).get();
+  EXPECT_EQ(engine.stats().amortized_builds, 1);
+
+  UpdateBatch batch;
+  batch.deletes.push_back(dominated);
+  UpdateResult ur = engine.ApplyUpdates(batch);
+  ASSERT_TRUE(ur.applied);
+  EXPECT_EQ(ur.cache_retained, 1u);  // the focal dominates the victim
+
+  // Drop the (correctly retained) cache entry so the re-query actually
+  // reaches the amortized context instead of the cache.
+  engine.ClearCache();
+  QueryResponse response = engine.Submit(request).get();
+  EXPECT_TRUE(response.amortized);
+  EXPECT_FALSE(response.cache_hit);
+  ExpectBitwiseEqual(*response.result,
+                     FromScratch(data, focal, options, 4, 4),
+                     "retained context after dominated delete");
+  EXPECT_EQ(engine.stats().amortized_builds, 1)
+      << "provably invisible delete rebuilt the context";
+  EXPECT_EQ(engine.stats().amortized_reuses, 1);
+}
+
+TEST(EngineUpdates, NoOpBatchDoesNotInflateCacheRetained) {
+  // A batch with no effective mutation (deletes of already-dead ids) must
+  // not run the retention sweep: back-to-back no-op batches would restamp
+  // every entry onto its own version and count the whole cache as
+  // retained again each time.
+  SyntheticInstance inst(Distribution::kIndependent, 200, 3, 113);
+  QueryEngine engine(&inst.mutable_data(), &inst.mutable_tree(),
+                     SerialEngine(IndexUpdatePolicy::kIncremental));
+  KsprOptions options = OracleOptions(Algorithm::kLpCta, 4);
+  engine.SubmitRecord(inst.sky(0), options).get();
+  engine.SubmitRecord(inst.sky(1), options).get();
+  ASSERT_EQ(engine.cache_size(), 2u);
+
+  const uint64_t version = engine.dataset_version();
+  UpdateBatch dead_delete;
+  dead_delete.deletes.push_back(inst.data().size() + 5);  // unknown id
+
+  for (int i = 0; i < 3; ++i) {
+    UpdateResult ur = engine.ApplyUpdates(i == 0 ? UpdateBatch{} : dead_delete);
+    ASSERT_TRUE(ur.applied);
+    EXPECT_EQ(ur.version, version) << "no-op batch bumped the version";
+    EXPECT_EQ(ur.cache_dropped, 0u);
+    EXPECT_EQ(ur.cache_retained, 0u) << "no-op batch counted retention";
+  }
+  EXPECT_EQ(engine.stats().cache_retained, 0);
+
+  // Entries still hit under the unchanged version.
+  EXPECT_TRUE(engine.SubmitRecord(inst.sky(0), options).get().cache_hit);
 }
 
 // ---------------------------------------------------------------------------
