@@ -1,0 +1,74 @@
+# smoke_cli_snapshot: end-to-end persistence through the CLI.
+#
+# 1. A generate run saves a snapshot (--save) and prints its regions.
+# 2. A --load run serves the same query from the snapshot through the
+#    storage buffer pool; stdout must be byte-identical.
+# 3. Garbage and missing snapshot files must be rejected with a clear
+#    error, not a crash.
+#
+# Driven as `cmake -DCLI=<kspr_cli> -DWORK_DIR=<dir> -P <this file>`.
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DCLI=<kspr_cli binary> -DWORK_DIR=<scratch dir>")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(snap "${WORK_DIR}/roundtrip.snap")
+set(args --n 400 --d 3 --seed 7 --k 8 --algo lpcta)
+
+execute_process(
+  COMMAND "${CLI}" ${args} --save "${snap}"
+  OUTPUT_FILE "${WORK_DIR}/save_run.txt"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "save run failed (rc=${rc})")
+endif()
+if(NOT EXISTS "${snap}")
+  message(FATAL_ERROR "--save did not create ${snap}")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" ${args} --load "${snap}" --buffer-pages 8
+  OUTPUT_FILE "${WORK_DIR}/load_run.txt"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "load run failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/save_run.txt" "${WORK_DIR}/load_run.txt"
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+    "saved-run and loaded-run outputs differ: the snapshot round trip is "
+    "not bitwise-faithful (${WORK_DIR}/save_run.txt vs load_run.txt)")
+endif()
+
+# Rejection paths: exit 1 + "cannot load snapshot" on stderr.
+file(WRITE "${WORK_DIR}/garbage.snap" "not a snapshot")
+execute_process(
+  COMMAND "${CLI}" --load "${WORK_DIR}/garbage.snap"
+  ERROR_VARIABLE err
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "garbage snapshot was accepted")
+endif()
+if(NOT err MATCHES "cannot load snapshot")
+  message(FATAL_ERROR "garbage snapshot rejected without a clear error: ${err}")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" --load "${WORK_DIR}/does_not_exist.snap"
+  ERROR_VARIABLE err
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "missing snapshot was accepted")
+endif()
+if(NOT err MATCHES "cannot load snapshot")
+  message(FATAL_ERROR "missing snapshot rejected without a clear error: ${err}")
+endif()
+
+message(STATUS "snapshot round trip OK: identical output, rejects verified")

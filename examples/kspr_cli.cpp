@@ -6,7 +6,8 @@
 //            [--focal ID] [--seed S] [--volume] [--csv FILE]
 //            [--threads N] [--batch Q] [--intra-threads T]
 //            [--updates U] [--update-size M] [--amortized]
-//            [--subscribe S]
+//            [--subscribe S] [--save FILE] [--load FILE]
+//            [--buffer-pages P]
 //
 // With --csv the dataset is read from a headerless CSV of d numeric
 // columns (larger = better) instead of being generated. With --batch Q
@@ -31,6 +32,15 @@
 // through the engine's amortized CellTree contexts: after each batch only
 // the delta hyperplanes are inserted.
 //
+// --save FILE persists the dataset + R-tree as a paged snapshot after the
+// build (or, combined with --load, re-saves the loaded state). --load FILE
+// serves everything from a saved snapshot instead of generating: the
+// dataset is restored eagerly, R-tree node pages are faulted on demand
+// through the storage buffer pool (--buffer-pages P frames, default 128),
+// and query output is bitwise-identical to the run that saved the file.
+// A missing, truncated or corrupted snapshot is rejected with a clear
+// error.
+//
 // --subscribe S (CTA only) registers S standing subscriptions over
 // skyline records starting at the focal and prints their diff streams:
 // one "# sub" line per event (initial / delta / rebuild / focal-gone)
@@ -47,12 +57,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/rng.h"
 #include "core/solver.h"
 #include "datagen/synthetic.h"
 #include "engine/query_engine.h"
 #include "index/bbs.h"
 #include "index/rtree.h"
+#include "storage/storage_engine.h"
 
 using namespace kspr;
 
@@ -104,6 +117,9 @@ int main(int argc, char** argv) {
   bool amortized = false;
   int subscribe = 0;     // --subscribe: standing subscriptions to register
   bool focal_set = false;
+  std::string save_path;   // --save: write a snapshot here
+  std::string load_path;   // --load: serve from this snapshot
+  int buffer_pages = 128;  // --buffer-pages: pool frames for --load
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -136,6 +152,12 @@ int main(int argc, char** argv) {
       volume = true;
     } else if (!std::strcmp(argv[i], "--csv")) {
       csv = next("--csv");
+    } else if (!std::strcmp(argv[i], "--save")) {
+      save_path = next("--save");
+    } else if (!std::strcmp(argv[i], "--load")) {
+      load_path = next("--load");
+    } else if (!std::strcmp(argv[i], "--buffer-pages")) {
+      buffer_pages = std::atoi(next("--buffer-pages"));
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next("--threads"));
     } else if (!std::strcmp(argv[i], "--intra-threads")) {
@@ -224,10 +246,65 @@ int main(int argc, char** argv) {
                  "are maintained through amortized CTA contexts)\n");
     return 1;
   }
+  constexpr int kMaxBufferPages = 1 << 20;
+  if (buffer_pages < 1 || buffer_pages > kMaxBufferPages) {
+    std::fprintf(stderr, "--buffer-pages %d out of range [1, %d]\n",
+                 buffer_pages, kMaxBufferPages);
+    return 1;
+  }
+  if (!load_path.empty() && !csv.empty()) {
+    std::fprintf(stderr, "--load and --csv are mutually exclusive\n");
+    return 1;
+  }
 
-  Dataset data =
-      csv.empty() ? GenerateSynthetic(dist, n, d, seed) : LoadCsv(csv, d);
-  RTree tree = RTree::BulkLoad(data);
+  // --load serves from the snapshot through the storage engine's buffer
+  // pool; otherwise generate (or read the CSV) and bulk-load as before.
+  // Either way `data`/`tree` below refer to the serving pair.
+  std::unique_ptr<StorageEngine> storage;
+  Dataset built_data;
+  RTree built_tree;
+  if (!load_path.empty()) {
+    try {
+      StorageOptions storage_options;
+      storage_options.buffer_pages = buffer_pages;
+      storage = StorageEngine::Open(load_path, storage_options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot load snapshot: %s\n", e.what());
+      return 1;
+    }
+    n = storage->dataset()->size();
+    d = storage->dataset()->dim();
+    if (k > storage->dataset()->num_live()) {
+      std::fprintf(stderr, "--k %d exceeds the snapshot's %d live records\n",
+                   k, storage->dataset()->num_live());
+      return 1;
+    }
+    if (!save_path.empty()) {
+      try {
+        storage->Resave(save_path);  // materialises, then writes
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cannot save snapshot: %s\n", e.what());
+        return 1;
+      }
+      std::fprintf(stderr, "re-saved snapshot to %s\n", save_path.c_str());
+    }
+  } else {
+    built_data =
+        csv.empty() ? GenerateSynthetic(dist, n, d, seed) : LoadCsv(csv, d);
+    built_tree = RTree::BulkLoad(built_data);
+    if (!save_path.empty()) {
+      try {
+        StorageEngine::Save(save_path, built_data, built_tree);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cannot save snapshot: %s\n", e.what());
+        return 1;
+      }
+      // stderr so saved-vs-loaded stdout stays byte-comparable.
+      std::fprintf(stderr, "saved snapshot to %s\n", save_path.c_str());
+    }
+  }
+  Dataset& data = storage != nullptr ? *storage->dataset() : built_data;
+  RTree& tree = storage != nullptr ? *storage->tree() : built_tree;
   // Updates, amortized contexts and subscriptions route through the
   // engine, so they imply batch mode.
   const bool batch_mode =
@@ -299,7 +376,11 @@ int main(int argc, char** argv) {
     engine_options.workers = threads;
     engine_options.intra_threads = intra_threads;
     engine_options.amortized_contexts = amortized ? 16 : 0;
-    QueryEngine engine(&data, &tree, engine_options);
+    std::unique_ptr<QueryEngine> engine_owner =
+        storage != nullptr
+            ? std::make_unique<QueryEngine>(storage.get(), engine_options)
+            : std::make_unique<QueryEngine>(&data, &tree, engine_options);
+    QueryEngine& engine = *engine_owner;
 
     // Standing subscriptions: register S skyline focals (starting at the
     // requested focal) and print every diff event as it is pushed.

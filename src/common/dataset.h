@@ -40,6 +40,15 @@ class Dataset {
   RecordId size() const { return static_cast<RecordId>(values_.size() / dim_); }
   bool empty() const { return values_.empty(); }
 
+  /// Pre-allocates storage for `n` records total. Purely an allocation
+  /// hint (snapshot restore replays thousands of Adds); no observable
+  /// state changes.
+  void Reserve(RecordId n) {
+    if (n <= 0) return;
+    values_.reserve(static_cast<size_t>(n) * static_cast<size_t>(dim_));
+    live_.reserve(static_cast<size_t>(n));
+  }
+
   /// Appends a record; returns its id.
   RecordId Add(const Vec& r) {
     assert(r.dim == dim_);
@@ -53,6 +62,39 @@ class Dataset {
   /// Dynamic insert: identical to Add (the alias exists so update-path
   /// call sites read as what they are).
   RecordId Insert(const Vec& r) { return Add(r); }
+
+  /// Bulk-appends `n` records stored row-major at `rows` (n * dim()
+  /// doubles), all live. Equivalent to n Adds — version() advances by n —
+  /// but one insert instead of n*d push_backs; snapshot restore is the
+  /// intended caller. Returns the id of the first appended record.
+  RecordId AppendRows(const double* rows, RecordId n) {
+    assert(n >= 0);
+    const RecordId first = size();
+    values_.insert(values_.end(), rows,
+                   rows + static_cast<size_t>(n) * static_cast<size_t>(dim_));
+    live_.insert(live_.end(), static_cast<size_t>(n), 1);
+    num_live_ += n;
+    version_ += static_cast<uint64_t>(n);
+    return first;
+  }
+
+  /// Adopts pre-decoded storage wholesale: `rows` holds n*dim row-major
+  /// doubles, `live` the parallel 0/1 flags, and `version` the mutation
+  /// stamp the dataset had when it was serialised. Both vectors are moved
+  /// in — snapshot restore is the intended caller, where copying through
+  /// per-record Adds would triple the cold-start cost.
+  static Dataset FromRows(int dim, std::vector<double> rows,
+                          std::vector<uint8_t> live, uint64_t version) {
+    assert(dim >= 1 && dim <= kMaxDim);
+    assert(rows.size() == live.size() * static_cast<size_t>(dim));
+    Dataset data(dim);
+    data.values_ = std::move(rows);
+    data.live_ = std::move(live);
+    data.num_live_ = 0;
+    for (uint8_t l : data.live_) data.num_live_ += (l != 0) ? 1 : 0;
+    data.version_ = version;
+    return data;
+  }
 
   /// Tombstones record `id`. Returns false when `id` is out of range or
   /// already deleted; on success bumps the version. The row's values stay

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "storage/storage_engine.h"
 
 namespace kspr {
 
@@ -60,6 +61,11 @@ QueryEngine::QueryEngine(Dataset* data, RTree* index, EngineOptions options)
                   static_cast<const RTree*>(index), options) {
   mutable_data_ = data;
   mutable_index_ = index;
+}
+
+QueryEngine::QueryEngine(StorageEngine* storage, EngineOptions options)
+    : QueryEngine(storage->dataset(), storage->tree(), options) {
+  storage_ = storage;
 }
 
 void QueryEngine::Canonicalize(QueryRequest* request) const {
@@ -210,6 +216,12 @@ UpdateResult QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
   // Writer side of the quiesce: waits for all in-flight queries, blocks
   // new ones until the batch (and the cache sweep) is done.
   std::unique_lock<std::shared_mutex> lock(update_mu_);
+
+  // A disk-backed tree cannot be mutated page-by-page: pull every node
+  // into memory first (and mark the snapshot stale). The quiesce makes
+  // this the one safe point; no-op after the first batch.
+  if (storage_ != nullptr) storage_->PrepareForUpdates();
+
   Dataset& data = *mutable_data_;
   RTree& index = *mutable_index_;
   const bool incremental =

@@ -54,6 +54,8 @@
 
 namespace kspr {
 
+class StorageEngine;  // storage/storage_engine.h
+
 /// How ApplyUpdates maintains the R-tree.
 enum class IndexUpdatePolicy {
   /// Dynamic insert/delete on the existing tree (Guttman maintenance).
@@ -165,6 +167,15 @@ class QueryEngine {
   /// while the engine exists.
   QueryEngine(Dataset* data, RTree* index, EngineOptions options = {});
 
+  /// Disk-backed serving over an opened snapshot (storage/StorageEngine):
+  /// queries fault R-tree node pages through the storage buffer pool and
+  /// return results bitwise-identical to an in-memory engine over the
+  /// same data. ApplyUpdates works — the engine materialises the tree
+  /// through StorageEngine::PrepareForUpdates under its writer lock
+  /// first, which marks the snapshot stale (StorageEngine::Resave
+  /// persists the new state). `storage` must outlive the engine.
+  explicit QueryEngine(StorageEngine* storage, EngineOptions options = {});
+
   /// Drains queued work (every submitted future is fulfilled) and joins
   /// the workers.
   ~QueryEngine() = default;
@@ -261,6 +272,7 @@ class QueryEngine {
   const Dataset* data_;
   Dataset* mutable_data_ = nullptr;  // non-null for the dynamic ctor
   RTree* mutable_index_ = nullptr;
+  StorageEngine* storage_ = nullptr;  // non-null for the disk-backed ctor
   KsprSolver solver_;
   ResultCache cache_;
   EngineStats stats_;

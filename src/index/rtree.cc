@@ -168,11 +168,13 @@ RTree::RTree(RTree&& o) noexcept
       live_nodes_(o.live_nodes_),
       leaf_capacity_(o.leaf_capacity_),
       fanout_(o.fanout_),
-      tracker_(o.tracker_.load(std::memory_order_relaxed)) {
+      tracker_(o.tracker_.load(std::memory_order_relaxed)),
+      source_(o.source_.load(std::memory_order_relaxed)) {
   o.root_ = -1;
   o.height_ = 0;
   o.live_nodes_ = 0;
   o.tracker_.store(nullptr, std::memory_order_relaxed);
+  o.source_.store(nullptr, std::memory_order_relaxed);
 }
 
 RTree& RTree::operator=(RTree&& o) noexcept {
@@ -186,12 +188,39 @@ RTree& RTree::operator=(RTree&& o) noexcept {
     fanout_ = o.fanout_;
     tracker_.store(o.tracker_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+    source_.store(o.source_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
     o.root_ = -1;
     o.height_ = 0;
     o.live_nodes_ = 0;
     o.tracker_.store(nullptr, std::memory_order_relaxed);
+    o.source_.store(nullptr, std::memory_order_relaxed);
   }
   return *this;
+}
+
+RTree RTree::FromStorage(int num_slots, std::vector<int32_t> free_list,
+                         int root, int height, int live_nodes,
+                         int leaf_capacity, int fanout, NodeSource* source) {
+  RTree t;
+  t.nodes_.resize(static_cast<size_t>(num_slots));
+  t.free_ = std::move(free_list);
+  for (int32_t id : t.free_) t.nodes_[id].retired = true;
+  t.root_ = root;
+  t.height_ = height;
+  t.live_nodes_ = live_nodes;
+  t.leaf_capacity_ = leaf_capacity;
+  t.fanout_ = fanout;
+  t.source_.store(source, std::memory_order_release);
+  return t;
+}
+
+void RTree::Materialize(const std::function<void(int, Node*)>& load) {
+  if (source_.load(std::memory_order_acquire) == nullptr) return;
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    load(static_cast<int>(id), &nodes_[id]);
+  }
+  source_.store(nullptr, std::memory_order_release);
 }
 
 RTree RTree::BulkLoad(const Dataset& data, int leaf_capacity, int fanout) {
@@ -415,10 +444,12 @@ void RTree::InsertImpl(const Dataset& data, RecordId id) {
 
 void RTree::Insert(const Dataset& data, RecordId id) {
   assert(data.IsLive(id));
+  assert(!disk_backed() && "Materialize before mutating a hollow tree");
   InsertImpl(data, id);
 }
 
 bool RTree::Delete(const Dataset& data, RecordId id) {
+  assert(!disk_backed() && "Materialize before mutating a hollow tree");
   if (root_ < 0) return false;
   const Vec p = data.Get(id);
 
@@ -502,6 +533,9 @@ bool RTree::CheckInvariants(const Dataset& data, std::string* error) const {
     return false;
   };
 
+  if (disk_backed()) {
+    return fail("disk-backed tree: Materialize before CheckInvariants");
+  }
   if (root_ < 0) {
     if (data.num_live() != 0) return fail("empty tree but live records");
     if (live_nodes_ != 0) return fail("empty tree but live_nodes != 0");

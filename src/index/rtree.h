@@ -12,15 +12,25 @@
 // the tracker's buffer (see page_tracker.h) and their ids are recycled by
 // later inserts.
 //
-// Thread safety: Fetch is safe from many concurrent readers. Insert and
-// Delete are NOT — callers (the QueryEngine's update path) must quiesce
-// all readers first.
+// Disk-backed mode: a tree opened from a snapshot (storage/StorageEngine)
+// starts HOLLOW — only root/height/capacities are known, nodes_ is empty,
+// and every Fetch is served by the attached NodeSource (the storage
+// BufferPool, which pages nodes in from the file on demand and does its
+// own access accounting). A hollow tree answers every read-path call that
+// goes through Fetch; Insert/Delete/CheckInvariants/NodeAt need the whole
+// structure and require Materialize first (the engine's update path does
+// this automatically before mutating).
+//
+// Thread safety: Fetch is safe from many concurrent readers. Insert,
+// Delete and Materialize are NOT — callers (the QueryEngine's update
+// path) must quiesce all readers first.
 
 #ifndef KSPR_INDEX_RTREE_H_
 #define KSPR_INDEX_RTREE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,12 +55,35 @@ class RTree {
     std::vector<int32_t> items;
   };
 
+  /// Backing store for node pages in disk-backed mode. Implemented by
+  /// storage/BufferPool: FetchNode pages the node in (charging its own
+  /// PageTracker accounting), caches the decoded frame, and returns a
+  /// reference that stays valid until the pool's next quiesce-point
+  /// reclaim — evicted frames are parked, not destroyed, so references
+  /// held across further fetches (parent node while visiting children)
+  /// never dangle. Must be safe to call from many threads.
+  class NodeSource {
+   public:
+    virtual ~NodeSource() = default;
+    virtual const Node& FetchNode(int id) = 0;
+  };
+
   /// Bulk-loads the tree over the LIVE records of `data`.
   /// `leaf_capacity`/`fanout` default to values giving ~4KB pages for
   /// d <= 8 (as in the paper's page-sized nodes) and are retained for the
   /// dynamic Insert/Delete path.
   static RTree BulkLoad(const Dataset& data, int leaf_capacity = 64,
                         int fanout = 64);
+
+  /// Reconstructs a tree from snapshot metadata WITHOUT loading any node:
+  /// `num_slots` node slots (live and retired, ids preserved) all start
+  /// non-resident and every Fetch is served through `source`. The free
+  /// list restores retired-slot reuse order so post-materialize dynamic
+  /// inserts allocate the same ids a never-saved tree would.
+  static RTree FromStorage(int num_slots, std::vector<int32_t> free_list,
+                           int root, int height, int live_nodes,
+                           int leaf_capacity, int fanout,
+                           NodeSource* source);
 
   RTree() = default;
   // The atomic tracker slot suppresses the implicit move operations;
@@ -76,15 +109,36 @@ class RTree {
            !nodes_[id].retired;
   }
 
-  /// Fetches a node, charging a (simulated) page access when a tracker is
-  /// attached. Safe to call from many threads concurrently: the tracker
-  /// slot is atomic and PageTracker serialises internally.
+  /// Fetches a node. Disk-backed trees serve the fetch through the
+  /// attached NodeSource (which pages the node in and does its own access
+  /// accounting); in-memory trees serve from nodes_, charging a
+  /// (simulated) page access when a tracker is attached. Safe to call
+  /// from many threads concurrently: both slots are atomic, and
+  /// PageTracker / the pool serialise internally.
   const Node& Fetch(int id) const {
+    if (NodeSource* s = source_.load(std::memory_order_acquire)) {
+      return s->FetchNode(id);
+    }
     if (PageTracker* t = tracker_.load(std::memory_order_acquire)) {
       t->Access(id);
     }
     return nodes_[id];
   }
+
+  /// True while Fetch is served by a NodeSource (hollow tree).
+  bool disk_backed() const {
+    return source_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Loads every node slot into memory through `load` (storage decodes
+  /// the page into the passed Node, retired slots included) and detaches
+  /// the NodeSource: the tree becomes a plain in-memory tree, ready for
+  /// Insert/Delete/NodeAt/CheckInvariants. `load` bypasses access
+  /// accounting — materialisation is a bulk scan, not query traffic. The
+  /// attached tracker, if any, keeps serving Fetch accounting afterwards.
+  /// No-op on a tree that is not disk-backed. Callers must have quiesced
+  /// all readers.
+  void Materialize(const std::function<void(int, Node*)>& load);
 
   /// Dynamic insert of dataset record `id` (Guttman: least-enlargement
   /// descent, quadratic split on overflow, aggregate counts and MBRs
@@ -108,6 +162,19 @@ class RTree {
   PageTracker* tracker() const {
     return tracker_.load(std::memory_order_acquire);
   }
+
+  /// Total node slots ever allocated (live + retired). Slot ids are the
+  /// page ids of the snapshot format.
+  int num_slots() const { return static_cast<int>(nodes_.size()); }
+
+  /// Direct untracked slot access for the snapshot writer and structural
+  /// tests: no page accounting, no source indirection. Requires a
+  /// materialized (non-disk-backed) tree.
+  const Node& NodeAt(int id) const { return nodes_[id]; }
+
+  /// Retired slots pending reuse, in LIFO order (the snapshot preserves
+  /// it so reopened trees recycle ids identically).
+  const std::vector<int32_t>& free_list() const { return free_; }
 
   /// Approximate size of the structure in bytes (live nodes only).
   int64_t SizeBytes() const;
@@ -143,6 +210,9 @@ class RTree {
   int leaf_capacity_ = 64;
   int fanout_ = 64;
   mutable std::atomic<PageTracker*> tracker_{nullptr};
+  /// Non-null while disk-backed (hollow): Fetch delegates here. Cleared
+  /// by Materialize. Not owned.
+  mutable std::atomic<NodeSource*> source_{nullptr};
 };
 
 }  // namespace kspr

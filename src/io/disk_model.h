@@ -1,0 +1,28 @@
+// The disk cost model shared by the simulated and the real I/O tiers.
+//
+// The paper's Appendix A charges a flat 0.2 ms per random page read on the
+// SSD testbed. That constant used to be repeated at every PageTracker call
+// site, which let the simulator and any future real pool drift apart;
+// everything that converts page reads into simulated I/O time now reads it
+// from here, so fig19's simulated and buffer-pool numbers stay comparable
+// by construction.
+
+#ifndef KSPR_IO_DISK_MODEL_H_
+#define KSPR_IO_DISK_MODEL_H_
+
+namespace kspr {
+
+struct DiskModel {
+  /// Simulated cost of one random page read (paper Appendix A: SSD,
+  /// 0.2 ms). Used by PageTracker::io_millis and BufferPool's model-time
+  /// stats; the pool additionally measures real pread latency separately.
+  static constexpr double kReadLatencyMs = 0.2;
+
+  /// Page size of the snapshot format and of the simulated device. R-tree
+  /// nodes are sized to fit one page (the paper's page-sized nodes).
+  static constexpr int kPageSize = 4096;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_IO_DISK_MODEL_H_

@@ -1,56 +1,110 @@
 #include "io/page_tracker.h"
 
+#include <algorithm>
+
 namespace kspr {
 
 PageTracker::PageTracker(int buffer_pages, double read_latency_ms)
-    : capacity_(buffer_pages), latency_ms_(read_latency_ms) {}
+    : latency_ms_(read_latency_ms), parts_(1) {
+  parts_[0].capacity = buffer_pages;
+}
+
+void PageTracker::ConfigureLevels(std::vector<uint8_t> level_of_page,
+                                  std::vector<int> level_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  parts_.clear();
+  parts_.resize(std::max<size_t>(1, level_capacity.size()));
+  for (size_t l = 0; l < level_capacity.size(); ++l) {
+    parts_[l].capacity = level_capacity[l];
+  }
+  level_of_page_ = std::move(level_of_page);
+}
+
+PageTracker::Partition& PageTracker::PartitionOf(int page_id) {
+  if (level_of_page_.empty()) return parts_[0];
+  // Pages past the directory (nodes allocated by post-snapshot inserts)
+  // land in the last partition — the leaf level, where the tree churns.
+  const size_t last = parts_.size() - 1;
+  if (page_id < 0 ||
+      static_cast<size_t>(page_id) >= level_of_page_.size()) {
+    return parts_[last];
+  }
+  return parts_[std::min<size_t>(level_of_page_[page_id], last)];
+}
+
+void PageTracker::DropLocked(
+    Partition& part,
+    std::unordered_map<int, std::list<int>::iterator>::iterator it) {
+  const int page_id = it->first;
+  part.lru.erase(it->second);
+  part.resident.erase(it);
+  if (listener_ != nullptr) listener_->OnPageDropped(page_id);
+}
 
 void PageTracker::Access(int page_id) {
   accesses_.fetch_add(1, std::memory_order_relaxed);
-  if (capacity_ <= 0) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Partition& part = PartitionOf(page_id);
+  if (part.capacity <= 0) {
     reads_.fetch_add(1, std::memory_order_relaxed);
+    if (listener_ != nullptr) listener_->OnPageRead(page_id);
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = resident_.find(page_id);
-  if (it != resident_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  auto it = part.resident.find(page_id);
+  if (it != part.resident.end()) {
+    part.lru.splice(part.lru.begin(), part.lru, it->second);  // to front
     return;
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
-  lru_.push_front(page_id);
-  resident_[page_id] = lru_.begin();
-  if (static_cast<int>(lru_.size()) > capacity_) {
-    resident_.erase(lru_.back());
-    lru_.pop_back();
+  if (listener_ != nullptr) listener_->OnPageRead(page_id);
+  part.lru.push_front(page_id);
+  part.resident[page_id] = part.lru.begin();
+  if (static_cast<int>(part.lru.size()) > part.capacity) {
+    const int victim = part.lru.back();
+    part.resident.erase(victim);
+    part.lru.pop_back();
+    if (listener_ != nullptr) listener_->OnPageDropped(victim);
   }
 }
 
 void PageTracker::Retire(int page_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = resident_.find(page_id);
-  if (it == resident_.end()) return;
-  lru_.erase(it->second);
-  resident_.erase(it);
+  Partition& part = PartitionOf(page_id);
+  auto it = part.resident.find(page_id);
+  if (it == part.resident.end()) return;
+  DropLocked(part, it);
   retired_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PageTracker::RetireAll() {
   std::lock_guard<std::mutex> lock(mu_);
-  retired_.fetch_add(static_cast<int64_t>(lru_.size()),
-                     std::memory_order_relaxed);
-  lru_.clear();
-  resident_.clear();
+  for (Partition& part : parts_) {
+    retired_.fetch_add(static_cast<int64_t>(part.lru.size()),
+                       std::memory_order_relaxed);
+    if (listener_ != nullptr) {
+      for (int page_id : part.lru) listener_->OnPageDropped(page_id);
+    }
+    part.lru.clear();
+    part.resident.clear();
+  }
 }
 
 int64_t PageTracker::resident_pages() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(lru_.size());
+  int64_t total = 0;
+  for (const Partition& part : parts_) {
+    total += static_cast<int64_t>(part.lru.size());
+  }
+  return total;
 }
 
 std::vector<int> PageTracker::ResidentPages() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return std::vector<int>(lru_.begin(), lru_.end());
+  std::vector<int> out;
+  for (const Partition& part : parts_) {
+    out.insert(out.end(), part.lru.begin(), part.lru.end());
+  }
+  return out;
 }
 
 void PageTracker::Reset() {
@@ -58,8 +112,13 @@ void PageTracker::Reset() {
   reads_.store(0, std::memory_order_relaxed);
   accesses_.store(0, std::memory_order_relaxed);
   retired_.store(0, std::memory_order_relaxed);
-  lru_.clear();
-  resident_.clear();
+  for (Partition& part : parts_) {
+    if (listener_ != nullptr) {
+      for (int page_id : part.lru) listener_->OnPageDropped(page_id);
+    }
+    part.lru.clear();
+    part.resident.clear();
+  }
 }
 
 }  // namespace kspr

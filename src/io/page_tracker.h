@@ -1,9 +1,25 @@
-// Simulated buffer pool for the disk-based scenario (paper Appendix A).
+// Buffer-management core for the disk-based scenario (paper Appendix A).
 //
 // The paper stores data and R-tree on an SSD where a random page read costs
-// 0.2 ms. We treat every R-tree node as one page, run accesses through a
-// small LRU buffer, and charge the configured latency per miss. CPU time is
-// measured for real; I/O time is derived as misses * latency.
+// DiskModel::kReadLatencyMs. We treat every R-tree node as one page and run
+// accesses through an LRU buffer; a miss counts one read. CPU time is
+// measured for real; simulated I/O time is derived as misses * latency.
+//
+// PageTracker is BOTH the standalone simulator (as before) and the policy
+// core of the real disk tier: storage/BufferPool wraps a PageTracker and
+// registers a Listener whose OnPageRead hook performs the actual pread +
+// decode on every miss and whose OnPageDropped hook releases the cached
+// frame on every eviction/retire. Because the simulator and the pool share
+// this one LRU implementation, their read counts on the same access
+// sequence match exactly — the property bench_fig19 gates in CI.
+//
+// Per-level partitions: a paged R-tree is hottest near the root (every
+// descent touches the shallow levels), so a real pool sizes caches per
+// level — the HaliteClustering stCountingTree idiom of one store per tree
+// level with bigger caches for the hotter shallow levels. ConfigureLevels
+// splits the buffer into one LRU partition per level; pages map to
+// partitions through the snapshot's level directory. Unconfigured trackers
+// keep the single flat LRU (the historical simulator behaviour).
 //
 // Dynamic datasets: when the index frees a node (leaf underflow, root
 // collapse), the owning page ceases to exist and MUST be dropped from the
@@ -17,7 +33,9 @@
 // Thread safety: a PageTracker may be shared by concurrent readers (the
 // query engine runs many queries against one index). Access/Retire/Reset
 // serialise on an internal mutex; the counters are atomics so reads()/
-// accesses() never block the hot path.
+// accesses() never block the hot path. Listener hooks run under that
+// mutex. ConfigureLevels/SetListener are setup-time calls: they must not
+// race Access.
 
 #ifndef KSPR_IO_PAGE_TRACKER_H_
 #define KSPR_IO_PAGE_TRACKER_H_
@@ -29,12 +47,44 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/disk_model.h"
+
 namespace kspr {
 
 class PageTracker {
  public:
+  /// Hooks a real storage tier installs on the policy core. Both run under
+  /// the tracker's mutex, so implementations must not call back into the
+  /// tracker.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+
+    /// A read was counted for `page_id` (buffer miss, or every access when
+    /// the owning partition has no capacity): fetch the page for real.
+    virtual void OnPageRead(int page_id) = 0;
+
+    /// `page_id` left the buffer (LRU eviction, Retire, RetireAll or
+    /// Reset): release whatever the read materialised.
+    virtual void OnPageDropped(int page_id) = 0;
+  };
+
   /// `buffer_pages` = 0 disables caching (every access is a read).
-  explicit PageTracker(int buffer_pages = 0, double read_latency_ms = 0.2);
+  explicit PageTracker(int buffer_pages = 0,
+                       double read_latency_ms = DiskModel::kReadLatencyMs);
+
+  /// Splits the buffer into one LRU partition per tree level.
+  /// `level_of_page[id]` gives the partition of page `id` (clamped to the
+  /// partition count); pages beyond the directory — node ids allocated by
+  /// dynamic inserts after the snapshot was taken — fall into the LAST
+  /// partition, the leaf level, which is where the R-tree allocates churn.
+  /// `level_capacity[l]` <= 0 makes every access at that level a read.
+  /// Replaces the flat single-partition setup; resets residency.
+  void ConfigureLevels(std::vector<uint8_t> level_of_page,
+                       std::vector<int> level_capacity);
+
+  /// Installs (or clears, with nullptr) the real-I/O hooks.
+  void SetListener(Listener* listener) { listener_ = listener; }
 
   /// Records an access to `page_id`; counts a read on buffer miss.
   void Access(int page_id);
@@ -63,24 +113,40 @@ class PageTracker {
     return static_cast<double>(reads()) * latency_ms_;
   }
 
-  /// Current buffer occupancy.
+  double read_latency_ms() const { return latency_ms_; }
+
+  /// Current buffer occupancy (summed over partitions).
   int64_t resident_pages() const;
 
-  /// Snapshot of the resident page ids (unordered).
+  /// Snapshot of the resident page ids (unordered, all partitions).
   std::vector<int> ResidentPages() const;
+
+  /// Configured LRU partitions (1 until ConfigureLevels is called).
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
 
   void Reset();
 
  private:
-  int capacity_;
+  /// One LRU partition: list front = most recent, map indexes the list.
+  struct Partition {
+    int capacity = 0;
+    std::list<int> lru;
+    std::unordered_map<int, std::list<int>::iterator> resident;
+  };
+
+  Partition& PartitionOf(int page_id);
+  void DropLocked(Partition& part,
+                  std::unordered_map<int, std::list<int>::iterator>::iterator
+                      it);
+
   double latency_ms_;
+  Listener* listener_ = nullptr;
   std::atomic<int64_t> reads_{0};
   std::atomic<int64_t> accesses_{0};
   std::atomic<int64_t> retired_{0};
-  // LRU list of resident pages (front = most recent) + index into it.
   mutable std::mutex mu_;
-  std::list<int> lru_;
-  std::unordered_map<int, std::list<int>::iterator> resident_;
+  std::vector<Partition> parts_;        // >= 1
+  std::vector<uint8_t> level_of_page_;  // empty: everything in parts_[0]
 };
 
 }  // namespace kspr

@@ -1,0 +1,94 @@
+#include "storage/buffer_pool.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace kspr {
+
+BufferPool::BufferPool(SnapshotReader* reader, int buffer_pages)
+    : reader_(reader), tracker_(buffer_pages) {
+  tracker_.SetListener(this);
+}
+
+BufferPool::~BufferPool() { tracker_.SetListener(nullptr); }
+
+void BufferPool::ConfigureLevels(std::vector<uint8_t> level_of_slot,
+                                 std::vector<int> level_capacity) {
+  tracker_.ConfigureLevels(std::move(level_of_slot),
+                           std::move(level_capacity));
+  // ConfigureLevels resets tracker residency without eviction callbacks;
+  // drop our frames to match (setup time: no reference is live).
+  std::lock_guard<std::mutex> lock(frames_mu_);
+  frames_.clear();
+  graveyard_.clear();
+}
+
+const RTree::Node& BufferPool::FetchNode(int id) {
+  if (!io_enabled_.load(std::memory_order_acquire)) {
+    throw std::logic_error("BufferPool: FetchNode after DetachIo");
+  }
+  for (;;) {
+    // A miss triggers OnPageRead under the tracker mutex, which installs
+    // the frame before Access returns.
+    tracker_.Access(id);
+    std::lock_guard<std::mutex> lock(frames_mu_);
+    auto it = frames_.find(id);
+    if (it != frames_.end()) return *it->second;
+    // Raced: a concurrent miss evicted this page between our Access and
+    // the lookup. Re-access (now a miss) and re-read.
+  }
+}
+
+void BufferPool::OnPageRead(int page_id) {
+  if (!io_enabled_.load(std::memory_order_acquire)) return;
+  const auto start = std::chrono::steady_clock::now();
+  auto frame = std::make_unique<RTree::Node>();
+  reader_->ReadNode(page_id, frame.get());
+  read_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count(),
+                     std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(frames_mu_);
+  auto& slot = frames_[page_id];
+  if (slot != nullptr) {
+    // Zero-capacity partitions re-read on every access without an
+    // eviction callback: park the superseded frame, a reader may still
+    // hold it.
+    graveyard_.push_back(std::move(slot));
+  }
+  slot = std::move(frame);
+}
+
+void BufferPool::OnPageDropped(int page_id) {
+  std::lock_guard<std::mutex> lock(frames_mu_);
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) return;
+  graveyard_.push_back(std::move(it->second));
+  frames_.erase(it);
+}
+
+void BufferPool::DetachIo() {
+  tracker_.SetListener(nullptr);
+  io_enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(frames_mu_);
+  frames_.clear();
+  graveyard_.clear();
+}
+
+void BufferPool::ReclaimGraveyard() {
+  std::lock_guard<std::mutex> lock(frames_mu_);
+  graveyard_.clear();
+}
+
+size_t BufferPool::frames_resident() const {
+  std::lock_guard<std::mutex> lock(frames_mu_);
+  return frames_.size();
+}
+
+size_t BufferPool::graveyard_size() const {
+  std::lock_guard<std::mutex> lock(frames_mu_);
+  return graveyard_.size();
+}
+
+}  // namespace kspr

@@ -1,0 +1,111 @@
+// Real buffer pool behind a disk-backed R-tree.
+//
+// BufferPool composes the PageTracker LRU policy core with actual I/O: it
+// registers itself as the tracker's Listener, so every miss the tracker
+// counts triggers one real pread + decode (OnPageRead) and every eviction
+// or retire releases the decoded frame (OnPageDropped). Because policy
+// decisions are made by the SAME code the standalone simulator runs, a
+// pool and a plain PageTracker given identical configuration and access
+// sequence produce identical read counts — the exact-match property
+// bench_fig19 gates in CI.
+//
+// Frame lifetime: FetchNode returns `const Node&`. Query traversals hold
+// such references across further fetches (a parent node while its
+// children are visited), so an evicted frame cannot be destroyed
+// immediately — a racing fetch may have evicted a page another thread is
+// still reading. Dropped frames are therefore parked on a graveyard and
+// destroyed only by ReclaimGraveyard(), which callers run at quiesce
+// points (no reader in flight): the engine's update path does it
+// automatically, long read-only runs should call it between batches.
+//
+// Lock order: tracker mutex -> frames mutex (the listener hooks run under
+// the tracker's mutex and take the frames mutex; FetchNode takes the
+// frames mutex only after Access returns).
+
+#ifndef KSPR_STORAGE_BUFFER_POOL_H_
+#define KSPR_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "index/rtree.h"
+#include "io/page_tracker.h"
+#include "storage/snapshot_reader.h"
+
+namespace kspr {
+
+class BufferPool : public RTree::NodeSource, private PageTracker::Listener {
+ public:
+  /// One flat LRU of `buffer_pages` frames over `reader`'s node pages.
+  /// The reader must outlive the pool.
+  BufferPool(SnapshotReader* reader, int buffer_pages);
+  ~BufferPool() override;
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Switches to per-level LRU partitions (PageTracker::ConfigureLevels):
+  /// slot -> level from the snapshot directory, `level_capacity[l]` frames
+  /// for level l. Setup-time only — must not race FetchNode.
+  void ConfigureLevels(std::vector<uint8_t> level_of_slot,
+                       std::vector<int> level_capacity);
+
+  /// Pages node `id` in (buffer hit: no I/O; miss: pread + checksum +
+  /// decode) and returns the cached frame. Safe from many threads. Throws
+  /// SnapshotError if the node page is corrupt. The reference stays valid
+  /// until the next ReclaimGraveyard/DetachIo.
+  const RTree::Node& FetchNode(int id) override;
+
+  /// The policy core. Exposed so the owning engine can attach it to the
+  /// R-tree (SetTracker) for continued accounting + Retire after
+  /// materialisation, and so tests/benches can read hit/miss counters —
+  /// reads() are REAL preads here, not simulation.
+  PageTracker* tracker() { return &tracker_; }
+  const PageTracker* tracker() const { return &tracker_; }
+
+  /// Stops serving I/O: clears the listener hookup and destroys all
+  /// frames (resident and graveyard). The tracker keeps its residency
+  /// state and counters and keeps simulating. Called by the engine after
+  /// Materialize, under quiesce — no FetchNode may be in flight and no
+  /// frame reference may be held across this call.
+  void DetachIo();
+
+  /// Destroys parked (evicted) frames. Quiesce points only: no frame
+  /// reference may be held across this call.
+  void ReclaimGraveyard();
+
+  /// Wall time spent inside pread + decode, and bytes fetched. The
+  /// simulated-model counterpart is tracker()->io_millis().
+  double real_read_ms() const {
+    return static_cast<double>(
+               read_ns_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  int64_t bytes_read() const {
+    return reader_ == nullptr ? 0 : reader_->node_bytes_read();
+  }
+
+  size_t frames_resident() const;
+  size_t graveyard_size() const;
+
+ private:
+  void OnPageRead(int page_id) override;
+  void OnPageDropped(int page_id) override;
+
+  SnapshotReader* reader_;
+  PageTracker tracker_;
+  std::atomic<bool> io_enabled_{true};
+  std::atomic<int64_t> read_ns_{0};
+
+  mutable std::mutex frames_mu_;
+  std::unordered_map<int, std::unique_ptr<RTree::Node>> frames_;
+  std::vector<std::unique_ptr<RTree::Node>> graveyard_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_STORAGE_BUFFER_POOL_H_

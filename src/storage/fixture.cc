@@ -1,0 +1,54 @@
+#include "storage/fixture.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "datagen/synthetic.h"
+#include "index/rtree.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+#include "storage/storage_engine.h"
+
+namespace kspr {
+
+Dataset MakeFixtureDataset(const FixtureParams& params) {
+  return GenerateIndependent(params.n, params.d, params.seed);
+}
+
+std::string StorageFixturePath(const FixtureParams& params) {
+  namespace fs = std::filesystem;
+  fs::path dir;
+  if (const char* env = std::getenv("KSPR_FIXTURE_DIR");
+      env != nullptr && env[0] != '\0') {
+    dir = env;
+    fs::create_directories(dir);
+  } else {
+    dir = fs::temp_directory_path();
+  }
+  const std::string name =
+      "kspr_fixture_v" + std::to_string(snapshot::kFormatVersion) + "_ind_n" +
+      std::to_string(params.n) + "_d" + std::to_string(params.d) + "_s" +
+      std::to_string(params.seed) + ".snap";
+  const fs::path path = dir / name;
+
+  if (fs::exists(path)) {
+    try {
+      SnapshotReader probe(path.string());
+      const auto& h = probe.header();
+      if (h.num_records == params.n &&
+          h.dim == static_cast<uint32_t>(params.d)) {
+        return path.string();
+      }
+    } catch (const std::exception&) {
+      // Fall through and regenerate.
+    }
+  }
+
+  const Dataset data = MakeFixtureDataset(params);
+  const RTree tree = RTree::BulkLoad(data);
+  // Write is staged + renamed, so concurrent regenerators race benignly.
+  StorageEngine::Save(path.string(), data, tree);
+  return path.string();
+}
+
+}  // namespace kspr

@@ -1,0 +1,37 @@
+// Shared snapshot fixture for tests and benchmarks.
+//
+// Several consumers (tests/test_storage, bench_fig19_disk, CI smoke runs)
+// need the same saved snapshot: IND n=2000 d=4 seed=42, default tree
+// capacities. Generating + bulk-loading it takes long enough to be worth
+// doing once: the fixture lives under $KSPR_FIXTURE_DIR (or the system
+// temp directory), its filename encodes the format version and the
+// parameters, and a cached file is validated by opening it before reuse —
+// a stale or corrupt cache is silently regenerated. CI caches the
+// directory between jobs.
+
+#ifndef KSPR_STORAGE_FIXTURE_H_
+#define KSPR_STORAGE_FIXTURE_H_
+
+#include <string>
+
+#include "common/dataset.h"
+
+namespace kspr {
+
+struct FixtureParams {
+  int n = 2000;
+  int d = 4;
+  uint64_t seed = 42;
+};
+
+/// The dataset the fixture snapshot serialises (deterministic).
+Dataset MakeFixtureDataset(const FixtureParams& params = {});
+
+/// Returns the path of a valid fixture snapshot, creating (or recreating)
+/// it if the cached copy is missing or fails to open. Honors
+/// $KSPR_FIXTURE_DIR; falls back to the system temp directory.
+std::string StorageFixturePath(const FixtureParams& params = {});
+
+}  // namespace kspr
+
+#endif  // KSPR_STORAGE_FIXTURE_H_

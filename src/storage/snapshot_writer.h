@@ -1,0 +1,29 @@
+// Serialises a (Dataset, RTree) pair into the paged snapshot format.
+//
+// The tree must be materialised (not disk-backed) — the writer walks every
+// node slot through NodeAt. Writing is atomic at the filesystem level: the
+// snapshot is staged to `path + ".tmp"` and renamed over `path`, so a
+// crash mid-save never leaves a half-written file under the real name.
+
+#ifndef KSPR_STORAGE_SNAPSHOT_WRITER_H_
+#define KSPR_STORAGE_SNAPSHOT_WRITER_H_
+
+#include <string>
+
+#include "common/dataset.h"
+#include "index/rtree.h"
+
+namespace kspr {
+
+class SnapshotWriter {
+ public:
+  /// Writes the snapshot, replacing any existing file at `path`. The tree
+  /// must have been built over exactly `data`. Throws SnapshotError on a
+  /// node that does not fit a page and std::runtime_error on I/O failure.
+  static void Write(const std::string& path, const Dataset& data,
+                    const RTree& tree);
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_STORAGE_SNAPSHOT_WRITER_H_
