@@ -1,0 +1,193 @@
+// Sharded serving: bitwise-identity gate + scatter-gather scaling.
+//
+//   bench_sharding [--queries N] [--full] [--json out.json]
+//
+// Two sections:
+//
+//   identity — for every shard count in {1,2,4,8} and every algorithm
+//     (CTA, P-CTA, LP-CTA), runs the same skyline focal queries through a
+//     ShardRouter and compares each answer bitwise (regions AND stats)
+//     against the single-shard reference; repeats after an update batch
+//     (near-top inserts + skyband deletes). `identical` is 1 iff every
+//     query matched; `stale_regions` counts mismatching queries. Both are
+//     gated exactly in bench/baseline.json — sharding must never change
+//     an answer, only where it is computed.
+//
+//   scaling — wall-clock per shard count (LP-CTA, cold router cache):
+//     avg query latency, qps, and the update-batch apply time, plus the
+//     deterministic scatter counters (candidates merged across shards vs
+//     solved after global-skyband reduction). On a single-core runner the
+//     interesting column is the counters: merged grows with shard count
+//     (per-shard k-skybands overlap) while solved is partition-invariant.
+
+#include "bench_common.h"
+
+#include "shard/shard_router.h"
+
+using namespace kspr;
+using namespace kspr::bench;
+
+namespace {
+
+const char* AlgoName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kCta:
+      return "cta";
+    case Algorithm::kPcta:
+      return "pcta";
+    case Algorithm::kLpCta:
+      return "lpcta";
+    default:
+      return "?";
+  }
+}
+
+// Distinct, evenly spread skyline focals (PickFocals samples with
+// replacement; duplicates would just re-test the same comparison).
+std::vector<RecordId> DistinctFocals(const Dataset& data, const RTree& tree,
+                                     int count) {
+  std::vector<RecordId> sky = Skyline(data, tree);
+  std::vector<RecordId> focals;
+  const size_t step = std::max<size_t>(1, sky.size() / std::max(count, 1));
+  for (size_t i = 0;
+       i < sky.size() && focals.size() < static_cast<size_t>(count);
+       i += step) {
+    focals.push_back(sky[i]);
+  }
+  return focals;
+}
+
+// Update batch that actually perturbs skybands: inserts hugging the top
+// corner plus deletions of current skyband members (skipping the focals,
+// which must stay live for the post-update identity pass).
+RouterUpdateBatch MakeBatch(const Dataset& data, const RTree& tree, int k,
+                            const std::vector<RecordId>& focals) {
+  RouterUpdateBatch batch;
+  Rng rng(97);
+  const int d = data.dim();
+  for (int i = 0; i < 4; ++i) {
+    Vec v(d);
+    for (int j = 0; j < d; ++j) v[j] = 0.9 + 0.1 * rng.Uniform();
+    batch.inserts.push_back(v);
+  }
+  std::vector<RecordId> band = KSkyband(data, tree, k);
+  for (RecordId g : band) {
+    if (batch.deletes.size() >= 4) break;
+    bool is_focal = false;
+    for (RecordId f : focals) is_focal |= (f == g);
+    if (!is_focal) batch.deletes.push_back(g);
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  PrintHeader("Sharding", "Scatter-gather identity + scaling (IND)");
+
+  const int n = cfg.full ? 20000 : 2000;
+  const int d = 3;
+  const int k = cfg.full ? 10 : 5;
+  const std::vector<size_t> shard_counts = {1, 2, 4, 8};
+  const std::vector<Algorithm> algos = {Algorithm::kCta, Algorithm::kPcta,
+                                        Algorithm::kLpCta};
+
+  Dataset data = GenerateIndependent(n, d, 42);
+  RTree tree = RTree::BulkLoad(data);
+  const std::vector<RecordId> focals =
+      DistinctFocals(data, tree, std::max(4, cfg.queries));
+  const RouterUpdateBatch batch = MakeBatch(data, tree, k, focals);
+
+  std::printf("n=%d d=%d k=%d focals=%zu batch=+%zu/-%zu\n\n", n, d, k,
+              focals.size(), batch.inserts.size(), batch.deletes.size());
+
+  JsonReport report("sharding");
+
+  // One router per shard count, all fed the same update batch between the
+  // two identity phases. Index 0 (one shard) is the reference.
+  std::vector<std::unique_ptr<ShardRouter>> routers;
+  for (size_t shards : shard_counts) {
+    RouterOptions options;
+    options.num_shards = shards;
+    routers.push_back(ShardRouter::CreateLocal(data, options));
+  }
+
+  std::printf("%-8s %-8s %-6s %9s %13s\n", "phase", "algo", "shards",
+              "identical", "stale_regions");
+  for (const char* phase : {"initial", "updated"}) {
+    for (Algorithm algo : algos) {
+      KsprOptions options;
+      options.algorithm = algo;
+      options.k = k;
+      // Reference answers from the single-shard router.
+      std::vector<std::shared_ptr<const KsprResult>> reference;
+      for (RecordId focal : focals) {
+        reference.push_back(routers[0]->Query(focal, options).result);
+      }
+      for (size_t si = 0; si < shard_counts.size(); ++si) {
+        int stale = 0;
+        for (size_t qi = 0; qi < focals.size(); ++qi) {
+          RouterQueryResult got = routers[si]->Query(focals[qi], options);
+          if (!ResultsBitwiseEqual(*reference[qi], *got.result)) ++stale;
+        }
+        const int identical = stale == 0 ? 1 : 0;
+        std::printf("%-8s %-8s %-6zu %9d %13d\n", phase, AlgoName(algo),
+                    shard_counts[si], identical, stale);
+        report.AddRow()
+            .Str("section", "identity")
+            .Str("phase", phase)
+            .Str("algo", AlgoName(algo))
+            .Int("shards", static_cast<int64_t>(shard_counts[si]))
+            .Int("queries", static_cast<int64_t>(focals.size()))
+            .Int("identical", identical)
+            .Int("stale_regions", stale);
+      }
+    }
+    if (std::strcmp(phase, "initial") == 0) {
+      for (auto& router : routers) router->ApplyUpdates(batch);
+    }
+  }
+
+  // Scaling: cold routers so every query pays the full scatter-gather
+  // path (no result-cache hits), LP-CTA only.
+  std::printf("\n%-6s %9s %9s %10s %8s %8s\n", "shards", "avg_ms", "qps",
+              "update_ms", "merged", "solved");
+  for (size_t shards : shard_counts) {
+    RouterOptions options;
+    options.num_shards = shards;
+    auto router = ShardRouter::CreateLocal(data, options);
+    KsprOptions query;
+    query.algorithm = Algorithm::kLpCta;
+    query.k = k;
+    int64_t merged = 0;
+    int64_t solved = 0;
+    Timer timer;
+    for (RecordId focal : focals) {
+      RouterQueryResult got = router->Query(focal, query);
+      merged += static_cast<int64_t>(got.scatter.candidates_merged);
+      solved += static_cast<int64_t>(got.scatter.candidates_solved);
+    }
+    const double total = timer.Seconds();
+    const double avg_ms = total * 1000.0 / static_cast<double>(focals.size());
+    const double qps = static_cast<double>(focals.size()) / total;
+    Timer update_timer;
+    router->ApplyUpdates(batch);
+    const double update_ms = update_timer.Seconds() * 1000.0;
+    std::printf("%-6zu %9.3f %9.1f %10.3f %8lld %8lld\n", shards, avg_ms,
+                qps, update_ms, static_cast<long long>(merged),
+                static_cast<long long>(solved));
+    report.AddRow()
+        .Str("section", "scaling")
+        .Int("shards", static_cast<int64_t>(shards))
+        .Int("queries", static_cast<int64_t>(focals.size()))
+        .Num("avg_ms", avg_ms)
+        .Num("qps", qps)
+        .Num("update_ms", update_ms)
+        .Int("candidates_merged", merged)
+        .Int("candidates_solved", solved);
+  }
+
+  report.WriteTo(cfg.json_path);
+  return 0;
+}

@@ -7,7 +7,7 @@
 //            [--threads N] [--batch Q] [--intra-threads T]
 //            [--updates U] [--update-size M] [--amortized]
 //            [--subscribe S] [--save FILE] [--load FILE]
-//            [--buffer-pages P]
+//            [--buffer-pages P] [--shards N]
 //
 // With --csv the dataset is read from a headerless CSV of d numeric
 // columns (larger = better) instead of being generated. With --batch Q
@@ -41,6 +41,18 @@
 // A missing, truncated or corrupted snapshot is rejected with a clear
 // error.
 //
+// --shards N (N >= 2) serves through the sharded scatter-gather tier
+// instead of a single solver: the dataset is partitioned across N
+// in-process shard workers and the query runs through a ShardRouter
+// (src/shard/). Regions and stats are bitwise-identical to the --shards 1
+// run by construction (the distributed k-skyband reduction of
+// core/candidates.h); the extra "# shards" line reports the scatter
+// (candidates merged vs solved, per-shard skyband cache hits). Combines
+// with --updates and --subscribe — batches route as per-shard deltas and
+// subscribers classify against the merged skyband symmetric difference —
+// but not with the engine-pool flags (--batch/--threads/--intra-threads/
+// --amortized) or the snapshot flags (--save/--load).
+//
 // --subscribe S (CTA only) registers S standing subscriptions over
 // skyline records starting at the focal and prints their diff streams:
 // one "# sub" line per event (initial / delta / rebuild / focal-gone)
@@ -65,6 +77,7 @@
 #include "engine/query_engine.h"
 #include "index/bbs.h"
 #include "index/rtree.h"
+#include "shard/shard_router.h"
 #include "storage/storage_engine.h"
 
 using namespace kspr;
@@ -120,6 +133,7 @@ int main(int argc, char** argv) {
   std::string save_path;   // --save: write a snapshot here
   std::string load_path;   // --load: serve from this snapshot
   int buffer_pages = 128;  // --buffer-pages: pool frames for --load
+  int shards = 1;          // --shards: scatter-gather tier when >= 2
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -158,6 +172,8 @@ int main(int argc, char** argv) {
       load_path = next("--load");
     } else if (!std::strcmp(argv[i], "--buffer-pages")) {
       buffer_pages = std::atoi(next("--buffer-pages"));
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      shards = std::atoi(next("--shards"));
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next("--threads"));
     } else if (!std::strcmp(argv[i], "--intra-threads")) {
@@ -256,6 +272,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--load and --csv are mutually exclusive\n");
     return 1;
   }
+  constexpr int kMaxShards = 64;
+  if (shards < 1 || shards > kMaxShards) {
+    std::fprintf(stderr, "--shards %d out of range [1, %d]\n", shards,
+                 kMaxShards);
+    return 1;
+  }
+  if (shards > 1 &&
+      (batch_set || threads > 1 || intra_threads > 1 || amortized ||
+       !load_path.empty() || !save_path.empty())) {
+    std::fprintf(stderr,
+                 "--shards combines with --updates/--subscribe only (the "
+                 "router schedules its own per-shard engines; snapshots use "
+                 "per-shard files)\n");
+    return 1;
+  }
 
   // --load serves from the snapshot through the storage engine's buffer
   // pool; otherwise generate (or read the CSV) and bulk-load as before.
@@ -342,6 +373,128 @@ int main(int argc, char** argv) {
   options.algorithm = algo;
   options.compute_volume = volume;
   options.parallel.num_threads = intra_threads;
+
+  if (shards > 1) {
+    // Sharded serving: partition across N in-process shard workers and
+    // answer by scatter-gather. Regions and stats are bitwise-identical
+    // to the unsharded run of the same candidate pipeline; the scatter
+    // line reports what sharding actually did.
+    RouterOptions router_options;
+    router_options.num_shards = static_cast<size_t>(shards);
+    auto router = ShardRouter::CreateLocal(data, router_options);
+
+    if (subscribe > 0) {
+      size_t start = 0;
+      for (size_t s = 0; s < skyline.size(); ++s) {
+        if (skyline[s] == focal) start = s;
+      }
+      auto print_event = [](const SubscriptionEvent& e) {
+        std::printf("# sub %lld focal=%d %s v=%llu +%zu -%zu regions=%zu\n",
+                    static_cast<long long>(e.subscription), e.focal_id,
+                    ToString(e.kind),
+                    static_cast<unsigned long long>(e.version),
+                    e.diff.regions_added.size(), e.diff.regions_removed,
+                    e.num_regions);
+      };
+      const int want =
+          std::min<int>(subscribe, static_cast<int>(skyline.size()));
+      for (int s = 0; s < want; ++s) {
+        const RecordId id = skyline[(start + s) % skyline.size()];
+        if (router->Subscribe(id, options, print_event) ==
+            kInvalidSubscription) {
+          std::fprintf(stderr, "subscribe failed for record %d\n", id);
+          return 1;
+        }
+      }
+      std::printf("# subscriptions registered: %zu\n",
+                  router->num_subscriptions());
+    }
+
+    auto run_query = [&]() {
+      RouterQueryResult r = router->Query(focal, options);
+      if (!r.focal_live) {
+        std::fprintf(stderr, "focal %d is not live on any shard\n", focal);
+        return false;
+      }
+      std::printf("# %s focal=%d k=%d algo=%d regions=%zu processed=%lld "
+                  "nodes=%lld\n",
+                  data.Summary().c_str(), focal, k, static_cast<int>(algo),
+                  r.result->regions.size(),
+                  static_cast<long long>(r.result->stats.processed_records),
+                  static_cast<long long>(r.result->stats.cell_tree_nodes));
+      std::printf("# shards=%d merged=%zu solved=%zu skyband_cached=%zu%s\n",
+                  shards, r.scatter.candidates_merged,
+                  r.scatter.candidates_solved, r.scatter.shard_cache_hits,
+                  r.cache_hit ? " (cache hit)" : "");
+      return true;
+    };
+    if (!run_query()) return 1;
+
+    // Update rounds mirror the engine path: half inserts, half random
+    // live deletes. `data` (the router copied its slices out of it) is
+    // kept as a liveness mirror for victim selection and re-validation.
+    Rng urng(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (int u = 1; u <= updates; ++u) {
+      RouterUpdateBatch rb;
+      const int num_inserts = (update_size + 1) / 2;
+      const int num_deletes = update_size / 2;
+      for (int j = 0; j < num_inserts; ++j) {
+        Vec r(d);
+        for (int x = 0; x < d; ++x) r.v[x] = urng.Uniform();
+        rb.inserts.push_back(r);
+      }
+      int attempts = 0;
+      while (static_cast<int>(rb.deletes.size()) < num_deletes &&
+             attempts++ < 20 * num_deletes) {
+        const RecordId cand =
+            static_cast<RecordId>(urng.UniformInt(data.size()));
+        if (!data.IsLive(cand)) continue;
+        if (cand == focal) continue;
+        if (std::find(rb.deletes.begin(), rb.deletes.end(), cand) !=
+            rb.deletes.end()) {
+          continue;
+        }
+        rb.deletes.push_back(cand);
+      }
+
+      RouterUpdateResult ur = router->ApplyUpdates(rb);
+      for (const Vec& r : rb.inserts) data.Insert(r);
+      for (RecordId id : rb.deletes) data.Delete(id);
+      std::printf("# update %d: +%zu -%zu version=%llu shards_touched=%zu "
+                  "cache dropped=%zu retained=%zu\n",
+                  u, ur.inserted_global_ids.size(), ur.deletes_applied,
+                  static_cast<unsigned long long>(ur.version),
+                  ur.shards_touched, ur.cache_dropped, ur.cache_retained);
+      if (ur.subscribers_examined > 0) {
+        std::printf("# update %d subs: examined=%zu irrelevant=%zu "
+                    "notified=%zu terminated=%zu\n",
+                    u, ur.subscribers_examined, ur.subscribers_irrelevant,
+                    ur.subscribers_notified, ur.subscribers_terminated);
+      }
+      if (!data.IsLive(focal)) {
+        if (focal_set) {
+          if (!check_focal(focal, "after update batch")) return 1;
+        }
+        focal = kInvalidRecord;
+        for (RecordId g = 0; g < data.size(); ++g) {
+          if (!data.IsLive(g)) continue;
+          if (focal == kInvalidRecord ||
+              data.Get(g).Sum() > data.Get(focal).Sum()) {
+            focal = g;
+          }
+        }
+        if (focal == kInvalidRecord) {
+          std::fprintf(stderr,
+                       "dataset drained by updates: no records left\n");
+          return 1;
+        }
+        std::printf("# focal deleted by updates; continuing with %d\n",
+                    focal);
+      }
+      if (!run_query()) return 1;
+    }
+    return 0;
+  }
 
   if (batch_mode) {
     // Batch mode: route through the concurrent QueryEngine. The workload

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker for the CI 'docs' job.
+
+Scans the repo's markdown files (top-level *.md plus docs/) and fails when
+
+  * a relative link points at a file or directory that does not exist, or
+  * an anchor (same-file `#heading` or cross-file `FILE.md#heading`) does
+    not match any heading in the target file, using GitHub's slug rules
+    (lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+    numbered -1, -2, ...).
+
+External links (http/https/mailto) are deliberately NOT fetched: network
+checks are flaky in CI and the gate must be deterministic. Links inside
+fenced code blocks and inline code spans are ignored.
+
+Usage:  check_markdown_links.py [FILE.md ...]    # default: repo-wide scan
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — target captured up to the first unescaped ')'. Images
+# (![alt](...)) match too via the optional leading '!'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def default_files():
+    files = sorted(REPO_ROOT.glob("*.md"))
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor slug for a heading, disambiguated against `seen`."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[!\"#$%&'()*+,./:;<=>?@\[\\\]^{|}~]", "", text.lower())
+    slug = text.strip().replace(" ", "-")
+    if slug in seen:
+        n = 1
+        while f"{slug}-{n}" in seen:
+            n += 1
+        slug = f"{slug}-{n}"
+    seen.add(slug)
+    return slug
+
+
+def body_lines(path):
+    """Lines outside fenced code blocks, inline code spans blanked."""
+    out = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            out.append((line, True))
+        else:
+            out.append((line, in_fence))
+    return out
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        seen = set()
+        for line, in_code in body_lines(path):
+            if in_code:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                github_slug(m.group(2), seen)
+        cache[path] = seen
+    return cache[path]
+
+
+def check_file(path, anchor_cache):
+    errors = []
+    for lineno, (line, in_code) in enumerate(body_lines(path), start=1):
+        if in_code:
+            continue
+        scannable = CODE_SPAN_RE.sub("", line)
+        for m in LINK_RE.finditer(scannable):
+            target = m.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            rel, _, anchor = target.partition("#")
+            if rel:
+                dest = (path.parent / rel).resolve()
+                if not dest.exists():
+                    errors.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                                  f"broken link target '{target}'")
+                    continue
+            else:
+                dest = path
+            if anchor and dest.suffix == ".md" and dest.is_file():
+                if anchor not in anchors_of(dest, anchor_cache):
+                    errors.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                                  f"no heading for anchor '#{anchor}' in "
+                                  f"{dest.relative_to(REPO_ROOT)}")
+    return errors
+
+
+def main(argv):
+    files = [Path(a).resolve() for a in argv[1:]] or default_files()
+    anchor_cache = {}
+    errors = []
+    for path in files:
+        if not path.is_file():
+            errors.append(f"{path}: not a file")
+            continue
+        errors.extend(check_file(path, anchor_cache))
+    for e in errors:
+        print(f"FAIL  {e}")
+    checked = len(files)
+    print(f"{len(errors)} broken link(s) across {checked} file(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,61 @@
+// Shard-stable global <-> local record id mapping.
+//
+// The sharded serving tier (src/shard/) partitions the live record set
+// across N shard workers. Partitioning is deterministic and CLOSED-FORM:
+// global record id g lives on shard g % N at local id g / N. Because the
+// router assigns global ids monotonically (exactly like Dataset::Insert
+// assigns local ids), every shard receives its residue class in
+// increasing order, so the local id of the next record routed to a shard
+// is always that shard's current dataset size — no mapping table, no
+// per-record state, and the mapping survives any number of inserts and
+// deletes (deletes tombstone; ids are never reused, mirroring Dataset's
+// stable-id contract).
+//
+// The same mapping therefore holds for the INITIAL partition (record i of
+// the seed dataset goes to shard i % N at local id i / N, tombstones
+// included so local ids stay aligned) and for every later insert.
+
+#ifndef KSPR_COMMON_SHARD_MAP_H_
+#define KSPR_COMMON_SHARD_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace kspr {
+
+class ShardMap {
+ public:
+  explicit ShardMap(size_t num_shards) : num_shards_(num_shards) {
+    assert(num_shards >= 1);
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard owning global record id `g`.
+  size_t ShardOf(RecordId g) const {
+    assert(g >= 0);
+    return static_cast<size_t>(g) % num_shards_;
+  }
+
+  /// Local id of global record `g` within its owning shard's Dataset.
+  RecordId LocalOf(RecordId g) const {
+    assert(g >= 0);
+    return static_cast<RecordId>(static_cast<size_t>(g) / num_shards_);
+  }
+
+  /// Inverse: the global id of local record `local` on shard `shard`.
+  RecordId GlobalOf(size_t shard, RecordId local) const {
+    assert(shard < num_shards_ && local >= 0);
+    return static_cast<RecordId>(static_cast<size_t>(local) * num_shards_ +
+                                 shard);
+  }
+
+ private:
+  size_t num_shards_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_COMMON_SHARD_MAP_H_

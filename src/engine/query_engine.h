@@ -21,6 +21,12 @@
 // CellTree skeleton and only inserts the delta hyperplanes — regions and
 // stats stay bitwise-identical to a from-scratch run (core/amortized.h).
 //
+// Scaling beyond one engine: the sharded tier (shard/shard_router.h)
+// runs one QueryEngine per shard worker — ApplyUpdates below IS the
+// per-shard delta path of ShardRouter::ApplyUpdates, so every quiesce,
+// version-stamp and cache-restamp guarantee documented here carries over
+// to the distributed deployment unchanged.
+//
 // Usage:
 //   kspr::QueryEngine engine(&data, &index, {.workers = 4});
 //   std::future<kspr::QueryResponse> f = engine.SubmitRecord(42, options);

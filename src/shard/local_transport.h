@@ -1,0 +1,83 @@
+// In-process ShardTransport: each shard is a thread group behind a local
+// FIFO queue.
+//
+// LocalShardTransport owns N ShardWorkers and N queue threads, one per
+// shard. Every transport call enqueues a closure on the target shard's
+// queue and returns a future; the shard's thread drains its queue in FIFO
+// order, so all operations delivered to one shard are serialised with
+// happens-before between consecutive operations (the update/read
+// consistency the router depends on: a Candidates call enqueued after an
+// ApplyDelta observes the post-delta shard). Different shards run their
+// queues concurrently — a scatter to all shards executes genuinely in
+// parallel.
+//
+// This is the only transport implementation today; the interface it
+// implements (shard_transport.h) is message-shaped so a socket transport
+// can replace it without touching router or worker code.
+
+#ifndef KSPR_SHARD_LOCAL_TRANSPORT_H_
+#define KSPR_SHARD_LOCAL_TRANSPORT_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shard/shard_transport.h"
+#include "shard/shard_worker.h"
+
+namespace kspr {
+
+class LocalShardTransport : public ShardTransport {
+ public:
+  /// Takes ownership of `workers` (one per shard, already loaded) and
+  /// starts one queue thread per shard.
+  explicit LocalShardTransport(
+      std::vector<std::unique_ptr<ShardWorker>> workers);
+
+  /// Drains every queue (all issued futures are fulfilled) and joins the
+  /// shard threads.
+  ~LocalShardTransport() override;
+
+  size_t num_shards() const override { return shards_.size(); }
+
+  std::future<CandidateResponse> Candidates(size_t shard,
+                                            CandidateRequest request) override;
+  std::future<ShardUpdateResponse> ApplyDelta(
+      size_t shard, ShardUpdateRequest request) override;
+  std::future<RecordResponse> GetRecord(size_t shard,
+                                        RecordId global_id) override;
+  std::future<ShardInfo> Info(size_t shard) override;
+  std::future<bool> SaveSnapshot(size_t shard, std::string path) override;
+
+ private:
+  /// One shard's queue + drain thread. The worker is only ever touched
+  /// from `thread`, which is what makes ShardWorker's no-internal-locking
+  /// contract sound.
+  struct Shard {
+    std::unique_ptr<ShardWorker> worker;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  /// Enqueues `fn(worker)` on shard `shard` and returns a future for its
+  /// result.
+  template <typename Fn>
+  auto Enqueue(size_t shard, Fn fn)
+      -> std::future<decltype(fn(std::declval<ShardWorker&>()))>;
+
+  void DrainLoop(Shard* shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_SHARD_LOCAL_TRANSPORT_H_

@@ -1,0 +1,380 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+#include <utility>
+
+#include "shard/local_transport.h"
+#include "storage/shard_paths.h"
+
+namespace kspr {
+
+std::vector<Dataset> ShardRouter::PartitionDataset(const Dataset& data,
+                                                   const ShardMap& map) {
+  std::vector<Dataset> slices;
+  slices.reserve(map.num_shards());
+  for (size_t s = 0; s < map.num_shards(); ++s) {
+    slices.emplace_back(data.dim());
+  }
+  for (size_t s = 0; s < map.num_shards(); ++s) {
+    const RecordId total = data.size();
+    RecordId count = 0;
+    for (RecordId g = static_cast<RecordId>(s); g < total;
+         g += static_cast<RecordId>(map.num_shards())) {
+      ++count;
+    }
+    slices[s].Reserve(count);
+  }
+  for (RecordId g = 0; g < data.size(); ++g) {
+    Dataset& slice = slices[map.ShardOf(g)];
+    const RecordId local = slice.Add(data.Get(g));
+    assert(local == map.LocalOf(g));
+    // Tombstones are preserved so shard-local ids stay aligned with the
+    // closed-form mapping.
+    if (!data.IsLive(g)) slice.Delete(local);
+  }
+  return slices;
+}
+
+std::unique_ptr<ShardRouter> ShardRouter::CreateLocal(const Dataset& data,
+                                                      RouterOptions options) {
+  ShardMap map(options.num_shards);
+  // The transport already runs shards in parallel; per-shard engines
+  // default to a single worker thread unless the caller asked otherwise.
+  if (options.worker.engine.workers <= 0) options.worker.engine.workers = 1;
+  std::vector<Dataset> slices = PartitionDataset(data, map);
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  workers.reserve(slices.size());
+  for (size_t s = 0; s < slices.size(); ++s) {
+    workers.push_back(std::make_unique<ShardWorker>(
+        s, map, std::move(slices[s]), options.worker));
+  }
+  auto transport = std::make_unique<LocalShardTransport>(std::move(workers));
+  return std::make_unique<ShardRouter>(std::move(transport), data.size(),
+                                       std::move(options));
+}
+
+ShardRouter::ShardRouter(std::unique_ptr<ShardTransport> transport,
+                         RecordId next_global_id, RouterOptions options)
+    : map_(options.num_shards),
+      options_(std::move(options)),
+      transport_(std::move(transport)),
+      next_global_(next_global_id),
+      cache_(options_.cache_capacity) {
+  assert(transport_ != nullptr);
+  assert(transport_->num_shards() == map_.num_shards());
+  assert(next_global_ >= 0);
+}
+
+uint64_t ShardRouter::version() const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return router_version_;
+}
+
+RecordId ShardRouter::next_global_id() const {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return next_global_;
+}
+
+size_t ShardRouter::num_subscriptions() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  return subs_.size();
+}
+
+RecordResponse ShardRouter::ResolveRecord(RecordId global_id) {
+  if (global_id < 0 || global_id >= next_global_) return RecordResponse{};
+  return transport_->GetRecord(map_.ShardOf(global_id), global_id).get();
+}
+
+std::shared_ptr<const KsprResult> ShardRouter::ComputeLocked(
+    const Vec& focal, RecordId focal_id, const KsprOptions& options,
+    ShardQueryStats* scatter) {
+  (void)focal_id;  // identity lives in the cache key; the pipeline only
+                   // needs the value (the focal's own record, if any, is
+                   // removed by the focal filter like any covered record)
+
+  // Scatter: every shard extracts its local k-skyband in parallel.
+  std::vector<std::future<CandidateResponse>> futures;
+  futures.reserve(map_.num_shards());
+  for (size_t s = 0; s < map_.num_shards(); ++s) {
+    futures.push_back(transport_->Candidates(s, CandidateRequest{options.k}));
+  }
+
+  // Gather + the canonical pipeline (core/candidates.h) — each step is
+  // load-bearing for shard-count independence.
+  std::vector<Candidate> candidates;
+  for (std::future<CandidateResponse>& f : futures) {
+    CandidateResponse response = f.get();
+    if (scatter != nullptr) {
+      ++scatter->shards_queried;
+      if (response.from_cache) ++scatter->shard_cache_hits;
+    }
+    candidates.insert(candidates.end(), response.candidates.begin(),
+                      response.candidates.end());
+  }
+  if (scatter != nullptr) scatter->candidates_merged = candidates.size();
+
+  ReduceToGlobalSkyband(&candidates, options.k);
+  FilterFocalCovered(&candidates, focal);
+  SortCandidates(&candidates);
+  if (scatter != nullptr) scatter->candidates_solved = candidates.size();
+
+  return std::make_shared<KsprResult>(
+      SolveOnCandidates(candidates, focal, options,
+                        options_.solve_leaf_capacity, options_.solve_fanout));
+}
+
+RouterQueryResult ShardRouter::QueryLocked(const Vec& focal,
+                                           RecordId focal_id,
+                                           const KsprOptions& options) {
+  RouterQueryResult out;
+  const CacheKey key =
+      CacheKey::Make(focal, focal_id, options, router_version_);
+  if (std::shared_ptr<const KsprResult> hit = cache_.Get(key)) {
+    out.result = std::move(hit);
+    out.cache_hit = true;
+    return out;
+  }
+  out.result = ComputeLocked(focal, focal_id, options, &out.scatter);
+  cache_.Put(key, out.result);
+  {
+    // Every k with a live cache entry or subscriber must be in
+    // active_ks_ BEFORE the next update batch runs its sweep; updates
+    // hold the writer lock, so recording here (still under the shared
+    // lock) is early enough.
+    std::lock_guard<std::mutex> lock(ks_mu_);
+    active_ks_.insert(options.k);
+  }
+  return out;
+}
+
+RouterQueryResult ShardRouter::Query(RecordId focal_id,
+                                     const KsprOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  const RecordResponse record = ResolveRecord(focal_id);
+  if (!record.known || !record.live) {
+    RouterQueryResult out;
+    out.result = std::make_shared<KsprResult>();
+    out.focal_live = false;
+    return out;
+  }
+  return QueryLocked(record.value, focal_id, options);
+}
+
+RouterQueryResult ShardRouter::Query(const Vec& focal,
+                                     const KsprOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  return QueryLocked(focal, kInvalidRecord, options);
+}
+
+RouterUpdateResult ShardRouter::ApplyUpdates(const RouterUpdateBatch& batch) {
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  RouterUpdateResult out;
+
+  std::vector<int> ks;
+  {
+    std::lock_guard<std::mutex> ks_lock(ks_mu_);
+    ks.assign(active_ks_.begin(), active_ks_.end());
+  }
+
+  // Route the batch into per-shard deltas; the router assigns global ids
+  // monotonically so ShardMap's closed form stays exact.
+  std::vector<ShardUpdateRequest> requests(map_.num_shards());
+  out.inserted_global_ids.reserve(batch.inserts.size());
+  for (const Vec& v : batch.inserts) {
+    const RecordId g =
+        next_global_ + static_cast<RecordId>(out.inserted_global_ids.size());
+    requests[map_.ShardOf(g)].inserts.push_back({g, v});
+    out.inserted_global_ids.push_back(g);
+  }
+  std::unordered_set<RecordId> delete_set;
+  for (RecordId g : batch.deletes) {
+    if (g < 0 || g >= next_global_) continue;  // never assigned: no-op
+    requests[map_.ShardOf(g)].delete_global_ids.push_back(g);
+    delete_set.insert(g);
+  }
+  next_global_ += static_cast<RecordId>(batch.inserts.size());
+
+  // Scatter deltas to the touched shards only — an untouched shard's
+  // skyband cannot change, so it contributes nothing to the symmetric
+  // difference either.
+  std::vector<std::pair<size_t, std::future<ShardUpdateResponse>>> futures;
+  for (size_t s = 0; s < requests.size(); ++s) {
+    if (requests[s].inserts.empty() && requests[s].delete_global_ids.empty()) {
+      continue;
+    }
+    requests[s].skyband_ks = ks;
+    futures.emplace_back(s,
+                         transport_->ApplyDelta(s, std::move(requests[s])));
+  }
+  out.shards_touched = futures.size();
+
+  size_t effective = 0;
+  std::map<int, std::vector<Candidate>> changed;
+  for (int k : ks) changed[k];  // every tracked k present, even if empty
+  for (auto& [s, future] : futures) {
+    ShardUpdateResponse response = future.get();
+    effective += response.inserts_applied + response.deletes_applied;
+    out.deletes_applied += response.deletes_applied;
+    for (SkybandChange& change : response.skyband_changes) {
+      std::vector<Candidate>& merged = changed[change.k];
+      merged.insert(merged.end(), change.changed.begin(),
+                    change.changed.end());
+    }
+  }
+
+  if (effective == 0) {
+    // Nothing changed anywhere: the version does not move and every
+    // cached result and subscriber stays valid as-is.
+    out.version = router_version_;
+    return out;
+  }
+  ++router_version_;
+  out.version = router_version_;
+
+  // Front-end cache sweep: drop an entry unless its focal weakly
+  // dominates every record that entered or left a k-skyband (then its
+  // candidate set — hence regions AND stats — is provably unchanged, see
+  // core/candidates.h); survivors are restamped to the new version.
+  const auto untouched = [&changed](const Vec& focal, int k) {
+    auto it = changed.find(k);
+    if (it == changed.end()) return false;  // k never tracked: no proof
+    for (const Candidate& c : it->second) {
+      if (!WeaklyDominates(focal, c.value)) return false;
+    }
+    return true;
+  };
+  const auto [dropped, retained] = cache_.OnDatasetUpdate(
+      router_version_, [&](const CacheKey& key) {
+        if (key.focal_id != kInvalidRecord &&
+            delete_set.contains(key.focal_id)) {
+          return true;
+        }
+        return !untouched(key.focal, key.k);
+      });
+  out.cache_dropped = dropped;
+  out.cache_retained = retained;
+
+  // Subscriber sweep: same classification, but touched subscribers are
+  // recomputed through the scatter-gather pipeline and receive a splice
+  // diff only when the result actually changed.
+  std::lock_guard<std::mutex> subs_lock(subs_mu_);
+  for (size_t i = 0; i < subs_.size();) {
+    RouterSubscription& sub = *subs_[i];
+    ++out.subscribers_examined;
+    if (delete_set.contains(sub.focal_id)) {
+      SubscriptionEvent event;
+      event.subscription = sub.id;
+      event.focal_id = sub.focal_id;
+      event.kind = SubscriptionEventKind::kFocalGone;
+      event.version = router_version_;
+      if (sub.callback) sub.callback(event);
+      ++out.subscribers_terminated;
+      subs_.erase(subs_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    if (untouched(sub.focal, sub.options.k)) {
+      ++out.subscribers_irrelevant;
+      ++i;
+      continue;
+    }
+    std::shared_ptr<const KsprResult> result =
+        ComputeLocked(sub.focal, sub.focal_id, sub.options, nullptr);
+    ResultDiff diff = DiffResults(sub.current, *result);
+    if (diff.Empty()) {
+      // The skyband moved but this focal's candidate set did not.
+      ++out.subscribers_irrelevant;
+    } else {
+      SubscriptionEvent event;
+      event.subscription = sub.id;
+      event.focal_id = sub.focal_id;
+      event.kind = SubscriptionEventKind::kRebuild;
+      event.version = router_version_;
+      event.diff = std::move(diff);
+      event.num_regions = result->regions.size();
+      sub.current = *result;
+      if (sub.callback) sub.callback(event);
+      ++out.subscribers_notified;
+    }
+    ++i;
+  }
+  return out;
+}
+
+SubscriptionId ShardRouter::Subscribe(RecordId focal_id,
+                                      const KsprOptions& options,
+                                      SubscriptionCallback callback) {
+  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  if (options.k < 1) return kInvalidSubscription;
+  const RecordResponse record = ResolveRecord(focal_id);
+  if (!record.known || !record.live) return kInvalidSubscription;
+
+  RouterQueryResult initial = QueryLocked(record.value, focal_id, options);
+
+  auto sub = std::make_unique<RouterSubscription>();
+  sub->focal = record.value;
+  sub->focal_id = focal_id;
+  sub->options = options;
+  sub->current = *initial.result;
+  sub->callback = std::move(callback);
+
+  std::lock_guard<std::mutex> subs_lock(subs_mu_);
+  sub->id = next_subscription_++;
+
+  SubscriptionEvent event;
+  event.subscription = sub->id;
+  event.focal_id = focal_id;
+  event.kind = SubscriptionEventKind::kInitial;
+  event.version = router_version_;
+  event.diff = DiffResults(KsprResult{}, sub->current);
+  event.num_regions = sub->current.regions.size();
+  if (sub->callback) sub->callback(event);
+
+  const SubscriptionId id = sub->id;
+  subs_.push_back(std::move(sub));
+  return id;
+}
+
+bool ShardRouter::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (size_t i = 0; i < subs_.size(); ++i) {
+    if (subs_[i]->id == id) {
+      subs_.erase(subs_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ShardInfo> ShardRouter::Info() {
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  std::vector<std::future<ShardInfo>> futures;
+  futures.reserve(map_.num_shards());
+  for (size_t s = 0; s < map_.num_shards(); ++s) {
+    futures.push_back(transport_->Info(s));
+  }
+  std::vector<ShardInfo> infos;
+  infos.reserve(futures.size());
+  for (std::future<ShardInfo>& f : futures) infos.push_back(f.get());
+  return infos;
+}
+
+std::vector<std::string> ShardRouter::SaveSnapshots(
+    const std::string& base_path) {
+  // The shared lock excludes ApplyUpdates, so the N snapshots form one
+  // consistent cut of the global record set.
+  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  std::vector<std::string> paths;
+  std::vector<std::future<bool>> futures;
+  paths.reserve(map_.num_shards());
+  futures.reserve(map_.num_shards());
+  for (size_t s = 0; s < map_.num_shards(); ++s) {
+    paths.push_back(ShardSnapshotPath(base_path, s, map_.num_shards()));
+    futures.push_back(transport_->SaveSnapshot(s, paths.back()));
+  }
+  for (std::future<bool>& f : futures) f.get();
+  return paths;
+}
+
+}  // namespace kspr

@@ -1,0 +1,245 @@
+// Scatter-gather front-end of the sharded serving tier.
+//
+// A ShardRouter partitions the live record set across N shard workers
+// (common/shard_map.h fixes the global<->(shard, local) id mapping in
+// closed form) and serves the same operations a single QueryEngine does —
+// queries, update batches, standing subscriptions — against the union of
+// the shards:
+//
+//  * Query:   scatter CandidateRequest(k) to every shard; each shard
+//    answers its LOCAL k-skyband in parallel (from its per-k cache when
+//    its slice is unchanged). The router merges the per-shard skybands
+//    and runs the canonical candidate pipeline of core/candidates.h —
+//    reduce to the GLOBAL k-skyband, drop focal-covered records, sort by
+//    global id, solve the cell-tree arrangement over the mini dataset.
+//    The distributed-skyband theorem (candidates.h) makes the candidate
+//    set — and therefore the returned regions AND KsprStats — independent
+//    of the shard count: results are bitwise-identical across N = 1, 2,
+//    4, 8, ... (gated by tests/test_sharding.cc and bench_sharding).
+//  * ApplyUpdates: the batch is split into per-shard versioned deltas;
+//    each shard applies its slice through its embedded QueryEngine (the
+//    PR 5 writer-lock quiesce + restamp path) and reports, for every k
+//    the router is serving, the records that entered or left its local
+//    k-skyband. The merged symmetric difference drives the router-level
+//    classification: a cached result or subscriber is provably untouched
+//    iff its focal weakly dominates every changed record at its k —
+//    untouched cache entries are restamped to the new router version
+//    (engine/result_cache.h), untouched subscribers get no event.
+//  * Subscribe: standing queries in the engine/subscription.h event
+//    vocabulary (kInitial/kRebuild/kFocalGone); touched subscribers are
+//    recomputed through the same scatter-gather pipeline and receive a
+//    splice diff (core/region.h DiffResults) only when the result
+//    actually changed. Unlike QueryEngine::Subscribe (which maintains an
+//    amortized CTA context and is therefore kCta-only), the router
+//    recomputes from scratch and supports every algorithm.
+//
+// Shards are reached exclusively through the narrow ShardTransport
+// interface; the in-process LocalShardTransport (per-shard thread + FIFO
+// queue) is the only implementation today and a socket transport is a
+// drop-in.
+//
+// Thread-safety: Query may be called concurrently from any thread.
+// ApplyUpdates/Subscribe/Unsubscribe take the router's writer lock (the
+// same shared_mutex quiesce discipline as QueryEngine). Subscription
+// callbacks run under that writer lock — keep them quick and never call
+// back into the router.
+
+#ifndef KSPR_SHARD_SHARD_ROUTER_H_
+#define KSPR_SHARD_SHARD_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/shard_map.h"
+#include "core/candidates.h"
+#include "core/options.h"
+#include "core/region.h"
+#include "engine/result_cache.h"
+#include "engine/subscription.h"
+#include "shard/shard_transport.h"
+#include "shard/shard_worker.h"
+
+namespace kspr {
+
+struct RouterOptions {
+  size_t num_shards = 1;
+
+  /// Per-shard worker configuration (shard R-tree geometry + embedded
+  /// engine). CreateLocal defaults the engine to one worker thread per
+  /// shard — the transport already runs shards in parallel.
+  ShardWorkerOptions worker;
+
+  /// Front-end result cache entries (0 disables).
+  size_t cache_capacity = 1024;
+
+  /// R-tree geometry of the mini candidate dataset the arrangement runs
+  /// over. Part of the bitwise contract: results are shard-count-
+  /// independent only when these are held constant across deployments.
+  int solve_leaf_capacity = 64;
+  int solve_fanout = 64;
+};
+
+/// N-dependent scatter telemetry for one query. Deliberately SEPARATE
+/// from KsprResult/KsprStats (which stay bitwise-identical across shard
+/// counts): everything here legitimately varies with N.
+struct ShardQueryStats {
+  size_t shards_queried = 0;
+  size_t shard_cache_hits = 0;    // shards that served a cached skyband
+  size_t candidates_merged = 0;   // union of per-shard skybands
+  size_t candidates_solved = 0;   // after global reduce + focal filter
+};
+
+struct RouterQueryResult {
+  /// Immutable, possibly shared with the router cache. The regions and
+  /// stats inside are those of the canonical candidate-pipeline run —
+  /// bitwise-identical for every shard count.
+  std::shared_ptr<const KsprResult> result;
+  bool cache_hit = false;
+  /// False when the requested focal record is unknown or tombstoned;
+  /// `result` is then an empty placeholder.
+  bool focal_live = true;
+  ShardQueryStats scatter;
+};
+
+/// A batch of global mutations: values to insert (the router assigns
+/// global ids) and global record ids to delete.
+struct RouterUpdateBatch {
+  std::vector<Vec> inserts;
+  std::vector<RecordId> deletes;
+};
+
+struct RouterUpdateResult {
+  /// Router version after the batch. A batch with no effective change
+  /// (all deletes already dead, no inserts) does NOT bump the version.
+  uint64_t version = 0;
+  std::vector<RecordId> inserted_global_ids;  // aligned with inserts
+  size_t deletes_applied = 0;
+  size_t shards_touched = 0;
+  size_t cache_dropped = 0;
+  size_t cache_retained = 0;
+  size_t subscribers_examined = 0;
+  size_t subscribers_irrelevant = 0;  // proven untouched, nothing emitted
+  size_t subscribers_notified = 0;    // diff events delivered
+  size_t subscribers_terminated = 0;  // focal deleted by this batch
+};
+
+class ShardRouter {
+ public:
+  /// Builds the in-process deployment: partitions `data` across
+  /// `options.num_shards` workers by ShardMap residue class (tombstones
+  /// preserved so global ids stay stable) and stands up a
+  /// LocalShardTransport over them.
+  static std::unique_ptr<ShardRouter> CreateLocal(const Dataset& data,
+                                                  RouterOptions options);
+
+  /// Fronts an existing transport (e.g. workers opened from per-shard
+  /// disk snapshots). `next_global_id` must be one past the largest
+  /// global id any shard holds; `transport->num_shards()` must equal
+  /// options.num_shards.
+  ShardRouter(std::unique_ptr<ShardTransport> transport,
+              RecordId next_global_id, RouterOptions options);
+
+  ~ShardRouter() = default;
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  size_t num_shards() const { return map_.num_shards(); }
+  const ShardMap& shard_map() const { return map_; }
+  uint64_t version() const;
+  size_t cache_size() const { return cache_.size(); }
+  size_t num_subscriptions() const;
+
+  /// One past the largest global id ever assigned.
+  RecordId next_global_id() const;
+
+  /// kSPR query for dataset record `focal_id` (global id).
+  RouterQueryResult Query(RecordId focal_id, const KsprOptions& options);
+
+  /// kSPR query for a hypothetical focal vector (not part of the data).
+  RouterQueryResult Query(const Vec& focal, const KsprOptions& options);
+
+  /// Applies a global mutation batch: routes per-shard deltas, gathers
+  /// the merged per-k skyband symmetric difference, sweeps the front-end
+  /// cache (drop vs restamp) and classifies every subscriber.
+  RouterUpdateResult ApplyUpdates(const RouterUpdateBatch& batch);
+
+  /// Registers global record `focal_id` as a standing query; the kInitial
+  /// event fires before this returns. Any algorithm is accepted. Returns
+  /// kInvalidSubscription when the focal is unknown or dead.
+  SubscriptionId Subscribe(RecordId focal_id, const KsprOptions& options,
+                           SubscriptionCallback callback);
+
+  /// Cancels a standing query (no terminal event). False for unknown ids
+  /// and for subscriptions already terminated by a focal deletion.
+  bool Unsubscribe(SubscriptionId id);
+
+  /// Per-shard liveness/version summaries, in shard order.
+  std::vector<ShardInfo> Info();
+
+  /// Persists every shard as its own paged snapshot under
+  /// storage/shard_paths.h naming. Returns the per-shard paths.
+  std::vector<std::string> SaveSnapshots(const std::string& base_path);
+
+  /// Splits `data` into per-shard slices by residue class (exposed for
+  /// tests and for building disk-backed deployments shard by shard).
+  static std::vector<Dataset> PartitionDataset(const Dataset& data,
+                                               const ShardMap& map);
+
+ private:
+  struct RouterSubscription {
+    SubscriptionId id = kInvalidSubscription;
+    Vec focal;
+    RecordId focal_id = kInvalidRecord;
+    KsprOptions options;
+    KsprResult current;  // last emitted state (diff-replay target)
+    SubscriptionCallback callback;
+  };
+
+  /// The scatter-gather pipeline: per-shard skybands -> merge -> global
+  /// reduce -> focal filter -> sort -> mini arrangement. Callers hold
+  /// update_mu_ (shared or unique).
+  std::shared_ptr<const KsprResult> ComputeLocked(const Vec& focal,
+                                                  RecordId focal_id,
+                                                  const KsprOptions& options,
+                                                  ShardQueryStats* scatter);
+
+  RouterQueryResult QueryLocked(const Vec& focal, RecordId focal_id,
+                                const KsprOptions& options);
+
+  /// Resolves a global id on its owning shard. Callers hold update_mu_.
+  RecordResponse ResolveRecord(RecordId global_id);
+
+  ShardMap map_;
+  RouterOptions options_;
+  std::unique_ptr<ShardTransport> transport_;
+
+  /// Readers (Query) hold shared; ApplyUpdates/Subscribe hold unique.
+  mutable std::shared_mutex update_mu_;
+
+  RecordId next_global_ = 0;          // guarded by update_mu_
+  uint64_t router_version_ = 0;       // guarded by update_mu_
+
+  /// Front-end result cache, keyed on (focal, options, router_version_).
+  /// Internally locked; entries restamped across no-op-for-them batches.
+  ResultCache cache_;
+
+  /// Every k any cache entry or subscriber has used — the set of skyband
+  /// cardinalities update batches must report changes for. Grows
+  /// monotonically (a stale k only costs a little extra per-shard diff
+  /// work). Guarded by ks_mu_ (Query records ks under the shared lock).
+  mutable std::mutex ks_mu_;
+  std::set<int> active_ks_;
+
+  mutable std::mutex subs_mu_;
+  SubscriptionId next_subscription_ = 0;
+  std::vector<std::unique_ptr<RouterSubscription>> subs_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_SHARD_SHARD_ROUTER_H_

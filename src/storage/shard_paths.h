@@ -1,0 +1,27 @@
+// Per-shard snapshot naming for the sharded serving tier.
+//
+// A sharded deployment persists one paged snapshot per shard (each shard
+// worker saves its own slice through StorageEngine::Save). The names are
+// derived from one base path so a deployment can be reopened knowing only
+// the base and the shard count — and so a snapshot saved under one shard
+// count is never mistaken for a slice of another partitioning (the shard
+// count is part of the name).
+
+#ifndef KSPR_STORAGE_SHARD_PATHS_H_
+#define KSPR_STORAGE_SHARD_PATHS_H_
+
+#include <string>
+
+namespace kspr {
+
+/// Path of shard `shard`'s snapshot in an N-shard deployment rooted at
+/// `base_path`: "<base_path>.shard<shard>-of-<num_shards>".
+inline std::string ShardSnapshotPath(const std::string& base_path,
+                                     size_t shard, size_t num_shards) {
+  return base_path + ".shard" + std::to_string(shard) + "-of-" +
+         std::to_string(num_shards);
+}
+
+}  // namespace kspr
+
+#endif  // KSPR_STORAGE_SHARD_PATHS_H_

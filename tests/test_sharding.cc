@@ -1,0 +1,610 @@
+// Sharded serving tier: bitwise identity across shard counts.
+//
+// The contract under test (src/shard/shard_router.h, core/candidates.h):
+// a ShardRouter's query results — regions AND every KsprStats counter —
+// are bitwise-identical for every shard count, for every algorithm,
+// before and after update batches, and a subscriber's event stream
+// replays to the same state on every partitioning. The suites here gate
+// N in {1, 2, 4, 8} against each other and cross-check CTA against
+// RunCtaOnSubset over the unsharded dataset.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/shard_map.h"
+#include "core/candidates.h"
+#include "core/cta.h"
+#include "core/region.h"
+#include "datagen/synthetic.h"
+#include "index/bbs.h"
+#include "index/rtree.h"
+#include "shard/local_transport.h"
+#include "shard/shard_router.h"
+#include "shard/shard_worker.h"
+#include "storage/shard_paths.h"
+#include "storage/storage_engine.h"
+#include "test_support.h"
+
+namespace kspr {
+namespace {
+
+using test::ExpectBitwiseEqual;
+using test::kTestFanout;
+using test::kTestLeafCapacity;
+using test::MaxSumRecord;
+
+constexpr size_t kShardCounts[] = {1, 2, 4, 8};
+
+RouterOptions TestRouterOptions(size_t num_shards) {
+  RouterOptions options;
+  options.num_shards = num_shards;
+  options.worker.leaf_capacity = kTestLeafCapacity;
+  options.worker.fanout = kTestFanout;
+  options.solve_leaf_capacity = kTestLeafCapacity;
+  options.solve_fanout = kTestFanout;
+  return options;
+}
+
+KsprOptions QueryOptions(Algorithm algo, int k) {
+  KsprOptions options;
+  options.algorithm = algo;
+  options.k = k;
+  return options;
+}
+
+constexpr Algorithm kAlgorithms[] = {Algorithm::kCta, Algorithm::kPcta,
+                                     Algorithm::kLpCta};
+
+TEST(ShardMapTest, ClosedFormRoundTrip) {
+  for (size_t n : kShardCounts) {
+    ShardMap map(n);
+    for (RecordId g = 0; g < 100; ++g) {
+      const size_t shard = map.ShardOf(g);
+      const RecordId local = map.LocalOf(g);
+      EXPECT_LT(shard, n);
+      EXPECT_EQ(map.GlobalOf(shard, local), g);
+    }
+    // Locals within one shard are dense and ordered: the i-th global id
+    // routed to a shard gets local id i.
+    for (size_t s = 0; s < n; ++s) {
+      RecordId expected_local = 0;
+      for (RecordId g = static_cast<RecordId>(s); g < 64;
+           g += static_cast<RecordId>(n)) {
+        EXPECT_EQ(map.LocalOf(g), expected_local++);
+      }
+    }
+  }
+}
+
+TEST(ShardPartitionTest, PreservesValuesAndTombstones) {
+  Dataset data = GenerateIndependent(50, 3, 7);
+  ASSERT_TRUE(data.Delete(4));
+  ASSERT_TRUE(data.Delete(17));
+  for (size_t n : {size_t{2}, size_t{4}}) {
+    ShardMap map(n);
+    std::vector<Dataset> slices = ShardRouter::PartitionDataset(data, map);
+    ASSERT_EQ(slices.size(), n);
+    RecordId total = 0;
+    for (size_t s = 0; s < n; ++s) {
+      for (RecordId local = 0; local < slices[s].size(); ++local) {
+        const RecordId g = map.GlobalOf(s, local);
+        ASSERT_LT(g, data.size());
+        EXPECT_TRUE(slices[s].Get(local) == data.Get(g));
+        EXPECT_EQ(slices[s].IsLive(local), data.IsLive(g));
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, data.size());
+  }
+}
+
+TEST(ShardPathsTest, NamesEncodeShardAndCount) {
+  EXPECT_EQ(ShardSnapshotPath("/tmp/base", 0, 4), "/tmp/base.shard0-of-4");
+  EXPECT_EQ(ShardSnapshotPath("x", 3, 8), "x.shard3-of-8");
+}
+
+// The tentpole gate: the same query against the same data returns a
+// bitwise-identical KsprResult (regions and stats) at 1, 2, 4 and 8
+// shards, for CTA, P-CTA and LP-CTA, for dataset focals and hypothetical
+// focals.
+TEST(ShardingBitwiseTest, IdenticalAcrossShardCounts) {
+  const Dataset data = GenerateAntiCorrelated(160, 3, 11);
+  const RecordId focal = MaxSumRecord(data);
+  const Vec hypothetical{0.7, 0.65, 0.72};
+
+  for (int k : {1, 3}) {
+    for (Algorithm algo : kAlgorithms) {
+      const KsprOptions options = QueryOptions(algo, k);
+      std::shared_ptr<const KsprResult> reference;
+      std::shared_ptr<const KsprResult> hypo_reference;
+      for (size_t n : kShardCounts) {
+        auto router = ShardRouter::CreateLocal(data, TestRouterOptions(n));
+        RouterQueryResult got = router->Query(focal, options);
+        ASSERT_TRUE(got.focal_live);
+        EXPECT_EQ(got.scatter.shards_queried, n);
+        RouterQueryResult hypo = router->Query(hypothetical, options);
+        if (n == 1) {
+          reference = got.result;
+          hypo_reference = hypo.result;
+          EXPECT_GT(reference->regions.size(), 0u)
+              << "degenerate fixture: k=" << k;
+        } else {
+          ExpectBitwiseEqual(*reference, *got.result, "dataset focal");
+          ExpectBitwiseEqual(*hypo_reference, *hypo.result,
+                             "hypothetical focal");
+        }
+      }
+    }
+  }
+}
+
+// Cross-check against the unsharded solver: the router's CTA result must
+// equal RunCtaOnSubset over the full dataset restricted to the canonical
+// candidate set (the k-skyband baseline's own subset, filtered and sorted
+// the same way). This ties the scatter-gather pipeline to the existing
+// single-engine code path rather than only to itself.
+TEST(ShardingBitwiseTest, CtaMatchesSubsetRunOnFullData) {
+  const Dataset data = GenerateIndependent(140, 3, 23);
+  const RTree tree = RTree::BulkLoad(data, kTestLeafCapacity, kTestFanout);
+  const RecordId focal = MaxSumRecord(data);
+  const Vec p = data.Get(focal);
+  const int k = 2;
+  const KsprOptions options = QueryOptions(Algorithm::kCta, k);
+
+  // The canonical candidate set, built directly on the full dataset: the
+  // global k-skyband (KSkyband of an unsharded dataset IS the global
+  // skyband, so ReduceToGlobalSkyband is a no-op on it), focal-covered
+  // records dropped, sorted by id.
+  std::vector<Candidate> candidates;
+  for (RecordId id : KSkyband(data, tree, k)) {
+    candidates.push_back({id, data.Get(id)});
+  }
+  ReduceToGlobalSkyband(&candidates, k);
+  FilterFocalCovered(&candidates, p);
+  SortCandidates(&candidates);
+  std::vector<RecordId> subset;
+  for (const Candidate& c : candidates) subset.push_back(c.global_id);
+  const KsprResult expected =
+      RunCtaOnSubset(data, p, kInvalidRecord, subset, options,
+                     Space::kTransformed);
+
+  auto router = ShardRouter::CreateLocal(data, TestRouterOptions(4));
+  RouterQueryResult got = router->Query(focal, options);
+  ASSERT_TRUE(got.focal_live);
+  EXPECT_EQ(got.scatter.candidates_solved, subset.size());
+  ExpectBitwiseEqual(expected, *got.result, "subset cross-check");
+}
+
+TEST(ShardingQueryTest, DeadOrUnknownFocal) {
+  Dataset data = GenerateIndependent(60, 2, 5);
+  const RecordId focal = MaxSumRecord(data);
+  auto router = ShardRouter::CreateLocal(data, TestRouterOptions(4));
+  const KsprOptions options = QueryOptions(Algorithm::kCta, 2);
+
+  EXPECT_FALSE(router->Query(RecordId{1000}, options).focal_live);
+  EXPECT_FALSE(router->Query(RecordId{-3}, options).focal_live);
+
+  RouterUpdateBatch batch;
+  batch.deletes.push_back(focal);
+  RouterUpdateResult u = router->ApplyUpdates(batch);
+  EXPECT_EQ(u.deletes_applied, 1u);
+  RouterQueryResult got = router->Query(focal, options);
+  EXPECT_FALSE(got.focal_live);
+  EXPECT_TRUE(got.result->regions.empty());
+}
+
+// Mirrors one mutation stream into routers at every shard count AND into
+// a plain Dataset; after every batch all routers agree bitwise with each
+// other and with a fresh single-shard router over the mirrored dataset
+// (proving the delta path equals a cold rebuild of the global state).
+TEST(ShardingUpdateTest, BitwiseIdenticalAfterUpdateBatches) {
+  const Dataset initial = GenerateAntiCorrelated(120, 3, 31);
+  const RecordId focal = MaxSumRecord(initial);
+  const int k = 2;
+
+  std::vector<std::unique_ptr<ShardRouter>> routers;
+  for (size_t n : kShardCounts) {
+    routers.push_back(
+        ShardRouter::CreateLocal(initial, TestRouterOptions(n)));
+  }
+  Dataset mirror = initial;
+
+  // Batch 1: inserts near the top (skyband-relevant) plus interior noise.
+  // Batch 2: delete two current skyband records and the strongest insert.
+  // Batch 3: mixed insert + delete in one batch.
+  std::vector<RouterUpdateBatch> batches(3);
+  batches[0].inserts = {Vec{0.95, 0.9, 0.93}, Vec{0.2, 0.3, 0.25},
+                        Vec{0.88, 0.97, 0.9}};
+  {
+    const RTree tree =
+        RTree::BulkLoad(initial, kTestLeafCapacity, kTestFanout);
+    std::vector<RecordId> band = KSkyband(initial, tree, k);
+    ASSERT_GE(band.size(), 2u);
+    RecordId d0 = band[0] == focal ? band[band.size() - 1] : band[0];
+    RecordId d1 = band[1] == focal ? band[band.size() - 2] : band[1];
+    if (d0 == focal || d1 == focal || d0 == d1) {
+      d0 = band[band.size() - 1];
+      d1 = band[band.size() - 2];
+    }
+    ASSERT_NE(d0, focal);
+    ASSERT_NE(d1, focal);
+    batches[1].deletes = {d0, d1, initial.size()};  // insert #0 of batch 1
+  }
+  batches[2].inserts = {Vec{0.99, 0.4, 0.85}};
+  batches[2].deletes = {RecordId{3}};
+
+  const KsprOptions cta = QueryOptions(Algorithm::kCta, k);
+  for (const RouterUpdateBatch& batch : batches) {
+    for (const Vec& v : batch.inserts) mirror.Insert(v);
+    for (RecordId id : batch.deletes) mirror.Delete(id);
+
+    std::map<Algorithm, std::shared_ptr<const KsprResult>> reference;
+    for (size_t i = 0; i < routers.size(); ++i) {
+      RouterUpdateResult u = routers[i]->ApplyUpdates(batch);
+      EXPECT_EQ(u.inserted_global_ids.size(), batch.inserts.size());
+      for (Algorithm algo : kAlgorithms) {
+        RouterQueryResult got =
+            routers[i]->Query(focal, QueryOptions(algo, k));
+        ASSERT_TRUE(got.focal_live);
+        if (i == 0) {
+          reference[algo] = got.result;
+        } else {
+          ExpectBitwiseEqual(*reference[algo], *got.result,
+                             "post-update shard-count identity");
+        }
+      }
+    }
+
+    // Cold rebuild over the mirrored global dataset.
+    auto fresh = ShardRouter::CreateLocal(mirror, TestRouterOptions(1));
+    RouterQueryResult cold = fresh->Query(focal, cta);
+    ASSERT_TRUE(cold.focal_live);
+    ExpectBitwiseEqual(*reference[Algorithm::kCta], *cold.result,
+                       "delta path vs cold rebuild");
+  }
+}
+
+TEST(ShardingUpdateTest, NoOpBatchKeepsVersionAndCache) {
+  const Dataset data = GenerateIndependent(80, 3, 13);
+  const RecordId focal = MaxSumRecord(data);
+  auto router = ShardRouter::CreateLocal(data, TestRouterOptions(4));
+  const KsprOptions options = QueryOptions(Algorithm::kLpCta, 2);
+
+  RouterQueryResult first = router->Query(focal, options);
+  ASSERT_TRUE(first.focal_live);
+  const uint64_t v0 = router->version();
+
+  RouterUpdateBatch noop;
+  noop.deletes = {RecordId{5000}, RecordId{-1}};  // never assigned
+  RouterUpdateResult u = router->ApplyUpdates(noop);
+  EXPECT_EQ(u.deletes_applied, 0u);
+  EXPECT_EQ(u.version, v0);
+  EXPECT_EQ(router->version(), v0);
+
+  RouterQueryResult again = router->Query(focal, options);
+  EXPECT_TRUE(again.cache_hit);
+  ExpectBitwiseEqual(*first.result, *again.result, "no-op batch");
+}
+
+TEST(ShardingUpdateTest, CacheRetainedWhenFocalDominatesDelta) {
+  const Dataset data = GenerateIndependent(100, 3, 17);
+  const RecordId focal = MaxSumRecord(data);
+  const Vec p = data.Get(focal);
+  auto router = ShardRouter::CreateLocal(data, TestRouterOptions(4));
+  const KsprOptions options = QueryOptions(Algorithm::kCta, 2);
+
+  RouterQueryResult first = router->Query(focal, options);
+  ASSERT_TRUE(first.focal_live);
+  ASSERT_FALSE(first.cache_hit);
+
+  // A record strictly inside the focal's dominance cone: whatever shard
+  // skybands it perturbs, the focal weakly dominates every change, so the
+  // cached entry must be retained and restamped.
+  Vec covered(p.dim);
+  for (int i = 0; i < p.dim; ++i) covered.v[i] = p.v[i] * 0.5;
+  RouterUpdateBatch irrelevant;
+  irrelevant.inserts.push_back(covered);
+  RouterUpdateResult u1 = router->ApplyUpdates(irrelevant);
+  EXPECT_GE(u1.cache_retained, 1u);
+  EXPECT_EQ(u1.cache_dropped, 0u);
+
+  RouterQueryResult hit = router->Query(focal, options);
+  EXPECT_TRUE(hit.cache_hit);
+  ExpectBitwiseEqual(*first.result, *hit.result, "retained entry");
+
+  // A record dominating the focal flips k_effective: the entry must drop
+  // and the recomputed result must match a cold rebuild.
+  Vec above(p.dim);
+  for (int i = 0; i < p.dim; ++i) above.v[i] = p.v[i] * 1.05 + 0.01;
+  RouterUpdateBatch relevant;
+  relevant.inserts.push_back(above);
+  RouterUpdateResult u2 = router->ApplyUpdates(relevant);
+  EXPECT_GE(u2.cache_dropped, 1u);
+
+  RouterQueryResult recomputed = router->Query(focal, options);
+  EXPECT_FALSE(recomputed.cache_hit);
+  Dataset mutated = data;
+  mutated.Insert(covered);
+  mutated.Insert(above);
+  auto fresh = ShardRouter::CreateLocal(mutated, TestRouterOptions(1));
+  ExpectBitwiseEqual(*fresh->Query(focal, options).result,
+                     *recomputed.result, "post-invalidation recompute");
+}
+
+// Satellite edge case: delete every record owned by one shard; the shard
+// serves an empty slice (empty skyband, empty tree) and results stay
+// bitwise-identical to the single-shard deployment. A later insert lands
+// on the emptied shard again (empty-tree bootstrap of the embedded
+// engine).
+TEST(ShardingEdgeTest, EmptyShardAfterHeavyDeletion) {
+  const Dataset data = GenerateAntiCorrelated(48, 3, 41);
+  const size_t n = 4;
+  const ShardMap map(n);
+  RecordId focal = MaxSumRecord(data);
+  if (map.ShardOf(focal) == 1) {
+    // The test empties shard 1 — pick the strongest focal elsewhere.
+    focal = kInvalidRecord;
+    for (RecordId g = 0; g < data.size(); ++g) {
+      if (map.ShardOf(g) == 1) continue;
+      if (focal == kInvalidRecord ||
+          data.Get(g).Sum() > data.Get(focal).Sum()) {
+        focal = g;
+      }
+    }
+  }
+  ASSERT_NE(focal, kInvalidRecord);
+
+  RouterUpdateBatch wipe;
+  for (RecordId g = 0; g < data.size(); ++g) {
+    if (map.ShardOf(g) == 1) wipe.deletes.push_back(g);
+  }
+  ASSERT_FALSE(wipe.deletes.empty());
+
+  auto sharded = ShardRouter::CreateLocal(data, TestRouterOptions(n));
+  auto single = ShardRouter::CreateLocal(data, TestRouterOptions(1));
+  sharded->ApplyUpdates(wipe);
+  single->ApplyUpdates(wipe);
+
+  std::vector<ShardInfo> infos = sharded->Info();
+  ASSERT_EQ(infos.size(), n);
+  EXPECT_EQ(infos[1].records_live, 0);
+
+  for (Algorithm algo : kAlgorithms) {
+    const KsprOptions options = QueryOptions(algo, 2);
+    ExpectBitwiseEqual(*single->Query(focal, options).result,
+                       *sharded->Query(focal, options).result,
+                       "empty shard");
+  }
+
+  // Refill the emptied shard: the next inserts rotate across shards and
+  // one lands on shard 1's empty tree.
+  RouterUpdateBatch refill;
+  refill.inserts = {Vec{0.9, 0.8, 0.7}, Vec{0.6, 0.9, 0.8},
+                    Vec{0.8, 0.7, 0.95}, Vec{0.75, 0.85, 0.8}};
+  sharded->ApplyUpdates(refill);
+  single->ApplyUpdates(refill);
+  for (Algorithm algo : kAlgorithms) {
+    const KsprOptions options = QueryOptions(algo, 2);
+    ExpectBitwiseEqual(*single->Query(focal, options).result,
+                       *sharded->Query(focal, options).result,
+                       "refilled shard");
+  }
+}
+
+// Satellite edge case: the focal lives on one shard while every top
+// candidate lives on others — the scatter must reach past the focal's own
+// shard for the answer to be right.
+TEST(ShardingEdgeTest, FocalOnDifferentShardThanTopCandidates) {
+  const size_t n = 4;
+  Dataset data(3);
+  // Global id 0 -> shard 0: the focal, mid-strength.
+  data.Add(Vec{0.6, 0.6, 0.6});
+  // Ids 1..3 -> shards 1..3: the strong records that shape the regions.
+  data.Add(Vec{0.95, 0.7, 0.5});
+  data.Add(Vec{0.5, 0.95, 0.7});
+  data.Add(Vec{0.7, 0.5, 0.95});
+  // Filler on every shard so no slice is trivial.
+  for (int i = 0; i < 28; ++i) {
+    const double t = 0.05 + 0.01 * static_cast<double>(i);
+    data.Add(Vec{t, 0.4 - 0.01 * i < 0 ? 0.05 : 0.4 - 0.01 * i, t});
+  }
+  const RecordId focal = 0;
+  const ShardMap map(n);
+  ASSERT_EQ(map.ShardOf(focal), 0u);
+  for (RecordId g : {RecordId{1}, RecordId{2}, RecordId{3}}) {
+    ASSERT_NE(map.ShardOf(g), map.ShardOf(focal));
+  }
+
+  auto sharded = ShardRouter::CreateLocal(data, TestRouterOptions(n));
+  auto single = ShardRouter::CreateLocal(data, TestRouterOptions(1));
+  for (Algorithm algo : kAlgorithms) {
+    const KsprOptions options = QueryOptions(algo, 2);
+    RouterQueryResult got = sharded->Query(focal, options);
+    ASSERT_TRUE(got.focal_live);
+    // The candidates actually solved must include the off-shard records.
+    EXPECT_GE(got.scatter.candidates_solved, 3u);
+    ExpectBitwiseEqual(*single->Query(focal, options).result, *got.result,
+                       "cross-shard candidates");
+  }
+}
+
+// Satellite edge case: a delete batch whose ids all map to one shard —
+// only that shard is scattered to, and results still match the
+// single-shard deployment bitwise.
+TEST(ShardingEdgeTest, DeleteBatchLandsEntirelyOnOneShard) {
+  const Dataset data = GenerateIndependent(96, 3, 53);
+  const size_t n = 4;
+  const ShardMap map(n);
+  RecordId focal = MaxSumRecord(data);
+  RouterUpdateBatch batch;
+  for (RecordId g = 0; g < data.size() && batch.deletes.size() < 8; ++g) {
+    if (map.ShardOf(g) == 2 && g != focal) batch.deletes.push_back(g);
+  }
+  ASSERT_EQ(batch.deletes.size(), 8u);
+
+  auto sharded = ShardRouter::CreateLocal(data, TestRouterOptions(n));
+  auto single = ShardRouter::CreateLocal(data, TestRouterOptions(1));
+  RouterUpdateResult u = sharded->ApplyUpdates(batch);
+  EXPECT_EQ(u.shards_touched, 1u);
+  EXPECT_EQ(u.deletes_applied, 8u);
+  single->ApplyUpdates(batch);
+  for (Algorithm algo : kAlgorithms) {
+    const KsprOptions options = QueryOptions(algo, 2);
+    ExpectBitwiseEqual(*single->Query(focal, options).result,
+                       *sharded->Query(focal, options).result,
+                       "single-shard delete batch");
+  }
+}
+
+// Subscriptions: identical event streams at every shard count, and the
+// replayed diff stream reproduces the live query result bitwise after
+// every batch. Also exercises a non-CTA subscriber (the router recomputes
+// rather than maintaining an amortized context, so LP-CTA is legal here
+// unlike QueryEngine::Subscribe).
+TEST(ShardingSubscriptionTest, DiffReplayIdenticalAcrossShardCounts) {
+  const Dataset data = GenerateAntiCorrelated(100, 3, 61);
+  const RecordId focal = MaxSumRecord(data);
+  const int k = 2;
+
+  struct Stream {
+    std::vector<SubscriptionEventKind> kinds;
+    KsprResult replayed;  // running ApplyResultDiff state
+  };
+
+  std::vector<RouterUpdateBatch> batches(3);
+  // Irrelevant to the focal (deep interior), relevant (near-top inserts +
+  // a skyband delete), then the focal's own deletion.
+  batches[0].inserts = {Vec{0.1, 0.12, 0.08}};
+  batches[1].inserts = {Vec{0.93, 0.9, 0.94}, Vec{0.96, 0.88, 0.9}};
+  batches[2].deletes = {focal};
+
+  for (Algorithm algo : {Algorithm::kCta, Algorithm::kLpCta}) {
+    const KsprOptions options = QueryOptions(algo, k);
+    std::vector<Stream> streams;
+    for (size_t n : {size_t{1}, size_t{4}}) {
+      auto router = ShardRouter::CreateLocal(data, TestRouterOptions(n));
+      Stream stream;
+      const SubscriptionId id = router->Subscribe(
+          focal, options, [&stream](const SubscriptionEvent& event) {
+            stream.kinds.push_back(event.kind);
+            if (event.kind == SubscriptionEventKind::kFocalGone) {
+              // Terminal event: diff is empty by contract; the subscriber
+              // drops its state rather than splicing.
+              stream.replayed = KsprResult{};
+            } else {
+              ApplyResultDiff(event.diff, &stream.replayed);
+            }
+            EXPECT_EQ(stream.replayed.regions.size(), event.num_regions);
+          });
+      ASSERT_NE(id, kInvalidSubscription);
+      ASSERT_EQ(stream.kinds.size(), 1u);
+      EXPECT_EQ(stream.kinds[0], SubscriptionEventKind::kInitial);
+      EXPECT_EQ(router->num_subscriptions(), 1u);
+
+      for (size_t b = 0; b < batches.size(); ++b) {
+        router->ApplyUpdates(batches[b]);
+        if (b + 1 < batches.size()) {
+          // Focal still live: the replayed state must equal the live
+          // query answer bitwise.
+          RouterQueryResult now = router->Query(focal, options);
+          ASSERT_TRUE(now.focal_live);
+          ExpectBitwiseEqual(*now.result, stream.replayed,
+                             "diff replay vs live query");
+        }
+      }
+      EXPECT_EQ(router->num_subscriptions(), 0u);  // kFocalGone removed it
+      ASSERT_FALSE(stream.kinds.empty());
+      EXPECT_EQ(stream.kinds.back(), SubscriptionEventKind::kFocalGone);
+      streams.push_back(std::move(stream));
+    }
+    // The event streams — kinds and replayed end state — agree across
+    // shard counts.
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(streams[0].kinds, streams[1].kinds);
+    ExpectBitwiseEqual(streams[0].replayed, streams[1].replayed,
+                       "replayed stream across shard counts");
+  }
+}
+
+TEST(ShardingSubscriptionTest, IrrelevantBatchEmitsNothing) {
+  const Dataset data = GenerateIndependent(80, 3, 71);
+  const RecordId focal = MaxSumRecord(data);
+  const Vec p = data.Get(focal);
+  auto router = ShardRouter::CreateLocal(data, TestRouterOptions(4));
+  size_t events = 0;
+  const SubscriptionId id =
+      router->Subscribe(focal, QueryOptions(Algorithm::kCta, 2),
+                        [&events](const SubscriptionEvent&) { ++events; });
+  ASSERT_NE(id, kInvalidSubscription);
+  EXPECT_EQ(events, 1u);  // kInitial
+
+  Vec covered(p.dim);
+  for (int i = 0; i < p.dim; ++i) covered.v[i] = p.v[i] * 0.4;
+  RouterUpdateBatch batch;
+  batch.inserts.push_back(covered);
+  RouterUpdateResult u = router->ApplyUpdates(batch);
+  EXPECT_EQ(u.subscribers_examined, 1u);
+  EXPECT_EQ(u.subscribers_irrelevant, 1u);
+  EXPECT_EQ(u.subscribers_notified, 0u);
+  EXPECT_EQ(events, 1u);  // nothing new
+
+  EXPECT_TRUE(router->Unsubscribe(id));
+  EXPECT_FALSE(router->Unsubscribe(id));
+}
+
+// Per-shard snapshots: SaveSnapshots writes one paged snapshot per shard;
+// reopening them disk-backed reconstitutes a router whose answers are
+// bitwise-identical to the original in-memory deployment.
+TEST(ShardingStorageTest, SnapshotRoundTripServesIdentically) {
+  const Dataset data = GenerateAntiCorrelated(90, 3, 83);
+  const RecordId focal = MaxSumRecord(data);
+  const size_t n = 2;
+  RouterOptions router_options = TestRouterOptions(n);
+  auto original = ShardRouter::CreateLocal(data, router_options);
+
+  const std::string base =
+      ::testing::TempDir() + "/kspr_shard_roundtrip";
+  std::vector<std::string> paths = original->SaveSnapshots(base);
+  ASSERT_EQ(paths.size(), n);
+
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  const ShardMap map(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto storage = StorageEngine::Open(paths[s]);
+    ASSERT_NE(storage, nullptr);
+    workers.push_back(std::make_unique<ShardWorker>(
+        s, map, std::move(storage), router_options.worker));
+  }
+  ShardRouter reopened(
+      std::make_unique<LocalShardTransport>(std::move(workers)),
+      data.size(), router_options);
+
+  for (Algorithm algo : kAlgorithms) {
+    const KsprOptions options = QueryOptions(algo, 2);
+    ExpectBitwiseEqual(*original->Query(focal, options).result,
+                       *reopened.Query(focal, options).result,
+                       "snapshot round trip");
+  }
+
+  // The reopened deployment accepts updates (PrepareForUpdates path).
+  RouterUpdateBatch batch;
+  batch.inserts = {Vec{0.9, 0.92, 0.88}};
+  original->ApplyUpdates(batch);
+  reopened.ApplyUpdates(batch);
+  for (Algorithm algo : kAlgorithms) {
+    const KsprOptions options = QueryOptions(algo, 2);
+    ExpectBitwiseEqual(*original->Query(focal, options).result,
+                       *reopened.Query(focal, options).result,
+                       "post-update round trip");
+  }
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kspr
