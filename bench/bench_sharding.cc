@@ -22,6 +22,7 @@
 
 #include "bench_common.h"
 
+#include "net/fault_schedule.h"
 #include "shard/shard_router.h"
 
 using namespace kspr;
@@ -146,6 +147,76 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(phase, "initial") == 0) {
       for (auto& router : routers) router->ApplyUpdates(batch);
+    }
+  }
+
+  // Socket: the identity gate again, but over real loopback sockets —
+  // every request and response travels as a checksummed frame — first
+  // clean, then under an injected fault schedule (periodic frame drops
+  // forcing timeout+retry, disconnects forcing reconnect). The retries
+  // and reconnects counters are gated >= 1 in baseline.json so the fault
+  // machinery provably engaged; identical/stale_regions are gated exactly
+  // like the local section.
+  std::printf("\n%-8s %-6s %9s %13s %8s %11s %9s\n", "socket", "shards",
+              "identical", "stale_regions", "retries", "reconnects",
+              "failures");
+  {
+    auto reference = ShardRouter::CreateLocal(data, RouterOptions{});
+    KsprOptions query;
+    query.algorithm = Algorithm::kCta;
+    query.k = k;
+    std::vector<std::shared_ptr<const KsprResult>> expected;
+    for (RecordId focal : focals) {
+      expected.push_back(reference->Query(focal, query).result);
+    }
+    for (int faulted : {0, 1}) {
+      net::FaultSchedule faults;  // outlives the routers below
+      if (faulted) {
+        std::string error;
+        if (!net::FaultSchedule::Parse("drop@5,disconnect@6", &faults,
+                                       &error)) {
+          std::fprintf(stderr, "fault schedule: %s\n", error.c_str());
+          return 1;
+        }
+      }
+      for (size_t shards : shard_counts) {
+        RouterOptions options;
+        options.num_shards = shards;
+        options.transport = TransportKind::kSocket;
+        if (faulted) {
+          options.socket.request_timeout_ms = 150;
+          options.socket.max_retries = 6;
+          options.socket.faults = &faults;
+        }
+        auto router = ShardRouter::Create(data, options);
+        int stale = 0;
+        for (size_t qi = 0; qi < focals.size(); ++qi) {
+          RouterQueryResult got = router->Query(focals[qi], query);
+          if (got.status != RouterStatus::kOk ||
+              !ResultsBitwiseEqual(*expected[qi], *got.result)) {
+            ++stale;
+          }
+        }
+        const int identical = stale == 0 ? 1 : 0;
+        const TransportStats::Snapshot stats =
+            router->transport_stats()->Get();
+        std::printf("%-8s %-6zu %9d %13d %8lld %11lld %9lld\n",
+                    faulted ? "faulted" : "clean", shards, identical, stale,
+                    static_cast<long long>(stats.retries),
+                    static_cast<long long>(stats.reconnects),
+                    static_cast<long long>(stats.failures));
+        report.AddRow()
+            .Str("section", "socket")
+            .Int("faulted", faulted)
+            .Int("shards", static_cast<int64_t>(shards))
+            .Int("queries", static_cast<int64_t>(focals.size()))
+            .Int("identical", identical)
+            .Int("stale_regions", stale)
+            .Int("retries", stats.retries)
+            .Int("reconnects", stats.reconnects)
+            .Int("timeouts", stats.timeouts)
+            .Int("failures", stats.failures);
+      }
     }
   }
 

@@ -8,6 +8,8 @@
 //            [--updates U] [--update-size M] [--amortized]
 //            [--subscribe S] [--save FILE] [--load FILE]
 //            [--buffer-pages P] [--shards N]
+//            [--transport local|socket] [--shard-timeout-ms MS]
+//            [--fault-schedule SPEC]
 //
 // With --csv the dataset is read from a headerless CSV of d numeric
 // columns (larger = better) instead of being generated. With --batch Q
@@ -53,6 +55,18 @@
 // but not with the engine-pool flags (--batch/--threads/--intra-threads/
 // --amortized) or the snapshot flags (--save/--load).
 //
+// --transport socket (requires --shards >= 2) deploys the shard workers
+// behind real loopback frame servers and talks to them through the
+// supervised socket client (checksummed wire frames, timeout + retry +
+// reconnect); output stays bitwise-identical to --transport local. A
+// final "# transport=socket" line reports the transport counters.
+// --shard-timeout-ms caps how long the router waits on any one shard
+// before declaring it down. --fault-schedule SPEC (socket only) injects
+// deterministic faults — e.g. "drop@5,disconnect@6" drops every 5th
+// frame per shard and force-disconnects every 6th — to exercise the
+// retry/reconnect machinery; a malformed SPEC is rejected with the
+// parser's error.
+//
 // --subscribe S (CTA only) registers S standing subscriptions over
 // skyline records starting at the focal and prints their diff streams:
 // one "# sub" line per event (initial / delta / rebuild / focal-gone)
@@ -73,6 +87,7 @@
 
 #include "common/rng.h"
 #include "core/solver.h"
+#include "net/fault_schedule.h"
 #include "datagen/synthetic.h"
 #include "engine/query_engine.h"
 #include "index/bbs.h"
@@ -134,6 +149,9 @@ int main(int argc, char** argv) {
   std::string load_path;   // --load: serve from this snapshot
   int buffer_pages = 128;  // --buffer-pages: pool frames for --load
   int shards = 1;          // --shards: scatter-gather tier when >= 2
+  std::string transport = "local";  // --transport: shard transport kind
+  int shard_timeout_ms = 0;         // --shard-timeout-ms: 0 = default
+  std::string fault_spec;           // --fault-schedule: socket-only faults
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -174,6 +192,12 @@ int main(int argc, char** argv) {
       buffer_pages = std::atoi(next("--buffer-pages"));
     } else if (!std::strcmp(argv[i], "--shards")) {
       shards = std::atoi(next("--shards"));
+    } else if (!std::strcmp(argv[i], "--transport")) {
+      transport = next("--transport");
+    } else if (!std::strcmp(argv[i], "--shard-timeout-ms")) {
+      shard_timeout_ms = std::atoi(next("--shard-timeout-ms"));
+    } else if (!std::strcmp(argv[i], "--fault-schedule")) {
+      fault_spec = next("--fault-schedule");
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next("--threads"));
     } else if (!std::strcmp(argv[i], "--intra-threads")) {
@@ -287,6 +311,44 @@ int main(int argc, char** argv) {
                  "per-shard files)\n");
     return 1;
   }
+  if (transport != "local" && transport != "socket") {
+    std::fprintf(stderr, "unknown --transport %s (want local|socket)\n",
+                 transport.c_str());
+    return 1;
+  }
+  if (transport == "socket" && shards < 2) {
+    std::fprintf(stderr,
+                 "--transport socket requires --shards >= 2 (the socket "
+                 "tier deploys one frame server per shard worker)\n");
+    return 1;
+  }
+  constexpr int kMaxShardTimeoutMs = 3600000;
+  if (shard_timeout_ms < 0 || shard_timeout_ms > kMaxShardTimeoutMs) {
+    std::fprintf(stderr, "--shard-timeout-ms %d out of range [0, %d]\n",
+                 shard_timeout_ms, kMaxShardTimeoutMs);
+    return 1;
+  }
+  if (shard_timeout_ms > 0 && shards < 2) {
+    std::fprintf(stderr, "--shard-timeout-ms requires --shards >= 2\n");
+    return 1;
+  }
+  if (!fault_spec.empty() && transport != "socket") {
+    std::fprintf(stderr,
+                 "--fault-schedule requires --transport socket (faults are "
+                 "injected at the socket transport layer)\n");
+    return 1;
+  }
+  // Parsed here so a malformed spec dies with the parser's message before
+  // any servers start. Declared at main scope: RouterOptions keeps a raw
+  // pointer into it, so it must outlive the router below.
+  net::FaultSchedule faults;
+  if (!fault_spec.empty()) {
+    std::string fault_error;
+    if (!net::FaultSchedule::Parse(fault_spec, &faults, &fault_error)) {
+      std::fprintf(stderr, "bad --fault-schedule: %s\n", fault_error.c_str());
+      return 1;
+    }
+  }
 
   // --load serves from the snapshot through the storage engine's buffer
   // pool; otherwise generate (or read the CSV) and bulk-load as before.
@@ -381,7 +443,23 @@ int main(int argc, char** argv) {
     // line reports what sharding actually did.
     RouterOptions router_options;
     router_options.num_shards = static_cast<size_t>(shards);
-    auto router = ShardRouter::CreateLocal(data, router_options);
+    if (shard_timeout_ms > 0) {
+      router_options.shard_timeout_ms = shard_timeout_ms;
+    }
+    const bool socket_mode = transport == "socket";
+    if (socket_mode) {
+      router_options.transport = TransportKind::kSocket;
+      if (!fault_spec.empty()) {
+        // Tight per-attempt deadline + deep retry budget: injected drops
+        // burn an attempt quickly and the supervisor absorbs them, so the
+        // run still answers bitwise-identically.
+        router_options.socket.request_timeout_ms = 150;
+        router_options.socket.max_retries = 6;
+        router_options.socket.faults = &faults;
+      }
+    }
+    auto router = socket_mode ? ShardRouter::Create(data, router_options)
+                              : ShardRouter::CreateLocal(data, router_options);
 
     if (subscribe > 0) {
       size_t start = 0;
@@ -492,6 +570,18 @@ int main(int argc, char** argv) {
                     focal);
       }
       if (!run_query()) return 1;
+    }
+    if (socket_mode) {
+      const TransportStats::Snapshot ts = router->transport_stats()->Get();
+      std::printf("# transport=socket requests=%lld retries=%lld "
+                  "reconnects=%lld timeouts=%lld failures=%lld "
+                  "faults_injected=%lld\n",
+                  static_cast<long long>(ts.requests),
+                  static_cast<long long>(ts.retries),
+                  static_cast<long long>(ts.reconnects),
+                  static_cast<long long>(ts.timeouts),
+                  static_cast<long long>(ts.failures),
+                  static_cast<long long>(ts.faults_injected));
     }
     return 0;
   }

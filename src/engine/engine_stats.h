@@ -1,4 +1,5 @@
-// Thread-safe aggregate statistics for the batch query engine.
+// Thread-safe aggregate statistics for the batch query engine and the
+// shard transport layer.
 
 #ifndef KSPR_ENGINE_ENGINE_STATS_H_
 #define KSPR_ENGINE_ENGINE_STATS_H_
@@ -185,6 +186,79 @@ class EngineStats {
   std::atomic<int64_t> sub_events_{0};
   std::atomic<int64_t> latency_ns_total_{0};
   std::atomic<int64_t> latency_ns_max_{0};
+};
+
+/// Fault-tolerance counters for a shard transport (socket supervisor,
+/// fault decorator, router replay path). Same relaxed-atomic discipline
+/// as EngineStats; one instance is shared between the router and its
+/// transport so tests and the CLI can observe retries/reconnects/faults
+/// in one place.
+class TransportStats {
+ public:
+  struct Snapshot {
+    int64_t requests = 0;        // logical operations issued
+    int64_t retries = 0;         // extra attempts after a failed one
+    int64_t timeouts = 0;        // attempts that hit the deadline
+    int64_t reconnects = 0;      // successful connects after a drop
+    int64_t connects = 0;        // successful connects, first included
+    int64_t frame_errors = 0;    // poisoned frames (checksum/magic/size)
+    int64_t failures = 0;        // operations that failed after all retries
+    int64_t faults_injected = 0; // schedule actions actually applied
+    int64_t replays = 0;         // update batches re-sent after recovery
+  };
+
+  void RecordRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordTimeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordConnect(bool is_reconnect) {
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    if (is_reconnect) reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFrameError() {
+    frame_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFailure() { failures_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordFaultInjected() {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordReplay() { replays_.fetch_add(1, std::memory_order_relaxed); }
+
+  Snapshot Get() const {
+    Snapshot s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
+    s.reconnects = reconnects_.load(std::memory_order_relaxed);
+    s.connects = connects_.load(std::memory_order_relaxed);
+    s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+    s.failures = failures_.load(std::memory_order_relaxed);
+    s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+    s.replays = replays_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    requests_.store(0, std::memory_order_relaxed);
+    retries_.store(0, std::memory_order_relaxed);
+    timeouts_.store(0, std::memory_order_relaxed);
+    reconnects_.store(0, std::memory_order_relaxed);
+    connects_.store(0, std::memory_order_relaxed);
+    frame_errors_.store(0, std::memory_order_relaxed);
+    failures_.store(0, std::memory_order_relaxed);
+    faults_injected_.store(0, std::memory_order_relaxed);
+    replays_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> timeouts_{0};
+  std::atomic<int64_t> reconnects_{0};
+  std::atomic<int64_t> connects_{0};
+  std::atomic<int64_t> frame_errors_{0};
+  std::atomic<int64_t> failures_{0};
+  std::atomic<int64_t> faults_injected_{0};
+  std::atomic<int64_t> replays_{0};
 };
 
 }  // namespace kspr

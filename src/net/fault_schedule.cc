@@ -1,0 +1,133 @@
+#include "net/fault_schedule.h"
+
+#include <cstdlib>
+
+namespace kspr {
+namespace net {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "dup";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDisconnect:
+      return "disconnect";
+  }
+  return "?";
+}
+
+FaultSchedule::FaultSchedule(std::vector<FaultRule> rules)
+    : rules_(std::move(rules)), counters_(rules_.size()) {}
+
+namespace {
+
+bool ParseKind(const std::string& s, FaultKind* out) {
+  if (s == "drop") *out = FaultKind::kDrop;
+  else if (s == "delay") *out = FaultKind::kDelay;
+  else if (s == "dup") *out = FaultKind::kDuplicate;
+  else if (s == "corrupt") *out = FaultKind::kCorrupt;
+  else if (s == "disconnect") *out = FaultKind::kDisconnect;
+  else return false;
+  return true;
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool FaultSchedule::Parse(const std::string& spec, FaultSchedule* out,
+                          std::string* error) {
+  std::vector<FaultRule> rules;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    std::string token = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) {
+      if (spec.empty()) break;  // empty spec = empty schedule
+      *error = "empty rule in fault schedule";
+      return false;
+    }
+
+    FaultRule rule;
+    // kind@period[:ms][#shard]
+    const size_t at = token.find('@');
+    if (at == std::string::npos) {
+      *error = "rule '" + token + "' is missing '@period'";
+      return false;
+    }
+    if (!ParseKind(token.substr(0, at), &rule.kind)) {
+      *error = "unknown fault kind '" + token.substr(0, at) +
+               "' (want drop|delay|dup|corrupt|disconnect)";
+      return false;
+    }
+    std::string rest = token.substr(at + 1);
+    const size_t hash = rest.find('#');
+    if (hash != std::string::npos) {
+      uint64_t shard = 0;
+      if (!ParseUint(rest.substr(hash + 1), &shard) || shard > 4096) {
+        *error = "bad shard index in rule '" + token + "'";
+        return false;
+      }
+      rule.shard = static_cast<int>(shard);
+      rest = rest.substr(0, hash);
+    }
+    const size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      if (rule.kind != FaultKind::kDelay) {
+        *error = "':ms' is only valid on delay rules ('" + token + "')";
+        return false;
+      }
+      uint64_t ms = 0;
+      if (!ParseUint(rest.substr(colon + 1), &ms) || ms > 60'000) {
+        *error = "bad delay ms in rule '" + token + "' (want 0..60000)";
+        return false;
+      }
+      rule.delay_ms = static_cast<int>(ms);
+      rest = rest.substr(0, colon);
+    }
+    if (!ParseUint(rest, &rule.period) || rule.period < 1) {
+      *error = "bad period in rule '" + token + "' (want >= 1)";
+      return false;
+    }
+    rules.push_back(rule);
+  }
+  out->counters_.assign(rules.size(), {});
+  out->rules_ = std::move(rules);
+  error->clear();
+  return true;
+}
+
+FaultAction FaultSchedule::Next(size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultAction action;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.shard >= 0 && static_cast<size_t>(rule.shard) != shard) continue;
+    if (counters_[i].size() <= shard) counters_[i].resize(shard + 1, 0);
+    const uint64_t count = ++counters_[i][shard];
+    if (count % rule.period == 0 && action.kind == FaultKind::kNone) {
+      action.kind = rule.kind;
+      action.delay_ms = rule.delay_ms;
+    }
+  }
+  return action;
+}
+
+}  // namespace net
+}  // namespace kspr

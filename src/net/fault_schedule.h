@@ -1,0 +1,103 @@
+// Deterministic failure-injection schedules for the shard transport.
+//
+// A FaultSchedule is parsed from a compact spec string (CLI flag
+// `--fault-schedule`, CI matrix, benches):
+//
+//   spec    := rule ("," rule)*
+//   rule    := kind "@" period [":" ms] ["#" shard]
+//   kind    := drop | delay | dup | corrupt | disconnect
+//
+// `kind@period` fires on every period-th request the rule observes
+// (per-shard counters, so runs are deterministic regardless of thread
+// interleaving across shards). `:ms` is the delay duration (delay rules
+// only; defaults to 5 ms). `#shard` restricts the rule to one shard;
+// omitted means all shards. Example:
+//
+//   drop@7,corrupt@5#0,delay@3:10,disconnect@13
+//
+// The transports interpret the actions:
+//   kDrop        swallow the request frame (client times out, retries)
+//   kDelay       sleep `delay_ms` before sending (may exceed the deadline)
+//   kDuplicate   send the request twice (worker dedupe / seq discard)
+//   kCorrupt     flip a payload byte (checksum fails, connection poisoned)
+//   kDisconnect  close the connection before sending (reconnect path)
+
+#ifndef KSPR_NET_FAULT_SCHEDULE_H_
+#define KSPR_NET_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kspr {
+namespace net {
+
+enum class FaultKind : uint8_t {
+  kNone,
+  kDrop,
+  kDelay,
+  kDuplicate,
+  kCorrupt,
+  kDisconnect,
+};
+
+const char* ToString(FaultKind kind);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t period = 0;  // fire on every period-th observed request
+  int delay_ms = 5;     // kDelay only
+  int shard = -1;       // -1 = every shard
+};
+
+/// The action a transport must take on one request.
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  int delay_ms = 0;
+};
+
+/// A parsed schedule with per-(rule, shard) deterministic counters.
+/// Next() is thread-safe; with per-shard FIFO request delivery the fired
+/// actions are fully reproducible.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultRule> rules);
+
+  // Movable (fresh mutex; counters travel with the rules). Moving a
+  // schedule that another thread is concurrently calling Next() on is a
+  // caller bug, as with any non-atomic handoff.
+  FaultSchedule(FaultSchedule&& o) noexcept
+      : rules_(std::move(o.rules_)), counters_(std::move(o.counters_)) {}
+  FaultSchedule& operator=(FaultSchedule&& o) noexcept {
+    if (this != &o) {
+      rules_ = std::move(o.rules_);
+      counters_ = std::move(o.counters_);
+    }
+    return *this;
+  }
+
+  /// Parses `spec`; returns false and fills `error` on malformed input
+  /// (unknown kind, period < 1, bad numbers) so the CLI can report it.
+  static bool Parse(const std::string& spec, FaultSchedule* out,
+                    std::string* error);
+
+  bool empty() const { return rules_.empty(); }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  /// Advances every rule's counter for `shard` and returns the first rule
+  /// that fires (earlier rules in the spec win ties).
+  FaultAction Next(size_t shard);
+
+ private:
+  std::vector<FaultRule> rules_;
+  // counters_[rule][shard]; sized lazily in Next().
+  std::vector<std::vector<uint64_t>> counters_;
+  std::mutex mu_;
+};
+
+}  // namespace net
+}  // namespace kspr
+
+#endif  // KSPR_NET_FAULT_SCHEDULE_H_

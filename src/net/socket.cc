@@ -1,0 +1,205 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace kspr {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+/// Remaining budget in ms, clamped to [0, 1h]; -1 for "no deadline"
+/// (poll() semantics).
+int DeadlineToPollMs(Deadline deadline) {
+  if (deadline == NoDeadline()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  return static_cast<int>(std::clamp<long long>(left, 0, 3'600'000));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw SocketError(Errno("fcntl(O_NONBLOCK)"));
+  }
+}
+
+/// Waits for `events` on fd until the deadline; throws SocketTimeout when
+/// the budget runs out first.
+void WaitReady(int fd, short events, Deadline deadline, const char* what) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = poll(&pfd, 1, DeadlineToPollMs(deadline));
+    if (rc > 0) return;  // ready or error-ready; recv/send will report
+    if (rc == 0) throw SocketTimeout(std::string(what) + ": deadline expired");
+    if (errno == EINTR) continue;
+    throw SocketError(Errno("poll"));
+  }
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Deadline NoDeadline() { return Deadline::max(); }
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::SendAll(const uint8_t* data, size_t size, Deadline deadline) {
+  if (!valid()) throw SocketError("send on closed socket");
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      WaitReady(fd_, POLLOUT, deadline, "send");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw SocketError(Errno("send"));
+  }
+}
+
+void Socket::RecvAll(uint8_t* data, size_t size, Deadline deadline) {
+  if (!valid()) throw SocketError("recv on closed socket");
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) throw SocketError("peer closed connection mid-message");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      WaitReady(fd_, POLLIN, deadline, "recv");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw SocketError(Errno("recv"));
+  }
+}
+
+Socket ConnectLoopback(uint16_t port, Deadline deadline) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw SocketError(Errno("socket"));
+  Socket sock(fd);
+  SetNonBlocking(fd);
+  const sockaddr_in addr = LoopbackAddr(port);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) throw SocketError(Errno("connect"));
+  if (rc < 0) {
+    WaitReady(fd, POLLOUT, deadline, "connect");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      throw SocketError(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      throw SocketError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Listener::Listener() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw SocketError(Errno("socket"));
+  const int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(0);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string msg = Errno("bind");
+    Close();
+    throw SocketError(msg);
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string msg = Errno("getsockname");
+    Close();
+    throw SocketError(msg);
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, 64) < 0) {
+    const std::string msg = Errno("listen");
+    Close();
+    throw SocketError(msg);
+  }
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Listener::Accept(int poll_ms) {
+  if (fd_ < 0) throw SocketError("accept on closed listener");
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = poll(&pfd, 1, poll_ms);
+  if (rc == 0) return Socket();
+  if (rc < 0) {
+    if (errno == EINTR) return Socket();
+    throw SocketError(Errno("poll(accept)"));
+  }
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+        errno == EINTR) {
+      return Socket();
+    }
+    throw SocketError(Errno("accept"));
+  }
+  Socket sock(cfd);
+  SetNonBlocking(cfd);
+  const int one = 1;
+  setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace net
+}  // namespace kspr

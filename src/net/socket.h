@@ -1,0 +1,94 @@
+// Thin RAII wrappers over POSIX TCP sockets with deadline-based I/O.
+//
+// Everything here is loopback-oriented plumbing for the socket shard
+// transport: a connected Socket that can send/recv exact byte counts
+// under a deadline (poll()-driven, no SIGPIPE), a Listener bound to an
+// ephemeral 127.0.0.1 port, and a helper that connects with a timeout.
+// Failures surface as SocketError (a std::runtime_error); the caller maps
+// them into the typed TransportError vocabulary.
+
+#ifndef KSPR_NET_SOCKET_H_
+#define KSPR_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kspr {
+namespace net {
+
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a deadline expires mid send/recv — distinguished from
+/// SocketError so callers can report kTimeout instead of kConnection.
+class SocketTimeout : public SocketError {
+ public:
+  explicit SocketTimeout(const std::string& what) : SocketError(what) {}
+};
+
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// A deadline infinitely far away (blocking I/O).
+Deadline NoDeadline();
+
+/// An owned, connected TCP socket. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes exactly `size` bytes or throws (SocketTimeout past the
+  /// deadline, SocketError on peer reset / close).
+  void SendAll(const uint8_t* data, size_t size, Deadline deadline);
+  /// Reads exactly `size` bytes or throws; a clean peer close mid-read is
+  /// a SocketError.
+  void RecvAll(uint8_t* data, size_t size, Deadline deadline);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to 127.0.0.1:`port`, failing past `deadline`. TCP_NODELAY is
+/// set: frames are small and latency-bound.
+Socket ConnectLoopback(uint16_t port, Deadline deadline);
+
+/// A listening socket bound to an ephemeral loopback port.
+class Listener {
+ public:
+  /// Binds and listens on 127.0.0.1:0; throws SocketError on failure.
+  Listener();
+  ~Listener() { Close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  uint16_t port() const { return port_; }
+  void Close();
+
+  /// Waits up to `poll_ms` for one connection. Returns an invalid Socket
+  /// on timeout (callers poll in a loop around a stop flag).
+  Socket Accept(int poll_ms);
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace kspr
+
+#endif  // KSPR_NET_SOCKET_H_

@@ -1,0 +1,98 @@
+#include "shard/fault_transport.h"
+
+#include <chrono>
+#include <thread>
+
+namespace kspr {
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<ShardTransport> inner, net::FaultSchedule schedule,
+    std::shared_ptr<TransportStats> stats)
+    : inner_(std::move(inner)),
+      schedule_(std::move(schedule)),
+      stats_(std::move(stats)) {}
+
+template <typename Issue>
+auto FaultInjectingTransport::Inject(size_t shard, Issue issue)
+    -> std::future<decltype(issue().get())> {
+  using Result = decltype(issue().get());
+  const net::FaultAction action = schedule_.Next(shard);
+  if (action.kind != net::FaultKind::kNone && stats_) {
+    stats_->RecordFaultInjected();
+  }
+  switch (action.kind) {
+    case net::FaultKind::kNone:
+      return issue();
+    case net::FaultKind::kDrop: {
+      std::promise<Result> promise;
+      promise.set_exception(std::make_exception_ptr(TransportError(
+          TransportErrorKind::kTimeout, shard, "injected drop")));
+      return promise.get_future();
+    }
+    case net::FaultKind::kDisconnect: {
+      std::promise<Result> promise;
+      promise.set_exception(std::make_exception_ptr(TransportError(
+          TransportErrorKind::kConnection, shard, "injected disconnect")));
+      return promise.get_future();
+    }
+    case net::FaultKind::kDelay: {
+      // The sleep happens on the waiter's async thread, not the caller,
+      // so a scatter stays parallel.
+      return std::async(std::launch::async,
+                        [delay_ms = action.delay_ms,
+                         inner_future = issue()]() mutable -> Result {
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(delay_ms));
+                          return inner_future.get();
+                        });
+    }
+    case net::FaultKind::kDuplicate: {
+      // At-least-once delivery: the inner transport sees the request
+      // twice, in order; the caller gets the SECOND response. For updates
+      // this exercises the worker's batch_seq exactly-once ledger.
+      return std::async(std::launch::async,
+                        [first = issue(), second = issue()]() mutable {
+                          first.get();
+                          return second.get();
+                        });
+    }
+    case net::FaultKind::kCorrupt: {
+      return std::async(
+          std::launch::async,
+          [shard, inner_future = issue()]() mutable -> Result {
+            inner_future.get();  // response arrives, then fails its checksum
+            throw TransportError(TransportErrorKind::kProtocol, shard,
+                                 "injected frame corruption");
+          });
+    }
+  }
+  return issue();
+}
+
+std::future<CandidateResponse> FaultInjectingTransport::Candidates(
+    size_t shard, CandidateRequest request) {
+  return Inject(shard, [&] { return inner_->Candidates(shard, request); });
+}
+
+std::future<ShardUpdateResponse> FaultInjectingTransport::ApplyDelta(
+    size_t shard, ShardUpdateRequest request) {
+  return Inject(shard, [&] { return inner_->ApplyDelta(shard, request); });
+}
+
+std::future<RecordResponse> FaultInjectingTransport::GetRecord(
+    size_t shard, RecordId global_id) {
+  return Inject(shard, [&] { return inner_->GetRecord(shard, global_id); });
+}
+
+std::future<ShardInfo> FaultInjectingTransport::Info(size_t shard) {
+  return Inject(shard, [&] { return inner_->Info(shard); });
+}
+
+std::future<bool> FaultInjectingTransport::SaveSnapshot(size_t shard,
+                                                        std::string path) {
+  return Inject(shard, [&, path = std::move(path)] {
+    return inner_->SaveSnapshot(shard, path);
+  });
+}
+
+}  // namespace kspr

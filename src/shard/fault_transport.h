@@ -1,0 +1,70 @@
+// A ShardTransport decorator that injects failures ABOVE the wire.
+//
+// Where SocketShardTransport's built-in injection corrupts real frames to
+// exercise the socket retry/reconnect machinery, this decorator wraps ANY
+// transport (the local one included) and manufactures the *outcomes* the
+// router must survive — a timed-out future, a dead connection, a poisoned
+// frame, a duplicated delivery — deterministically from the same
+// net::FaultSchedule grammar. That makes router-level degraded-mode tests
+// cheap: no sockets, no sleeps beyond injected delays, fully reproducible.
+//
+// Action mapping (per forwarded request, counters advance per shard):
+//   kDrop        future throws TransportError{kTimeout}; the request never
+//                reaches the inner transport
+//   kDelay       sleeps delay_ms, then forwards
+//   kDuplicate   forwards TWICE, resolves to the second response — the
+//                worker's batch_seq ledger must absorb the first
+//   kCorrupt     forwards, discards the response, throws
+//                TransportError{kProtocol}
+//   kDisconnect  future throws TransportError{kConnection}
+//
+// The decorator does not retry: it models the transport AFTER its retry
+// budget, which is exactly the contract the router programs against.
+
+#ifndef KSPR_SHARD_FAULT_TRANSPORT_H_
+#define KSPR_SHARD_FAULT_TRANSPORT_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "engine/engine_stats.h"
+#include "net/fault_schedule.h"
+#include "net/transport_error.h"
+#include "shard/shard_transport.h"
+
+namespace kspr {
+
+class FaultInjectingTransport : public ShardTransport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<ShardTransport> inner,
+                          net::FaultSchedule schedule,
+                          std::shared_ptr<TransportStats> stats = nullptr);
+
+  size_t num_shards() const override { return inner_->num_shards(); }
+
+  std::future<CandidateResponse> Candidates(size_t shard,
+                                            CandidateRequest request) override;
+  std::future<ShardUpdateResponse> ApplyDelta(
+      size_t shard, ShardUpdateRequest request) override;
+  std::future<RecordResponse> GetRecord(size_t shard,
+                                        RecordId global_id) override;
+  std::future<ShardInfo> Info(size_t shard) override;
+  std::future<bool> SaveSnapshot(size_t shard, std::string path) override;
+
+ private:
+  /// Applies the shard's next scheduled action around `issue` (a callable
+  /// returning std::future<T> from the inner transport).
+  template <typename Issue>
+  auto Inject(size_t shard, Issue issue)
+      -> std::future<decltype(issue().get())>;
+
+  std::unique_ptr<ShardTransport> inner_;
+  net::FaultSchedule schedule_;
+  std::shared_ptr<TransportStats> stats_;
+};
+
+}  // namespace kspr
+
+#endif  // KSPR_SHARD_FAULT_TRANSPORT_H_

@@ -47,8 +47,10 @@
 #ifndef KSPR_SHARD_SHARD_ROUTER_H_
 #define KSPR_SHARD_SHARD_ROUTER_H_
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <shared_mutex>
 #include <string>
@@ -59,12 +61,31 @@
 #include "core/candidates.h"
 #include "core/options.h"
 #include "core/region.h"
+#include "engine/engine_stats.h"
 #include "engine/result_cache.h"
 #include "engine/subscription.h"
+#include "net/transport_error.h"
 #include "shard/shard_transport.h"
 #include "shard/shard_worker.h"
+#include "shard/socket_transport.h"
 
 namespace kspr {
+
+class ShardServer;  // shard/shard_server.h
+
+/// Which ShardTransport implementation ShardRouter::Create stands up.
+enum class TransportKind { kLocal, kSocket };
+
+/// Outcome class of a router operation under the failure model.
+///   kOk           every shard answered
+///   kPartial      some shards missing; the result covers the rest
+///                 (queries: only with RouterOptions::allow_partial;
+///                 updates: failed shard slices are queued for replay)
+///   kUnavailable  shards missing and partial serving not allowed — the
+///                 result is an empty placeholder
+enum class RouterStatus : uint8_t { kOk, kPartial, kUnavailable };
+
+const char* ToString(RouterStatus status);
 
 struct RouterOptions {
   size_t num_shards = 1;
@@ -82,6 +103,32 @@ struct RouterOptions {
   /// independent only when these are held constant across deployments.
   int solve_leaf_capacity = 64;
   int solve_fanout = 64;
+
+  /// Transport Create() stands up. kSocket starts one ShardServer per
+  /// worker on an ephemeral loopback port and a SocketShardTransport over
+  /// them — same data flow, real frames on real sockets.
+  TransportKind transport = TransportKind::kLocal;
+
+  /// Router-side wait budget per shard response, in ms; 0 waits forever.
+  /// Applies to EVERY transport — even the local one honors deadlines
+  /// through the AwaitShard helper. For sockets, set it at or above the
+  /// transport's full retry budget or the router will give up while the
+  /// supervisor is still retrying.
+  int shard_timeout_ms = 0;
+
+  /// Graceful degradation policy: false (default) fails a query fast with
+  /// RouterStatus::kUnavailable the moment a shard is missing; true
+  /// returns the reachable shards' merged result flagged kPartial with
+  /// the missing shard set. Partial results are never cached.
+  bool allow_partial = false;
+
+  /// Socket supervisor tuning (Create with kSocket); `socket.stats` is
+  /// defaulted to `stats` when unset.
+  SocketTransportOptions socket;
+
+  /// Fault-tolerance counters shared by the router and its transport;
+  /// created by the constructor when null.
+  std::shared_ptr<TransportStats> stats;
 };
 
 /// N-dependent scatter telemetry for one query. Deliberately SEPARATE
@@ -104,6 +151,13 @@ struct RouterQueryResult {
   /// `result` is then an empty placeholder.
   bool focal_live = true;
   ShardQueryStats scatter;
+  /// Failure-model verdict. kOk results are complete and cacheable;
+  /// kPartial results (opt-in) cover every shard EXCEPT `missing_shards`;
+  /// kUnavailable results are empty placeholders.
+  RouterStatus status = RouterStatus::kOk;
+  std::vector<size_t> missing_shards;
+  /// First shard failure, human-readable; empty when status is kOk.
+  std::string error;
 };
 
 /// A batch of global mutations: values to insert (the router assigns
@@ -126,6 +180,24 @@ struct RouterUpdateResult {
   size_t subscribers_irrelevant = 0;  // proven untouched, nothing emitted
   size_t subscribers_notified = 0;    // diff events delivered
   size_t subscribers_terminated = 0;  // focal deleted by this batch
+  /// kOk: every touched shard applied its slice. kPartial: the slices for
+  /// `failed_shards` are queued and will be replayed (in order, with their
+  /// original batch_seq) at the start of the next ApplyUpdates call; until
+  /// then those shards are excluded from query scatters.
+  RouterStatus status = RouterStatus::kOk;
+  std::vector<size_t> failed_shards;
+  size_t batches_replayed = 0;  // backlog batches that landed this call
+  std::string error;
+};
+
+/// Per-shard outcome of ShardRouter::SaveSnapshots. `paths` always lists
+/// every shard's target path; `failed_shards`/`errors` (aligned) name the
+/// shards whose save did not complete.
+struct SnapshotSaveResult {
+  bool ok = true;
+  std::vector<std::string> paths;
+  std::vector<size_t> failed_shards;
+  std::vector<std::string> errors;
 };
 
 class ShardRouter {
@@ -137,6 +209,14 @@ class ShardRouter {
   static std::unique_ptr<ShardRouter> CreateLocal(const Dataset& data,
                                                   RouterOptions options);
 
+  /// Transport-registry factory: builds the deployment selected by
+  /// `options.transport`. kLocal is CreateLocal; kSocket partitions the
+  /// same way, then runs every worker behind its own ShardServer on an
+  /// ephemeral loopback port with a SocketShardTransport in front — the
+  /// router owns servers and workers, so teardown order is safe.
+  static std::unique_ptr<ShardRouter> Create(const Dataset& data,
+                                             RouterOptions options);
+
   /// Fronts an existing transport (e.g. workers opened from per-shard
   /// disk snapshots). `next_global_id` must be one past the largest
   /// global id any shard holds; `transport->num_shards()` must equal
@@ -144,7 +224,9 @@ class ShardRouter {
   ShardRouter(std::unique_ptr<ShardTransport> transport,
               RecordId next_global_id, RouterOptions options);
 
-  ~ShardRouter() = default;
+  /// Out of line: tears the transport down before any owned servers and
+  /// workers (ShardServer is only forward-declared here).
+  ~ShardRouter();
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
@@ -156,6 +238,17 @@ class ShardRouter {
 
   /// One past the largest global id ever assigned.
   RecordId next_global_id() const;
+
+  /// Router-level serving state of one shard: kUp after a clean response,
+  /// kDegraded while update batches are queued for replay, kDown after a
+  /// failure that exhausted the transport's budget.
+  ShardHealth shard_health(size_t shard) const;
+  std::vector<ShardHealth> ShardHealths() const;
+
+  /// Shared fault-tolerance counters (never null after construction).
+  const std::shared_ptr<TransportStats>& transport_stats() const {
+    return options_.stats;
+  }
 
   /// kSPR query for dataset record `focal_id` (global id).
   RouterQueryResult Query(RecordId focal_id, const KsprOptions& options);
@@ -182,8 +275,9 @@ class ShardRouter {
   std::vector<ShardInfo> Info();
 
   /// Persists every shard as its own paged snapshot under
-  /// storage/shard_paths.h naming. Returns the per-shard paths.
-  std::vector<std::string> SaveSnapshots(const std::string& base_path);
+  /// storage/shard_paths.h naming. Per-shard failures are reported, not
+  /// swallowed: check `.ok` before trusting the snapshot set.
+  SnapshotSaveResult SaveSnapshots(const std::string& base_path);
 
   /// Splits `data` into per-shard slices by residue class (exposed for
   /// tests and for building disk-backed deployments shard by shard).
@@ -200,22 +294,47 @@ class ShardRouter {
     SubscriptionCallback callback;
   };
 
+  /// Shards a scatter could not cover: excluded up front (replay backlog
+  /// pending) or failed after the transport's full retry budget.
+  struct ScatterFailure {
+    std::vector<size_t> missing_shards;
+    std::string error;  // first failure, human-readable
+  };
+
   /// The scatter-gather pipeline: per-shard skybands -> merge -> global
   /// reduce -> focal filter -> sort -> mini arrangement. Callers hold
-  /// update_mu_ (shared or unique).
+  /// update_mu_ (shared or unique). Shard failures land in `failure`;
+  /// returns null when shards are missing and partial serving is off.
   std::shared_ptr<const KsprResult> ComputeLocked(const Vec& focal,
                                                   RecordId focal_id,
                                                   const KsprOptions& options,
-                                                  ShardQueryStats* scatter);
+                                                  ShardQueryStats* scatter,
+                                                  ScatterFailure* failure);
 
   RouterQueryResult QueryLocked(const Vec& focal, RecordId focal_id,
                                 const KsprOptions& options);
 
   /// Resolves a global id on its owning shard. Callers hold update_mu_.
+  /// Throws TransportError when the shard is unreachable or serving stale
+  /// state (pending replay).
   RecordResponse ResolveRecord(RecordId global_id);
+
+  /// Deadline-aware future wait: every transport response funnels through
+  /// here so even LocalShardTransport honors shard_timeout_ms. Converts
+  /// any non-transport exception (a worker throw surfacing through a
+  /// local future) into TransportError{kRemote}.
+  template <typename T>
+  T AwaitShard(std::future<T>& future, size_t shard);
+
+  void SetHealth(size_t shard, ShardHealth health);
 
   ShardMap map_;
   RouterOptions options_;
+  /// Socket deployments (Create with kSocket): the router owns the
+  /// worker + server pairs. Declared BEFORE transport_ so the client
+  /// transport (and its supervisor threads) is destroyed first.
+  std::vector<std::unique_ptr<ShardWorker>> owned_workers_;
+  std::vector<std::unique_ptr<ShardServer>> owned_servers_;
   std::unique_ptr<ShardTransport> transport_;
 
   /// Readers (Query) hold shared; ApplyUpdates/Subscribe hold unique.
@@ -223,6 +342,23 @@ class ShardRouter {
 
   RecordId next_global_ = 0;          // guarded by update_mu_
   uint64_t router_version_ = 0;       // guarded by update_mu_
+
+  /// Update slices that failed after the transport's retry budget, in
+  /// arrival order with their original batch_seq — replayed at the start
+  /// of the next ApplyUpdates. A shard with a backlog serves stale state
+  /// and is excluded from query scatters. Guarded by update_mu_ (queries
+  /// only read emptiness under the shared lock).
+  std::vector<std::deque<ShardUpdateRequest>> pending_replay_;
+  /// Next ApplyDelta sequence per shard, starting at 1 (0 = unsequenced).
+  /// Guarded by update_mu_ (writer side only).
+  std::vector<uint64_t> next_batch_seq_;
+  /// Set when a failed batch forced a blind cache drop; the next fully
+  /// successful update sweep recomputes EVERY subscriber (the untouched
+  /// proof needs the failed shards' skyband diffs, which are gone).
+  bool subs_full_sweep_ = false;  // guarded by update_mu_
+
+  mutable std::mutex health_mu_;
+  std::vector<ShardHealth> health_;
 
   /// Front-end result cache, keyed on (focal, options, router_version_).
   /// Internally locked; entries restamped across no-op-for-them batches.

@@ -1,0 +1,148 @@
+#include "shard/shard_server.h"
+
+#include <utility>
+
+#include "net/wire.h"
+
+namespace kspr {
+
+namespace {
+/// Accept-poll slice; bounds how long Stop() waits on the accept thread.
+constexpr int kAcceptPollMs = 50;
+}  // namespace
+
+ShardServer::ShardServer(ShardWorker* worker) : worker_(worker) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+void ShardServer::Stop() {
+  if (stop_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers.swap(handlers_);
+  }
+  // Handlers notice stop_ at their next poll slice (RecvAll runs under a
+  // short deadline loop in ServeConnection).
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ShardServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    net::Socket conn = listener_.Accept(kAcceptPollMs);
+    if (!conn.valid()) continue;
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    handlers_.emplace_back(
+        [this, c = std::move(conn)]() mutable { ServeConnection(std::move(c)); });
+  }
+}
+
+void ShardServer::ServeConnection(net::Socket conn) {
+  std::vector<uint8_t> header(net::kFrameHeaderSize);
+  std::vector<uint8_t> payload;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    net::FrameHeader request;
+    try {
+      // Idle-wait for the next request in short slices so Stop() is never
+      // blocked behind a quiet client; once the first header byte lands
+      // the rest of the frame is read under one generous deadline.
+      try {
+        conn.RecvAll(header.data(), 1,
+                     std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(kAcceptPollMs));
+      } catch (const net::SocketTimeout&) {
+        continue;
+      }
+      const net::Deadline deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      conn.RecvAll(header.data() + 1, header.size() - 1, deadline);
+      request = net::DecodeFrameHeader(header.data());
+      payload.resize(request.payload_size);
+      conn.RecvAll(payload.data(), payload.size(), deadline);
+      net::VerifyPayload(request, payload.data());
+    } catch (const std::exception&) {
+      // Dead peer or poisoned stream: either way this connection is done.
+      return;
+    }
+
+    net::MessageType response_type = net::MessageType::kError;
+    std::vector<uint8_t> response_payload;
+    try {
+      std::lock_guard<std::mutex> lock(worker_mu_);
+      switch (request.type) {
+        case net::MessageType::kCandidatesRequest: {
+          const CandidateRequest req =
+              net::DecodeCandidateRequest(payload.data(), payload.size());
+          response_payload = net::Encode(worker_->Candidates(req));
+          response_type = net::MessageType::kCandidatesResponse;
+          break;
+        }
+        case net::MessageType::kApplyDeltaRequest: {
+          const ShardUpdateRequest req =
+              net::DecodeShardUpdateRequest(payload.data(), payload.size());
+          response_payload = net::Encode(worker_->ApplyDelta(req));
+          response_type = net::MessageType::kApplyDeltaResponse;
+          break;
+        }
+        case net::MessageType::kGetRecordRequest: {
+          const RecordId id =
+              net::DecodeGetRecordRequest(payload.data(), payload.size());
+          response_payload = net::Encode(worker_->GetRecord(id));
+          response_type = net::MessageType::kGetRecordResponse;
+          break;
+        }
+        case net::MessageType::kInfoRequest: {
+          net::DecodeInfoRequest(payload.data(), payload.size());
+          response_payload = net::Encode(worker_->Info());
+          response_type = net::MessageType::kInfoResponse;
+          break;
+        }
+        case net::MessageType::kSaveSnapshotRequest: {
+          const std::string path =
+              net::DecodeSaveSnapshotRequest(payload.data(), payload.size());
+          net::SaveSnapshotResponse resp;
+          resp.ok = worker_->SaveSnapshot(path);
+          if (!resp.ok) resp.error = "snapshot save failed at " + path;
+          response_payload = net::Encode(resp);
+          response_type = net::MessageType::kSaveSnapshotResponse;
+          break;
+        }
+        default: {
+          // A known frame type that is not a request (a client echoing a
+          // response at us) poisons the stream.
+          return;
+        }
+      }
+    } catch (const net::WireError&) {
+      // Structurally valid frame, semantically unreadable payload: the
+      // stream alignment is fine but the request is garbage — report it.
+      net::ErrorBody err;
+      err.message = "malformed request payload";
+      response_payload = net::Encode(err);
+      response_type = net::MessageType::kError;
+    } catch (const std::exception& e) {
+      net::ErrorBody err;
+      err.message = e.what();
+      response_payload = net::Encode(err);
+      response_type = net::MessageType::kError;
+    }
+
+    try {
+      const std::vector<uint8_t> frame =
+          net::EncodeFrame(response_type, request.seq, response_payload);
+      conn.SendAll(frame.data(), frame.size(),
+                   std::chrono::steady_clock::now() + std::chrono::seconds(30));
+    } catch (const std::exception&) {
+      return;
+    }
+  }
+}
+
+}  // namespace kspr

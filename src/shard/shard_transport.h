@@ -58,6 +58,12 @@ struct ShardInsert {
 /// (distinct subscriber / cached-query k values) the shard must report
 /// skyband changes for.
 struct ShardUpdateRequest {
+  /// Router-assigned, per-shard monotonically increasing batch number
+  /// (starting at 1; 0 means "unsequenced — always apply"). Workers apply
+  /// a given batch_seq at most once and replay the cached response on a
+  /// duplicate, which is what makes transport-level retries of ApplyDelta
+  /// safe (exactly-once apply under at-least-once delivery).
+  uint64_t batch_seq = 0;
   std::vector<ShardInsert> inserts;
   std::vector<RecordId> delete_global_ids;
   std::vector<int> skyband_ks;
@@ -91,6 +97,9 @@ struct ShardInfo {
   uint64_t shard_version = 0;
   RecordId records_total = 0;  // slots including tombstones
   RecordId records_live = 0;
+  /// Router-side only (never on the wire): false when the shard could not
+  /// be reached and the counters above are meaningless zeros.
+  bool reachable = true;
 };
 
 class ShardTransport {

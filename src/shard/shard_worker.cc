@@ -65,6 +65,16 @@ CandidateResponse ShardWorker::Candidates(const CandidateRequest& request) {
 
 ShardUpdateResponse ShardWorker::ApplyDelta(
     const ShardUpdateRequest& request) {
+  // Exactly-once apply under at-least-once delivery: the router's
+  // sequenced batches (batch_seq > 0) are idempotent here. A duplicate of
+  // the last applied batch — a transport retry whose first attempt did
+  // land, or an injected duplicate frame — replays the cached response
+  // instead of double-applying. Per-shard FIFO delivery plus the router's
+  // one-outstanding-batch-per-shard discipline mean a stale seq can only
+  // ever equal the last one.
+  if (request.batch_seq != 0 && request.batch_seq <= last_batch_seq_) {
+    return last_batch_response_;
+  }
   ShardUpdateResponse response;
 
   // Pre-batch skybands for every k the router tracks: computed against the
@@ -122,6 +132,10 @@ ShardUpdateResponse ShardWorker::ApplyDelta(
     }
     response.skyband_changes.push_back(std::move(change));
   }
+  if (request.batch_seq != 0) {
+    last_batch_seq_ = request.batch_seq;
+    last_batch_response_ = response;
+  }
   return response;
 }
 
@@ -147,11 +161,18 @@ ShardInfo ShardWorker::Info() const {
 }
 
 bool ShardWorker::SaveSnapshot(const std::string& path) {
-  if (storage_ != nullptr) {
-    // Resave materialises a still-hollow tree before serialising.
-    storage_->Resave(path);
-  } else {
-    StorageEngine::Save(path, *data_, *tree_);
+  // A failed save (unwritable path, full disk) must degrade to a reported
+  // per-shard failure, not tear down the serving worker — and over a
+  // socket an exception would otherwise kill the whole connection.
+  try {
+    if (storage_ != nullptr) {
+      // Resave materialises a still-hollow tree before serialising.
+      storage_->Resave(path);
+    } else {
+      StorageEngine::Save(path, *data_, *tree_);
+    }
+  } catch (const std::exception&) {
+    return false;
   }
   return true;
 }

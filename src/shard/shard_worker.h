@@ -106,6 +106,12 @@ class ShardWorker {
     std::vector<RecordId> local_ids;  // BBS pop order
   };
   std::map<int, CachedBand> skyband_cache_;  // keyed by k
+
+  /// Exactly-once update ledger: last applied router batch_seq and its
+  /// response, replayed verbatim on duplicate delivery (shard_transport.h
+  /// documents the sequencing contract).
+  uint64_t last_batch_seq_ = 0;
+  ShardUpdateResponse last_batch_response_;
 };
 
 }  // namespace kspr

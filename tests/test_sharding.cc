@@ -24,6 +24,8 @@
 #include "datagen/synthetic.h"
 #include "index/bbs.h"
 #include "index/rtree.h"
+#include "net/fault_schedule.h"
+#include "shard/fault_transport.h"
 #include "shard/local_transport.h"
 #include "shard/shard_router.h"
 #include "shard/shard_worker.h"
@@ -570,7 +572,9 @@ TEST(ShardingStorageTest, SnapshotRoundTripServesIdentically) {
 
   const std::string base =
       ::testing::TempDir() + "/kspr_shard_roundtrip";
-  std::vector<std::string> paths = original->SaveSnapshots(base);
+  const SnapshotSaveResult saved = original->SaveSnapshots(base);
+  ASSERT_TRUE(saved.ok);
+  const std::vector<std::string>& paths = saved.paths;
   ASSERT_EQ(paths.size(), n);
 
   std::vector<std::unique_ptr<ShardWorker>> workers;
@@ -604,6 +608,336 @@ TEST(ShardingStorageTest, SnapshotRoundTripServesIdentically) {
                        "post-update round trip");
   }
   for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant transport: sockets, failure injection, degraded serving
+// ---------------------------------------------------------------------------
+
+// A router over a FaultInjectingTransport-wrapped local transport: the
+// decorator manufactures post-retry-budget outcomes (timeouts, dead
+// connections, poisoned frames) deterministically, which is what the
+// degraded-mode tests below program against.
+std::unique_ptr<ShardRouter> FaultyLocalRouter(const Dataset& data,
+                                               const std::string& spec,
+                                               RouterOptions options) {
+  const ShardMap map(options.num_shards);
+  if (options.worker.engine.workers <= 0) options.worker.engine.workers = 1;
+  if (!options.stats) options.stats = std::make_shared<TransportStats>();
+  std::vector<Dataset> slices = ShardRouter::PartitionDataset(data, map);
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  for (size_t s = 0; s < slices.size(); ++s) {
+    workers.push_back(std::make_unique<ShardWorker>(
+        s, map, std::move(slices[s]), options.worker));
+  }
+  net::FaultSchedule schedule;
+  std::string error;
+  EXPECT_TRUE(net::FaultSchedule::Parse(spec, &schedule, &error)) << error;
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::make_unique<LocalShardTransport>(std::move(workers)),
+      std::move(schedule), options.stats);
+  return std::make_unique<ShardRouter>(std::move(faulty), data.size(),
+                                       std::move(options));
+}
+
+// The tentpole gate over real sockets: a Create(kSocket) deployment —
+// frames, checksums, supervisor threads and all — answers bitwise-
+// identically to the single-shard local deployment at every shard count,
+// before and after an update batch.
+TEST(SocketTransportTest, BitwiseIdenticalToLocalAcrossShardCounts) {
+  const Dataset data = GenerateAntiCorrelated(120, 3, 97);
+  const RecordId focal = MaxSumRecord(data);
+  const Vec hypothetical{0.7, 0.65, 0.72};
+  constexpr Algorithm kAlgos[] = {Algorithm::kCta, Algorithm::kLpCta};
+
+  RouterUpdateBatch batch;
+  batch.inserts = {Vec{0.94, 0.91, 0.9}, Vec{0.25, 0.3, 0.2}};
+  batch.deletes = {RecordId{5}};
+
+  auto reference = ShardRouter::CreateLocal(data, TestRouterOptions(1));
+  std::map<Algorithm, std::shared_ptr<const KsprResult>> pre, pre_hypo, post;
+  for (Algorithm algo : kAlgos) {
+    pre[algo] = reference->Query(focal, QueryOptions(algo, 2)).result;
+    pre_hypo[algo] = reference->Query(hypothetical, QueryOptions(algo, 2)).result;
+  }
+  reference->ApplyUpdates(batch);
+  for (Algorithm algo : kAlgos) {
+    post[algo] = reference->Query(focal, QueryOptions(algo, 2)).result;
+  }
+
+  for (size_t n : kShardCounts) {
+    RouterOptions options = TestRouterOptions(n);
+    options.transport = TransportKind::kSocket;
+    auto router = ShardRouter::Create(data, options);
+    for (Algorithm algo : kAlgos) {
+      RouterQueryResult got = router->Query(focal, QueryOptions(algo, 2));
+      ASSERT_EQ(got.status, RouterStatus::kOk);
+      ASSERT_TRUE(got.focal_live);
+      ExpectBitwiseEqual(*pre[algo], *got.result, "socket pre-update");
+      RouterQueryResult hypo =
+          router->Query(hypothetical, QueryOptions(algo, 2));
+      ExpectBitwiseEqual(*pre_hypo[algo], *hypo.result,
+                         "socket hypothetical");
+    }
+    RouterUpdateResult u = router->ApplyUpdates(batch);
+    EXPECT_EQ(u.status, RouterStatus::kOk);
+    for (Algorithm algo : kAlgos) {
+      RouterQueryResult got = router->Query(focal, QueryOptions(algo, 2));
+      ASSERT_EQ(got.status, RouterStatus::kOk);
+      ExpectBitwiseEqual(*post[algo], *got.result, "socket post-update");
+    }
+    // A clean run never retries, fails or reconnects.
+    const TransportStats::Snapshot s = router->transport_stats()->Get();
+    EXPECT_GT(s.requests, 0);
+    EXPECT_EQ(s.retries, 0);
+    EXPECT_EQ(s.failures, 0);
+    EXPECT_EQ(s.reconnects, 0);
+    for (size_t shard = 0; shard < n; ++shard) {
+      EXPECT_EQ(router->shard_health(shard), ShardHealth::kUp);
+    }
+  }
+}
+
+// The acceptance fault run: a socket deployment under an injected frame
+// fault schedule (drops -> timeout/retry, duplicates -> stale-seq
+// discard + worker dedupe, disconnects -> reconnect) still answers
+// bitwise-identically to a clean single-shard deployment, and the
+// TransportStats counters prove at least one retry and one reconnect
+// actually happened.
+TEST(SocketTransportTest, FaultScheduleForcesRetryAndReconnect) {
+  const Dataset data = GenerateAntiCorrelated(80, 3, 101);
+  const RecordId focal = MaxSumRecord(data);
+  const Vec hypothetical{0.72, 0.68, 0.7};
+  const size_t n = 4;
+
+  net::FaultSchedule faults;
+  std::string parse_error;
+  ASSERT_TRUE(net::FaultSchedule::Parse("drop@5,disconnect@7,dup@9", &faults,
+                                        &parse_error))
+      << parse_error;
+
+  RouterOptions options = TestRouterOptions(n);
+  options.transport = TransportKind::kSocket;
+  options.socket.request_timeout_ms = 200;  // dropped frames time out fast
+  options.socket.max_retries = 6;
+  options.socket.faults = &faults;  // must outlive the router
+  auto router = ShardRouter::Create(data, options);
+  auto clean = ShardRouter::CreateLocal(data, TestRouterOptions(1));
+
+  RouterUpdateBatch batch;
+  batch.inserts = {Vec{0.9, 0.85, 0.92}, Vec{0.3, 0.4, 0.35},
+                   Vec{0.88, 0.9, 0.8}, Vec{0.2, 0.25, 0.3}};
+
+  // Enough traffic that every shard's request counter passes the fault
+  // periods: 6 scatters + the update delta = 7+ requests per shard.
+  for (int k : {1, 2, 3}) {
+    const KsprOptions q = QueryOptions(Algorithm::kCta, k);
+    RouterQueryResult got = router->Query(focal, q);
+    ASSERT_EQ(got.status, RouterStatus::kOk) << got.error;
+    ExpectBitwiseEqual(*clean->Query(focal, q).result, *got.result,
+                       "faulted socket query");
+  }
+  RouterUpdateResult u = router->ApplyUpdates(batch);
+  ASSERT_EQ(u.status, RouterStatus::kOk) << u.error;
+  clean->ApplyUpdates(batch);
+  for (int k : {1, 2, 3}) {
+    const KsprOptions q = QueryOptions(Algorithm::kCta, k);
+    RouterQueryResult got = router->Query(hypothetical, q);
+    ASSERT_EQ(got.status, RouterStatus::kOk) << got.error;
+    ExpectBitwiseEqual(*clean->Query(hypothetical, q).result, *got.result,
+                       "faulted socket post-update query");
+  }
+
+  const TransportStats::Snapshot s = router->transport_stats()->Get();
+  EXPECT_GE(s.faults_injected, 1);
+  EXPECT_GE(s.timeouts, 1);    // every drop burns one attempt deadline
+  EXPECT_GE(s.retries, 1);     // the acceptance gate: >= 1 forced retry
+  EXPECT_GE(s.reconnects, 1);  // and >= 1 reconnect
+  EXPECT_EQ(s.failures, 0);    // the budget absorbed every fault
+  for (size_t shard = 0; shard < n; ++shard) {
+    EXPECT_EQ(router->shard_health(shard), ShardHealth::kUp);
+  }
+}
+
+// Default policy: a query that cannot cover every shard fails fast with
+// kUnavailable and an empty placeholder — no silently wrong answers.
+TEST(DegradedModeTest, FailFastQueryIsUnavailable) {
+  const Dataset data = GenerateIndependent(80, 3, 103);
+  const size_t n = 4;
+  auto router = FaultyLocalRouter(data, "drop@1#2", TestRouterOptions(n));
+  const KsprOptions options = QueryOptions(Algorithm::kCta, 2);
+
+  RouterQueryResult got = router->Query(Vec{0.7, 0.65, 0.72}, options);
+  EXPECT_EQ(got.status, RouterStatus::kUnavailable);
+  EXPECT_EQ(got.missing_shards, std::vector<size_t>{2});
+  EXPECT_TRUE(got.result->regions.empty());
+  EXPECT_FALSE(got.error.empty());
+  EXPECT_EQ(router->shard_health(2), ShardHealth::kDown);
+
+  // A record focal owned by the dead shard fails at resolution; one owned
+  // by a live shard fails at the scatter. Both surface kUnavailable.
+  const ShardMap map(n);
+  RecordId on_dead = kInvalidRecord, on_live = kInvalidRecord;
+  for (RecordId g = 0; g < data.size(); ++g) {
+    if (map.ShardOf(g) == 2 && on_dead == kInvalidRecord) on_dead = g;
+    if (map.ShardOf(g) == 0 && on_live == kInvalidRecord) on_live = g;
+  }
+  EXPECT_EQ(router->Query(on_dead, options).status,
+            RouterStatus::kUnavailable);
+  EXPECT_EQ(router->Query(on_live, options).status,
+            RouterStatus::kUnavailable);
+
+  // A standing query must start from a complete state.
+  EXPECT_EQ(router->Subscribe(on_live, options,
+                              [](const SubscriptionEvent&) {}),
+            kInvalidSubscription);
+}
+
+// Opt-in partial serving: the merged result of the reachable shards,
+// flagged kPartial with the missing shard set, bitwise-equal to a clean
+// deployment over the dataset minus the dead shard's records — and never
+// cached.
+TEST(DegradedModeTest, PartialQueryCoversReachableShards) {
+  const Dataset data = GenerateAntiCorrelated(96, 3, 107);
+  const size_t n = 4;
+  const Vec hypothetical{0.7, 0.68, 0.66};
+  RouterOptions options = TestRouterOptions(n);
+  options.allow_partial = true;
+  auto router = FaultyLocalRouter(data, "drop@1#2", options);
+  const KsprOptions q = QueryOptions(Algorithm::kCta, 2);
+
+  RouterQueryResult got = router->Query(hypothetical, q);
+  ASSERT_EQ(got.status, RouterStatus::kPartial);
+  EXPECT_EQ(got.missing_shards, std::vector<size_t>{2});
+  EXPECT_FALSE(got.error.empty());
+
+  // The partial answer IS the right answer for the reachable subset.
+  const ShardMap map(n);
+  Dataset reachable = data;
+  for (RecordId g = 0; g < data.size(); ++g) {
+    if (map.ShardOf(g) == 2) reachable.Delete(g);
+  }
+  auto clean = ShardRouter::CreateLocal(reachable, TestRouterOptions(1));
+  ExpectBitwiseEqual(*clean->Query(hypothetical, q).result, *got.result,
+                     "partial vs reachable-subset rebuild");
+
+  // Partial results are never cached: the repeat is a fresh scatter.
+  RouterQueryResult again = router->Query(hypothetical, q);
+  EXPECT_EQ(again.status, RouterStatus::kPartial);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(router->cache_size(), 0u);
+}
+
+// Update slices that fail after the retry budget are queued and replayed
+// in order with their original batch_seq; the shard serves stale state
+// (and is excluded from scatters) until the backlog drains, then the
+// deployment converges bitwise with a clean mirror.
+TEST(DegradedModeTest, UpdateBacklogReplaysInOrder) {
+  const Dataset data = GenerateIndependent(40, 3, 109);
+  ASSERT_EQ(data.size() % 2, 0);  // insert ids alternate shards below
+  RouterOptions options = TestRouterOptions(2);
+  options.stats = std::make_shared<TransportStats>();
+  // Shard 1's 4th request fails: batches A..C land, D's slice is queued.
+  auto router = FaultyLocalRouter(data, "drop@4#1", options);
+  const KsprOptions q = QueryOptions(Algorithm::kCta, 2);
+
+  // Four batches of two inserts each: ids (even, odd) touch both shards,
+  // so shard 1 sees exactly one ApplyDelta per batch.
+  Dataset mirror = data;
+  std::vector<RouterUpdateBatch> batches(4);
+  batches[0].inserts = {Vec{0.9, 0.8, 0.85}, Vec{0.82, 0.9, 0.8}};
+  batches[1].inserts = {Vec{0.3, 0.4, 0.35}, Vec{0.88, 0.86, 0.9}};
+  batches[2].inserts = {Vec{0.7, 0.75, 0.72}, Vec{0.2, 0.3, 0.25}};
+  batches[3].inserts = {Vec{0.92, 0.87, 0.89}, Vec{0.84, 0.91, 0.86}};
+  for (const RouterUpdateBatch& b : batches) {
+    for (const Vec& v : b.inserts) mirror.Insert(v);
+  }
+
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(router->ApplyUpdates(batches[i]).status, RouterStatus::kOk);
+  }
+  RouterUpdateResult failed = router->ApplyUpdates(batches[3]);
+  EXPECT_EQ(failed.status, RouterStatus::kPartial);
+  EXPECT_EQ(failed.failed_shards, std::vector<size_t>{1});
+  EXPECT_FALSE(failed.error.empty());
+  EXPECT_EQ(router->shard_health(1), ShardHealth::kDown);
+
+  // While the backlog is pending: shard 1 is excluded from scatters
+  // (fail-fast -> kUnavailable) and record resolution there refuses to
+  // serve stale state. Neither consumes a shard-1 request.
+  RouterQueryResult unavailable = router->Query(Vec{0.7, 0.7, 0.7}, q);
+  EXPECT_EQ(unavailable.status, RouterStatus::kUnavailable);
+  EXPECT_EQ(unavailable.missing_shards, std::vector<size_t>{1});
+  EXPECT_EQ(router->Query(RecordId{1}, q).status, RouterStatus::kUnavailable);
+
+  // The next update replays the queued slice first (shard 1 request #5),
+  // then delivers its own slice (shard 0 only: one even-id insert).
+  RouterUpdateBatch recovery;
+  recovery.inserts = {Vec{0.5, 0.55, 0.5}};
+  mirror.Insert(recovery.inserts[0]);
+  RouterUpdateResult recovered = router->ApplyUpdates(recovery);
+  EXPECT_EQ(recovered.status, RouterStatus::kOk);
+  EXPECT_EQ(recovered.batches_replayed, 1u);
+  EXPECT_EQ(router->shard_health(1), ShardHealth::kUp);
+  EXPECT_EQ(options.stats->Get().replays, 1);
+
+  // Converged: bitwise-identical to a clean rebuild of the mirror.
+  auto clean = ShardRouter::CreateLocal(mirror, TestRouterOptions(1));
+  const RecordId focal = MaxSumRecord(data);
+  RouterQueryResult got = router->Query(focal, q);
+  ASSERT_EQ(got.status, RouterStatus::kOk) << got.error;
+  ExpectBitwiseEqual(*clean->Query(focal, q).result, *got.result,
+                     "post-replay convergence");
+}
+
+// RouterOptions::shard_timeout_ms bounds every shard wait — including
+// over the local transport, through the AwaitShard deadline helper. The
+// same injected delay that breaks a 50 ms budget passes a generous one.
+TEST(DegradedModeTest, RouterTimeoutBudgetIsHonored) {
+  const Dataset data = GenerateIndependent(60, 3, 113);
+  const Vec hypothetical{0.7, 0.65, 0.6};
+  const KsprOptions q = QueryOptions(Algorithm::kCta, 2);
+
+  RouterOptions tight = TestRouterOptions(2);
+  tight.shard_timeout_ms = 50;
+  auto slow = FaultyLocalRouter(data, "delay@1:300", tight);
+  RouterQueryResult got = slow->Query(hypothetical, q);
+  EXPECT_EQ(got.status, RouterStatus::kUnavailable);
+  EXPECT_NE(got.error.find("wait budget"), std::string::npos) << got.error;
+
+  RouterOptions generous = TestRouterOptions(2);
+  generous.shard_timeout_ms = 5000;
+  auto patient = FaultyLocalRouter(data, "delay@1:300", generous);
+  RouterQueryResult ok = patient->Query(hypothetical, q);
+  ASSERT_EQ(ok.status, RouterStatus::kOk) << ok.error;
+  auto clean = ShardRouter::CreateLocal(data, TestRouterOptions(1));
+  ExpectBitwiseEqual(*clean->Query(hypothetical, q).result, *ok.result,
+                     "delayed but complete");
+}
+
+// Satellite regression: a shard snapshot that cannot be written is
+// reported per shard (ok=false, failed_shards + errors), never silently
+// swallowed into a missing file.
+TEST(ShardingStorageTest, SnapshotSaveFailureIsReported) {
+  const Dataset data = GenerateIndependent(50, 3, 127);
+  auto router = ShardRouter::CreateLocal(data, TestRouterOptions(2));
+
+  // /dev/null is not a directory: every per-shard open must fail.
+  const SnapshotSaveResult bad = router->SaveSnapshots("/dev/null/kspr_snap");
+  EXPECT_FALSE(bad.ok);
+  ASSERT_EQ(bad.paths.size(), 2u);
+  EXPECT_EQ(bad.failed_shards, (std::vector<size_t>{0, 1}));
+  ASSERT_EQ(bad.errors.size(), 2u);
+  for (const std::string& error : bad.errors) {
+    EXPECT_NE(error.find("snapshot save failed"), std::string::npos) << error;
+  }
+
+  // The same router still saves cleanly to a writable target.
+  const std::string base = ::testing::TempDir() + "/kspr_snap_ok";
+  const SnapshotSaveResult good = router->SaveSnapshots(base);
+  EXPECT_TRUE(good.ok);
+  EXPECT_TRUE(good.failed_shards.empty());
+  for (const std::string& path : good.paths) std::remove(path.c_str());
 }
 
 }  // namespace
