@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the compilation database with a suppression baseline.
+
+Usage:
+    scripts/run_clang_tidy.py [--build-dir build] [--jobs N]
+                              [--clang-tidy clang-tidy-16]
+                              [--baseline scripts/clang_tidy_baseline.txt]
+
+Reads `<build-dir>/compile_commands.json` (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON — the root CMakeLists does this
+unconditionally), runs clang-tidy on every translation unit under src/,
+and diffs the diagnostics against the committed baseline:
+
+  * a diagnostic NOT in the baseline  -> FAIL (new debt; fix or justify)
+  * a baseline entry with no match    -> WARN (stale; delete the entry)
+
+Baseline format, one entry per line:
+    <repo-relative-path> <check-name>  # justification
+
+Exit status: 0 when no new diagnostics, 1 otherwise.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$")
+
+
+def load_baseline(path):
+    entries = {}
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            print(f"WARN: {path.name}:{lineno}: malformed entry {raw!r}")
+            continue
+        entries[(parts[0], parts[1])] = lineno
+    return entries
+
+
+def load_database(build_dir):
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"FAIL: {db_path} not found — configure the build first "
+              "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+        return None
+    sources = []
+    for entry in json.loads(db_path.read_text()):
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = Path(entry["directory"]) / src
+        src = src.resolve()
+        try:
+            rel = src.relative_to(REPO_ROOT)
+        except ValueError:
+            continue
+        if rel.parts[0] == "src":
+            sources.append(src)
+    return sorted(set(sources))
+
+
+def run_one(clang_tidy, build_dir, source):
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", str(source)],
+        capture_output=True, text=True, check=False)
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        path = Path(m.group("path")).resolve()
+        try:
+            rel = str(path.relative_to(REPO_ROOT))
+        except ValueError:
+            rel = str(path)
+        for check in m.group("check").split(","):
+            diags.append((rel, check, int(m.group("line")), m.group("msg")))
+    return diags
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy executable to use")
+    parser.add_argument("--baseline",
+                        default=str(REPO_ROOT / "scripts" / "clang_tidy_baseline.txt"),
+                        help="suppression baseline file")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="parallel clang-tidy processes")
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        print(f"FAIL: {args.clang_tidy} not on PATH")
+        return 1
+
+    build_dir = Path(args.build_dir)
+    if not build_dir.is_absolute():
+        build_dir = REPO_ROOT / build_dir
+    sources = load_database(build_dir)
+    if sources is None:
+        return 1
+    if not sources:
+        print("FAIL: no src/ translation units in the compilation database")
+        return 1
+
+    baseline = load_baseline(Path(args.baseline))
+
+    all_diags = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [pool.submit(run_one, args.clang_tidy, build_dir, s)
+                   for s in sources]
+        for future in concurrent.futures.as_completed(futures):
+            all_diags.extend(future.result())
+
+    seen_keys = set()
+    new_findings = []
+    for rel, check, line, msg in sorted(set(all_diags)):
+        key = (rel, check)
+        seen_keys.add(key)
+        if key not in baseline:
+            new_findings.append((rel, check, line, msg))
+
+    for rel, check, line, msg in new_findings:
+        print(f"FAIL: {rel}:{line}: {msg} [{check}]")
+    for (rel, check), lineno in sorted(baseline.items()):
+        if (rel, check) not in seen_keys:
+            print(f"WARN: stale baseline entry (line {lineno}): {rel} {check}")
+
+    print(f"\nchecked {len(sources)} translation unit(s): "
+          f"{len(new_findings)} new finding(s), "
+          f"{len(baseline)} baseline entr(ies)")
+    return 1 if new_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

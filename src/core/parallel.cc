@@ -12,10 +12,10 @@ ThreadTeam::ThreadTeam(int num_threads) {
 
 ThreadTeam::~ThreadTeam() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& helper : helpers_) helper.join();
 }
 
@@ -26,19 +26,19 @@ void ThreadTeam::ParallelFor(int n, const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fn_ = &fn;
     n_ = n;
     cursor_.store(0, std::memory_order_relaxed);
     working_ = static_cast<int>(helpers_.size());
     ++generation_;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (int i; (i = cursor_.fetch_add(1, std::memory_order_relaxed)) < n;) {
     fn(i);
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return working_ == 0; });
+  MutexLock lock(&mu_);
+  while (working_ != 0) done_cv_.Wait(mu_);
   fn_ = nullptr;
 }
 
@@ -48,9 +48,8 @@ void ThreadTeam::HelperLoop() {
     const std::function<void(int)>* fn;
     int n;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait(lock,
-                    [&] { return stopping_ || generation_ != seen; });
+      MutexLock lock(&mu_);
+      while (!stopping_ && generation_ == seen) wake_cv_.Wait(mu_);
       if (stopping_) return;
       seen = generation_;
       fn = fn_;
@@ -60,10 +59,10 @@ void ThreadTeam::HelperLoop() {
       (*fn)(i);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --working_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 

@@ -19,11 +19,12 @@
 #define KSPR_CORE_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace kspr {
 
@@ -73,14 +74,15 @@ class ThreadTeam final : public Executor {
  private:
   void HelperLoop();
 
-  std::mutex mu_;
-  std::condition_variable wake_cv_;  // helpers wait for a new generation
-  std::condition_variable done_cv_;  // caller waits for helpers to finish
-  uint64_t generation_ = 0;
-  int working_ = 0;  // helpers still inside the current generation
-  bool stopping_ = false;
-  const std::function<void(int)>* fn_ = nullptr;
-  int n_ = 0;
+  Mutex mu_;
+  CondVar wake_cv_;  // helpers wait for a new generation
+  CondVar done_cv_;  // caller waits for helpers to finish
+  uint64_t generation_ KSPR_GUARDED_BY(mu_) = 0;
+  // helpers still inside the current generation
+  int working_ KSPR_GUARDED_BY(mu_) = 0;
+  bool stopping_ KSPR_GUARDED_BY(mu_) = false;
+  const std::function<void(int)>* fn_ KSPR_GUARDED_BY(mu_) = nullptr;
+  int n_ KSPR_GUARDED_BY(mu_) = 0;
   std::atomic<int> cursor_{0};  // shared claim index ("stealing" frontier)
   std::vector<std::thread> helpers_;
 };

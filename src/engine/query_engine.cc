@@ -2,8 +2,6 @@
 
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -69,7 +67,7 @@ QueryEngine::QueryEngine(StorageEngine* storage, EngineOptions options)
 }
 
 void QueryEngine::Canonicalize(QueryRequest* request) const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   if (request->focal_id != kInvalidRecord) {
     assert(request->focal_id >= 0 && request->focal_id < data_->size());
     request->focal = data_->Get(request->focal_id);
@@ -79,7 +77,7 @@ void QueryEngine::Canonicalize(QueryRequest* request) const {
 }
 
 uint64_t QueryEngine::dataset_version() const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   return data_->version();
 }
 
@@ -98,7 +96,7 @@ bool QueryEngine::ExecuteAmortized(const QueryRequest& request,
 
   std::shared_ptr<AmortizedSlot> slot;
   {
-    std::lock_guard<std::mutex> lock(amortized_mu_);
+    MutexLock lock(&amortized_mu_);
     for (auto it = amortized_.begin(); it != amortized_.end(); ++it) {
       if ((*it)->key == key) {
         slot = *it;
@@ -118,7 +116,7 @@ bool QueryEngine::ExecuteAmortized(const QueryRequest& request,
     }
   }
 
-  std::lock_guard<std::mutex> slot_lock(slot->mu);
+  MutexLock slot_lock(&slot->mu);
   bool built = false;
   if (slot->ctx == nullptr) {
     slot->ctx = std::make_unique<AmortizedCta>(data_, request.focal,
@@ -150,7 +148,7 @@ QueryResponse QueryEngine::Execute(const QueryRequest& request, int worker) {
 
   // Shared-side of the update quiesce: ApplyUpdates blocks until every
   // in-flight Execute has released this lock.
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
 
   // A record focal may have been deleted between Canonicalize (or the
   // caller's own validation) and this point. Its tombstoned values are
@@ -215,7 +213,7 @@ UpdateResult QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
 
   // Writer side of the quiesce: waits for all in-flight queries, blocks
   // new ones until the batch (and the cache sweep) is done.
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  WriterLock lock(&update_mu_);
 
   // A disk-backed tree cannot be mutated page-by-page: pull every node
   // into memory first (and mark the snapshot stale). The quiesce makes
@@ -309,17 +307,27 @@ UpdateResult QueryEngine::ApplyUpdates(const UpdateBatch& batch) {
   // context is kept (AmortizedCta::InvalidatedByDelete). Inserts are
   // handled lazily by AmortizedCta::Advance.
   {
-    std::lock_guard<std::mutex> alock(amortized_mu_);
+    MutexLock alock(&amortized_mu_);
     for (auto it = amortized_.begin(); it != amortized_.end();) {
-      const RecordId focal_id = (*it)->key.focal_id;
-      if (focal_id != kInvalidRecord && !data.IsLive(focal_id)) {
+      AmortizedSlot& slot = **it;
+      if (slot.key.focal_id != kInvalidRecord &&
+          !data.IsLive(slot.key.focal_id)) {
+        // An in-flight query may still hold the slot's shared_ptr; erasing
+        // only drops the list's reference.
         it = amortized_.erase(it);
         continue;
       }
-      if ((*it)->ctx != nullptr) {
+      // The context is guarded by the slot mutex, not the list mutex. The
+      // writer quiesce means no query can hold it here today, but the
+      // sweep must not rely on that outer invariant — an evicted slot
+      // already outlives the list, and future callers could reach a
+      // context without the quiesce. Lock order: update_mu_ ->
+      // amortized_mu_ -> slot.mu.
+      MutexLock slot_lock(&slot.mu);
+      if (slot.ctx != nullptr) {
         for (RecordId id : deleted_ids) {
-          if ((*it)->ctx->InvalidatedByDelete(id)) {
-            (*it)->ctx.reset();
+          if (slot.ctx->InvalidatedByDelete(id)) {
+            slot.ctx.reset();
             break;
           }
         }
@@ -352,7 +360,7 @@ SubscriptionId QueryEngine::Subscribe(RecordId focal_id,
   // Shared side of the quiesce: the initial build reads the dataset and
   // must not interleave with ApplyUpdates (which also sweeps the
   // subscriber list under the writer lock).
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   if (focal_id == kInvalidRecord || focal_id < 0 ||
       focal_id >= data_->size() || !data_->IsLive(focal_id)) {
     return kInvalidSubscription;
@@ -362,7 +370,7 @@ SubscriptionId QueryEngine::Subscribe(RecordId focal_id,
 }
 
 bool QueryEngine::Unsubscribe(SubscriptionId id) {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   return subscriptions_.Unsubscribe(id);
 }
 
@@ -407,9 +415,9 @@ std::vector<QueryResponse> QueryEngine::RunAll(
   struct Job {
     std::atomic<size_t> next{0};
     std::atomic<int> active;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
+    Mutex mu;
+    CondVar cv;
+    bool done KSPR_GUARDED_BY(mu) = false;
   } job;
   const int fanout = pool_.size();
   job.active.store(fanout, std::memory_order_relaxed);
@@ -422,14 +430,14 @@ std::vector<QueryResponse> QueryEngine::RunAll(
         responses[i] = Execute(batch[i], worker);
       }
       if (job.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(job.mu);
+        MutexLock lock(&job.mu);
         job.done = true;
-        job.cv.notify_one();
+        job.cv.NotifyOne();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(job.mu);
-  job.cv.wait(lock, [&job] { return job.done; });
+  MutexLock lock(&job.mu);
+  while (!job.done) job.cv.Wait(job.mu);
   return responses;
 }
 

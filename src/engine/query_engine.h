@@ -40,11 +40,10 @@
 
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/sync.h"
 #include "core/parallel.h"
 #include "common/types.h"
 #include "common/vec.h"
@@ -232,10 +231,11 @@ class QueryEngine {
   /// before this returns) and every subsequent ApplyUpdates batch pushes a
   /// region diff to `callback` — or nothing at all when the batch provably
   /// cannot touch the subscriber (see engine/subscription.h for the
-  /// classification rules and the diff-replay contract). The callback runs
-  /// under the engine's update lock: keep it quick and never call back
-  /// into the engine from it. Requires options.algorithm == kCta and a
-  /// live focal record; returns kInvalidSubscription otherwise.
+  /// classification rules and the diff-replay contract).
+  /// REENTRANCY: the callback runs under the engine's update lock — keep
+  /// it quick and never call back into the engine from it.
+  /// Requires options.algorithm == kCta and a live focal record; returns
+  /// kInvalidSubscription otherwise.
   SubscriptionId Subscribe(RecordId focal_id, const KsprOptions& options,
                            SubscriptionCallback callback);
 
@@ -256,11 +256,13 @@ class QueryEngine {
 
  private:
   /// One cached amortized CTA context. `mu` serialises queries that share
-  /// the context; the slot list itself is guarded by amortized_mu_.
+  /// the context; the slot list itself is guarded by amortized_mu_. `key`
+  /// is written once at slot creation (under amortized_mu_) and immutable
+  /// afterwards.
   struct AmortizedSlot {
     CacheKey key;  // dataset_version zeroed: identity across versions
-    std::mutex mu;
-    std::unique_ptr<AmortizedCta> ctx;
+    Mutex mu;
+    std::unique_ptr<AmortizedCta> ctx KSPR_GUARDED_BY(mu);
   };
 
   /// Runs one query on worker `worker`: cache lookup, solver call on miss,
@@ -269,16 +271,22 @@ class QueryEngine {
 
   /// The amortized-context path of Execute (returns false when the request
   /// cannot be served amortized and must fall through to the solver).
-  bool ExecuteAmortized(const QueryRequest& request,
-                        QueryResponse* response);
+  /// Caller holds the quiesce lock shared, like every query path.
+  bool ExecuteAmortized(const QueryRequest& request, QueryResponse* response)
+      KSPR_REQUIRES_SHARED(update_mu_);
 
   /// Fills in `focal` from the dataset when only `focal_id` was given.
   void Canonicalize(QueryRequest* request) const;
 
-  const Dataset* data_;
-  Dataset* mutable_data_ = nullptr;  // non-null for the dynamic ctor
-  RTree* mutable_index_ = nullptr;
-  StorageEngine* storage_ = nullptr;  // non-null for the disk-backed ctor
+  /// The quiesce: queries hold shared, ApplyUpdates holds exclusive.
+  mutable SharedMutex update_mu_;
+
+  const Dataset* data_ KSPR_PT_GUARDED_BY(update_mu_);
+  // non-null for the dynamic ctor
+  Dataset* mutable_data_ KSPR_PT_GUARDED_BY(update_mu_) = nullptr;
+  RTree* mutable_index_ KSPR_PT_GUARDED_BY(update_mu_) = nullptr;
+  // non-null for the disk-backed ctor
+  StorageEngine* storage_ KSPR_PT_GUARDED_BY(update_mu_) = nullptr;
   KsprSolver solver_;
   ResultCache cache_;
   EngineStats stats_;
@@ -286,12 +294,9 @@ class QueryEngine {
   size_t targeted_invalidation_max_delta_ = 16;
   size_t amortized_capacity_ = 0;
 
-  /// Readers (Execute, Canonicalize) hold shared; ApplyUpdates holds
-  /// unique — that is the quiesce.
-  mutable std::shared_mutex update_mu_;
-
-  std::mutex amortized_mu_;
-  std::vector<std::shared_ptr<AmortizedSlot>> amortized_;  // MRU front
+  Mutex amortized_mu_;
+  std::vector<std::shared_ptr<AmortizedSlot>> amortized_
+      KSPR_GUARDED_BY(amortized_mu_);  // MRU front
 
   /// Standing subscriptions; swept by ApplyUpdates under the writer lock.
   SubscriptionManager subscriptions_;

@@ -78,7 +78,7 @@ uint64_t CacheKey::Hash() const {
 
 std::shared_ptr<const KsprResult> ResultCache::Get(const CacheKey& key) {
   if (capacity_ == 0) return nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);  // promote
@@ -88,7 +88,7 @@ std::shared_ptr<const KsprResult> ResultCache::Get(const CacheKey& key) {
 void ResultCache::Put(const CacheKey& key,
                       std::shared_ptr<const KsprResult> result) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent miss on the same key computed this twice; keep the newer
@@ -107,7 +107,7 @@ void ResultCache::Put(const CacheKey& key,
 
 std::pair<size_t, size_t> ResultCache::OnDatasetUpdate(
     uint64_t new_version, const std::function<bool(const CacheKey&)>& drop) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (drop(it->key)) {
@@ -140,13 +140,13 @@ std::pair<size_t, size_t> ResultCache::OnDatasetUpdate(
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 

@@ -15,10 +15,10 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "common/sync.h"
 #include "common/types.h"
 #include "common/vec.h"
 #include "core/options.h"
@@ -96,10 +96,10 @@ class ResultCache {
   };
 
   size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
+  mutable Mutex mu_;
+  std::list<Entry> lru_ KSPR_GUARDED_BY(mu_);  // front = most recently used
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-      index_;
+      index_ KSPR_GUARDED_BY(mu_);
 };
 
 }  // namespace kspr

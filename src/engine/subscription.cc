@@ -47,7 +47,7 @@ SubscriptionId SubscriptionManager::Subscribe(const Vec& focal,
                                             sub->options);
   sub->current = sub->ctx->Collect();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sub->id = next_id_++;
   const SubscriptionId id = sub->id;
   // The initial event is emitted even when the region set is empty: it
@@ -63,7 +63,7 @@ SubscriptionId SubscriptionManager::Subscribe(const Vec& focal,
 }
 
 bool SubscriptionManager::Unsubscribe(SubscriptionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = subs_.begin(); it != subs_.end(); ++it) {
     if ((*it)->id == id) {
       subs_.erase(it);
@@ -74,7 +74,7 @@ bool SubscriptionManager::Unsubscribe(SubscriptionId id) {
 }
 
 size_t SubscriptionManager::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return subs_.size();
 }
 
@@ -82,7 +82,7 @@ SubscriptionManager::SweepStats SubscriptionManager::OnUpdates(
     const std::vector<Vec>& delta, const std::vector<RecordId>& deleted_ids,
     uint64_t version) {
   SweepStats sweep;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sweep.examined = subs_.size();
 
   for (auto it = subs_.begin(); it != subs_.end();) {

@@ -46,10 +46,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "common/vec.h"
 #include "core/amortized.h"
@@ -86,9 +86,10 @@ struct SubscriptionEvent {
   size_t num_regions = 0;
 };
 
-/// Invoked synchronously under the engine's update lock (and, for the
-/// initial event, from inside Subscribe). Callbacks must be quick and must
-/// not call back into the QueryEngine or the manager — doing so deadlocks.
+// REENTRANCY: invoked synchronously under the engine's update lock (and,
+// for the initial event, from inside Subscribe, under the manager's own
+// mutex). Callbacks must be quick and must not call back into the
+// QueryEngine or the manager — doing so deadlocks.
 using SubscriptionCallback = std::function<void(const SubscriptionEvent&)>;
 
 class SubscriptionManager {
@@ -115,6 +116,9 @@ class SubscriptionManager {
   /// record's current value; `options.algorithm` must be kCta (the
   /// amortized context is a CTA skeleton). The caller serialises this
   /// against OnUpdates (the QueryEngine holds its update lock shared).
+  /// REENTRANCY: the callback fires synchronously under the manager's
+  /// mutex (here for kInitial, from OnUpdates for diffs) — it must not
+  /// call back into this manager.
   SubscriptionId Subscribe(const Vec& focal, RecordId focal_id,
                            const KsprOptions& options,
                            SubscriptionCallback callback);
@@ -146,14 +150,16 @@ class SubscriptionManager {
     SubscriptionCallback callback;
   };
 
+  // Delivers one event to `sub`'s callback. Runs under mu_ — part of the
+  // callback re-entrancy contract documented on SubscriptionCallback.
   void Emit(const Subscriber& sub, SubscriptionEventKind kind,
-            uint64_t version, ResultDiff diff) const;
+            uint64_t version, ResultDiff diff) const KSPR_REQUIRES(mu_);
 
   const Dataset* data_;
   EngineStats* stats_;
-  mutable std::mutex mu_;
-  SubscriptionId next_id_ = 0;
-  std::vector<std::unique_ptr<Subscriber>> subs_;
+  mutable Mutex mu_;
+  SubscriptionId next_id_ KSPR_GUARDED_BY(mu_) = 0;
+  std::vector<std::unique_ptr<Subscriber>> subs_ KSPR_GUARDED_BY(mu_);
 };
 
 }  // namespace kspr

@@ -3,12 +3,12 @@
 #ifndef KSPR_ENGINE_THREAD_POOL_H_
 #define KSPR_ENGINE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace kspr {
 
@@ -41,10 +41,10 @@ class ThreadPool {
  private:
   void WorkerLoop(int worker);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<Task> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<Task> queue_ KSPR_GUARDED_BY(mu_);
+  bool stopping_ KSPR_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

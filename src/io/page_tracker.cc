@@ -11,7 +11,7 @@ PageTracker::PageTracker(int buffer_pages, double read_latency_ms)
 
 void PageTracker::ConfigureLevels(std::vector<uint8_t> level_of_page,
                                   std::vector<int> level_capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   parts_.clear();
   parts_.resize(std::max<size_t>(1, level_capacity.size()));
   for (size_t l = 0; l < level_capacity.size(); ++l) {
@@ -43,7 +43,7 @@ void PageTracker::DropLocked(
 
 void PageTracker::Access(int page_id) {
   accesses_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Partition& part = PartitionOf(page_id);
   if (part.capacity <= 0) {
     reads_.fetch_add(1, std::memory_order_relaxed);
@@ -68,7 +68,7 @@ void PageTracker::Access(int page_id) {
 }
 
 void PageTracker::Retire(int page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Partition& part = PartitionOf(page_id);
   auto it = part.resident.find(page_id);
   if (it == part.resident.end()) return;
@@ -77,7 +77,7 @@ void PageTracker::Retire(int page_id) {
 }
 
 void PageTracker::RetireAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (Partition& part : parts_) {
     retired_.fetch_add(static_cast<int64_t>(part.lru.size()),
                        std::memory_order_relaxed);
@@ -90,7 +90,7 @@ void PageTracker::RetireAll() {
 }
 
 int64_t PageTracker::resident_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t total = 0;
   for (const Partition& part : parts_) {
     total += static_cast<int64_t>(part.lru.size());
@@ -99,7 +99,7 @@ int64_t PageTracker::resident_pages() const {
 }
 
 std::vector<int> PageTracker::ResidentPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<int> out;
   for (const Partition& part : parts_) {
     out.insert(out.end(), part.lru.begin(), part.lru.end());
@@ -108,7 +108,7 @@ std::vector<int> PageTracker::ResidentPages() const {
 }
 
 void PageTracker::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   reads_.store(0, std::memory_order_relaxed);
   accesses_.store(0, std::memory_order_relaxed);
   retired_.store(0, std::memory_order_relaxed);

@@ -31,11 +31,11 @@
 // phantom page survives an update batch.
 //
 // Thread safety: a PageTracker may be shared by concurrent readers (the
-// query engine runs many queries against one index). Access/Retire/Reset
-// serialise on an internal mutex; the counters are atomics so reads()/
+// query engine runs many queries against one index). Every mutating entry
+// point — including the ConfigureLevels/SetListener setup calls —
+// serialises on the internal mutex; the counters are atomics so reads()/
 // accesses() never block the hot path. Listener hooks run under that
-// mutex. ConfigureLevels/SetListener are setup-time calls: they must not
-// race Access.
+// mutex.
 
 #ifndef KSPR_IO_PAGE_TRACKER_H_
 #define KSPR_IO_PAGE_TRACKER_H_
@@ -43,19 +43,19 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "io/disk_model.h"
 
 namespace kspr {
 
 class PageTracker {
  public:
-  /// Hooks a real storage tier installs on the policy core. Both run under
-  /// the tracker's mutex, so implementations must not call back into the
-  /// tracker.
+  /// Hooks a real storage tier installs on the policy core.
+  /// REENTRANCY: both hooks run under the tracker's mutex —
+  /// implementations must not call back into the tracker.
   class Listener {
    public:
     virtual ~Listener() = default;
@@ -83,8 +83,15 @@ class PageTracker {
   void ConfigureLevels(std::vector<uint8_t> level_of_page,
                        std::vector<int> level_capacity);
 
-  /// Installs (or clears, with nullptr) the real-I/O hooks.
-  void SetListener(Listener* listener) { listener_ = listener; }
+  /// Installs (or clears, with nullptr) the real-I/O hooks. Serialised
+  /// against Access/Retire so a listener can be detached while readers
+  /// are still running (see BufferPool::DetachIo).
+  /// REENTRANCY: the listener's hooks run under this tracker's mutex —
+  /// they must not call back into the tracker.
+  void SetListener(Listener* listener) {
+    MutexLock lock(&mu_);
+    listener_ = listener;
+  }
 
   /// Records an access to `page_id`; counts a read on buffer miss.
   void Access(int page_id);
@@ -134,19 +141,20 @@ class PageTracker {
     std::unordered_map<int, std::list<int>::iterator> resident;
   };
 
-  Partition& PartitionOf(int page_id);
+  Partition& PartitionOf(int page_id) KSPR_REQUIRES(mu_);
   void DropLocked(Partition& part,
                   std::unordered_map<int, std::list<int>::iterator>::iterator
-                      it);
+                      it) KSPR_REQUIRES(mu_);
 
   double latency_ms_;
-  Listener* listener_ = nullptr;
   std::atomic<int64_t> reads_{0};
   std::atomic<int64_t> accesses_{0};
   std::atomic<int64_t> retired_{0};
-  mutable std::mutex mu_;
-  std::vector<Partition> parts_;        // >= 1
-  std::vector<uint8_t> level_of_page_;  // empty: everything in parts_[0]
+  mutable Mutex mu_;
+  Listener* listener_ KSPR_GUARDED_BY(mu_) = nullptr;
+  std::vector<Partition> parts_ KSPR_GUARDED_BY(mu_);  // >= 1
+  // empty: everything in parts_[0]
+  std::vector<uint8_t> level_of_page_ KSPR_GUARDED_BY(mu_);
 };
 
 }  // namespace kspr

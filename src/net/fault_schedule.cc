@@ -107,14 +107,19 @@ bool FaultSchedule::Parse(const std::string& spec, FaultSchedule* out,
     }
     rules.push_back(rule);
   }
-  out->counters_.assign(rules.size(), {});
-  out->rules_ = std::move(rules);
+  {
+    // Install atomically w.r.t. Next(): a schedule re-parsed in place must
+    // never expose new rules with stale (or half-cleared) counters.
+    MutexLock lock(&out->mu_);
+    out->counters_.assign(rules.size(), {});
+    out->rules_ = std::move(rules);
+  }
   error->clear();
   return true;
 }
 
 FaultAction FaultSchedule::Next(size_t shard) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FaultAction action;
   for (size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& rule = rules_[i];

@@ -26,9 +26,10 @@
 #define KSPR_NET_FAULT_SCHEDULE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace kspr {
 namespace net {
@@ -67,10 +68,13 @@ class FaultSchedule {
 
   // Movable (fresh mutex; counters travel with the rules). Moving a
   // schedule that another thread is concurrently calling Next() on is a
-  // caller bug, as with any non-atomic handoff.
-  FaultSchedule(FaultSchedule&& o) noexcept
+  // caller bug, as with any non-atomic handoff — which is why the analysis
+  // is waived here: a move is an exclusive handoff by contract, and the
+  // source's mutex cannot be held across its own move.
+  FaultSchedule(FaultSchedule&& o) noexcept KSPR_NO_THREAD_SAFETY_ANALYSIS
       : rules_(std::move(o.rules_)), counters_(std::move(o.counters_)) {}
-  FaultSchedule& operator=(FaultSchedule&& o) noexcept {
+  FaultSchedule& operator=(FaultSchedule&& o) noexcept
+      KSPR_NO_THREAD_SAFETY_ANALYSIS {
     if (this != &o) {
       rules_ = std::move(o.rules_);
       counters_ = std::move(o.counters_);
@@ -80,6 +84,8 @@ class FaultSchedule {
 
   /// Parses `spec`; returns false and fills `error` on malformed input
   /// (unknown kind, period < 1, bad numbers) so the CLI can report it.
+  /// Takes `out`'s mutex while installing the parsed rules, so a schedule
+  /// re-parsed in place is never observed half-written by Next().
   static bool Parse(const std::string& spec, FaultSchedule* out,
                     std::string* error);
 
@@ -91,10 +97,13 @@ class FaultSchedule {
   FaultAction Next(size_t shard);
 
  private:
+  // Immutable between Parse/construction and destruction as far as
+  // concurrent use goes (empty()/rules() read it without the lock); Parse
+  // rewrites it under mu_ together with the counters.
   std::vector<FaultRule> rules_;
   // counters_[rule][shard]; sized lazily in Next().
-  std::vector<std::vector<uint64_t>> counters_;
-  std::mutex mu_;
+  std::vector<std::vector<uint64_t>> counters_ KSPR_GUARDED_BY(mu_);
+  Mutex mu_;
 };
 
 }  // namespace net

@@ -58,7 +58,7 @@ class FaultInjectingTransport : public ShardTransport {
   /// returning std::future<T> from the inner transport).
   template <typename Issue>
   auto Inject(size_t shard, Issue issue)
-      -> std::future<decltype(issue().get())>;
+      -> std::future<decltype(issue().get())>;  // lint:allow(bare-future-wait) unevaluated type context
 
   std::unique_ptr<ShardTransport> inner_;
   net::FaultSchedule schedule_;

@@ -25,10 +25,10 @@ LocalShardTransport::LocalShardTransport(
 LocalShardTransport::~LocalShardTransport() {
   for (std::unique_ptr<Shard>& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       shard->stop = true;
     }
-    shard->cv.notify_one();
+    shard->cv.NotifyOne();
   }
   for (std::unique_ptr<Shard>& shard : shards_) shard->thread.join();
 }
@@ -37,9 +37,8 @@ void LocalShardTransport::DrainLoop(Shard* shard) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(shard->mu);
-      shard->cv.wait(lock,
-                     [shard] { return shard->stop || !shard->queue.empty(); });
+      MutexLock lock(&shard->mu);
+      while (!shard->stop && shard->queue.empty()) shard->cv.Wait(shard->mu);
       if (shard->queue.empty()) {
         // stop was requested and the queue is drained: every issued
         // future has been fulfilled.
@@ -62,11 +61,11 @@ auto LocalShardTransport::Enqueue(size_t shard_index, Fn fn)
       std::move(fn));
   std::future<Result> future = task->get_future();
   {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->queue.push_back(
         [task, shard] { (*task)(*shard->worker); });
   }
-  shard->cv.notify_one();
+  shard->cv.NotifyOne();
   return future;
 }
 

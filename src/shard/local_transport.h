@@ -18,15 +18,14 @@
 #ifndef KSPR_SHARD_LOCAL_TRANSPORT_H_
 #define KSPR_SHARD_LOCAL_TRANSPORT_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "shard/shard_transport.h"
 #include "shard/shard_worker.h"
 
@@ -59,11 +58,11 @@ class LocalShardTransport : public ShardTransport {
   /// from `thread`, which is what makes ShardWorker's no-internal-locking
   /// contract sound.
   struct Shard {
-    std::unique_ptr<ShardWorker> worker;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
-    bool stop = false;
+    std::unique_ptr<ShardWorker> worker;  // touched only from `thread`
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::function<void()>> queue KSPR_GUARDED_BY(mu);
+    bool stop KSPR_GUARDED_BY(mu) = false;
     std::thread thread;
   };
 

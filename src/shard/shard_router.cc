@@ -126,38 +126,39 @@ ShardRouter::~ShardRouter() {
 }
 
 uint64_t ShardRouter::version() const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   return router_version_;
 }
 
 RecordId ShardRouter::next_global_id() const {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   return next_global_;
 }
 
 size_t ShardRouter::num_subscriptions() const {
-  std::lock_guard<std::mutex> lock(subs_mu_);
+  MutexLock lock(&subs_mu_);
   return subs_.size();
 }
 
 ShardHealth ShardRouter::shard_health(size_t shard) const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(&health_mu_);
   return health_[shard];
 }
 
 std::vector<ShardHealth> ShardRouter::ShardHealths() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(&health_mu_);
   return health_;
 }
 
 void ShardRouter::SetHealth(size_t shard, ShardHealth health) {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(&health_mu_);
   health_[shard] = health;
 }
 
 template <typename T>
 T ShardRouter::AwaitShard(std::future<T>& future, size_t shard) {
   if (options_.shard_timeout_ms > 0) {
+    // lint:allow(bare-future-wait) AwaitShard IS the sanctioned funnel.
     const auto status = future.wait_for(
         std::chrono::milliseconds(options_.shard_timeout_ms));
     if (status != std::future_status::ready) {
@@ -170,7 +171,7 @@ T ShardRouter::AwaitShard(std::future<T>& future, size_t shard) {
     }
   }
   try {
-    return future.get();
+    return future.get();  // lint:allow(bare-future-wait) the funnel itself
   } catch (const TransportError&) {
     throw;
   } catch (const std::exception& e) {
@@ -286,7 +287,7 @@ RouterQueryResult ShardRouter::QueryLocked(const Vec& focal,
     // active_ks_ BEFORE the next update batch runs its sweep; updates
     // hold the writer lock, so recording here (still under the shared
     // lock) is early enough.
-    std::lock_guard<std::mutex> lock(ks_mu_);
+    MutexLock lock(&ks_mu_);
     active_ks_.insert(options.k);
   }
   return out;
@@ -294,7 +295,7 @@ RouterQueryResult ShardRouter::QueryLocked(const Vec& focal,
 
 RouterQueryResult ShardRouter::Query(RecordId focal_id,
                                      const KsprOptions& options) {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   RouterQueryResult out;
   RecordResponse record;
   try {
@@ -316,12 +317,12 @@ RouterQueryResult ShardRouter::Query(RecordId focal_id,
 
 RouterQueryResult ShardRouter::Query(const Vec& focal,
                                      const KsprOptions& options) {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   return QueryLocked(focal, kInvalidRecord, options);
 }
 
 RouterUpdateResult ShardRouter::ApplyUpdates(const RouterUpdateBatch& batch) {
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  WriterLock lock(&update_mu_);
   RouterUpdateResult out;
 
   // Phase 0 — replay: drain each shard's backlog in arrival order before
@@ -352,7 +353,7 @@ RouterUpdateResult ShardRouter::ApplyUpdates(const RouterUpdateBatch& batch) {
 
   std::vector<int> ks;
   {
-    std::lock_guard<std::mutex> ks_lock(ks_mu_);
+    MutexLock ks_lock(&ks_mu_);
     ks.assign(active_ks_.begin(), active_ks_.end());
   }
 
@@ -467,7 +468,7 @@ RouterUpdateResult ShardRouter::ApplyUpdates(const RouterUpdateBatch& batch) {
   // (diffs are taken against sub.current, so nothing is lost).
   const bool full_sweep = subs_full_sweep_;
   bool sweep_clean = !degraded;
-  std::lock_guard<std::mutex> subs_lock(subs_mu_);
+  MutexLock subs_lock(&subs_mu_);
   for (size_t i = 0; i < subs_.size();) {
     RouterSubscription& sub = *subs_[i];
     ++out.subscribers_examined;
@@ -528,7 +529,7 @@ RouterUpdateResult ShardRouter::ApplyUpdates(const RouterUpdateBatch& batch) {
 SubscriptionId ShardRouter::Subscribe(RecordId focal_id,
                                       const KsprOptions& options,
                                       SubscriptionCallback callback) {
-  std::unique_lock<std::shared_mutex> lock(update_mu_);
+  WriterLock lock(&update_mu_);
   if (options.k < 1) return kInvalidSubscription;
   RecordResponse record;
   try {
@@ -552,7 +553,7 @@ SubscriptionId ShardRouter::Subscribe(RecordId focal_id,
   sub->current = *initial.result;
   sub->callback = std::move(callback);
 
-  std::lock_guard<std::mutex> subs_lock(subs_mu_);
+  MutexLock subs_lock(&subs_mu_);
   sub->id = next_subscription_++;
 
   SubscriptionEvent event;
@@ -570,7 +571,7 @@ SubscriptionId ShardRouter::Subscribe(RecordId focal_id,
 }
 
 bool ShardRouter::Unsubscribe(SubscriptionId id) {
-  std::lock_guard<std::mutex> lock(subs_mu_);
+  MutexLock lock(&subs_mu_);
   for (size_t i = 0; i < subs_.size(); ++i) {
     if (subs_[i]->id == id) {
       subs_.erase(subs_.begin() + static_cast<ptrdiff_t>(i));
@@ -581,7 +582,7 @@ bool ShardRouter::Unsubscribe(SubscriptionId id) {
 }
 
 std::vector<ShardInfo> ShardRouter::Info() {
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   std::vector<std::future<ShardInfo>> futures;
   futures.reserve(map_.num_shards());
   for (size_t s = 0; s < map_.num_shards(); ++s) {
@@ -605,7 +606,7 @@ std::vector<ShardInfo> ShardRouter::Info() {
 SnapshotSaveResult ShardRouter::SaveSnapshots(const std::string& base_path) {
   // The shared lock excludes ApplyUpdates, so the N snapshots form one
   // consistent cut of the global record set.
-  std::shared_lock<std::shared_mutex> lock(update_mu_);
+  ReaderLock lock(&update_mu_);
   SnapshotSaveResult out;
   std::vector<std::future<bool>> futures;
   out.paths.reserve(map_.num_shards());

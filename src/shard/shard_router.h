@@ -40,9 +40,9 @@
 //
 // Thread-safety: Query may be called concurrently from any thread.
 // ApplyUpdates/Subscribe/Unsubscribe take the router's writer lock (the
-// same shared_mutex quiesce discipline as QueryEngine). Subscription
-// callbacks run under that writer lock — keep them quick and never call
-// back into the router.
+// same quiesce discipline as QueryEngine). Subscription callbacks run
+// under that writer lock — keep them quick and never call back into the
+// router.
 
 #ifndef KSPR_SHARD_SHARD_ROUTER_H_
 #define KSPR_SHARD_SHARD_ROUTER_H_
@@ -50,13 +50,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/sync.h"
 #include "common/shard_map.h"
 #include "core/candidates.h"
 #include "core/options.h"
@@ -264,6 +263,8 @@ class ShardRouter {
   /// Registers global record `focal_id` as a standing query; the kInitial
   /// event fires before this returns. Any algorithm is accepted. Returns
   /// kInvalidSubscription when the focal is unknown or dead.
+  /// REENTRANCY: `callback` runs under the router's writer lock — keep it
+  /// quick and never call back into the router from it.
   SubscriptionId Subscribe(RecordId focal_id, const KsprOptions& options,
                            SubscriptionCallback callback);
 
@@ -302,22 +303,22 @@ class ShardRouter {
   };
 
   /// The scatter-gather pipeline: per-shard skybands -> merge -> global
-  /// reduce -> focal filter -> sort -> mini arrangement. Callers hold
-  /// update_mu_ (shared or unique). Shard failures land in `failure`;
-  /// returns null when shards are missing and partial serving is off.
-  std::shared_ptr<const KsprResult> ComputeLocked(const Vec& focal,
-                                                  RecordId focal_id,
-                                                  const KsprOptions& options,
-                                                  ShardQueryStats* scatter,
-                                                  ScatterFailure* failure);
+  /// reduce -> focal filter -> sort -> mini arrangement. Shard failures
+  /// land in `failure`; returns null when shards are missing and partial
+  /// serving is off.
+  std::shared_ptr<const KsprResult> ComputeLocked(
+      const Vec& focal, RecordId focal_id, const KsprOptions& options,
+      ShardQueryStats* scatter, ScatterFailure* failure)
+      KSPR_REQUIRES_SHARED(update_mu_);
 
   RouterQueryResult QueryLocked(const Vec& focal, RecordId focal_id,
-                                const KsprOptions& options);
+                                const KsprOptions& options)
+      KSPR_REQUIRES_SHARED(update_mu_);
 
-  /// Resolves a global id on its owning shard. Callers hold update_mu_.
-  /// Throws TransportError when the shard is unreachable or serving stale
-  /// state (pending replay).
-  RecordResponse ResolveRecord(RecordId global_id);
+  /// Resolves a global id on its owning shard. Throws TransportError when
+  /// the shard is unreachable or serving stale state (pending replay).
+  RecordResponse ResolveRecord(RecordId global_id)
+      KSPR_REQUIRES_SHARED(update_mu_);
 
   /// Deadline-aware future wait: every transport response funnels through
   /// here so even LocalShardTransport honors shard_timeout_ms. Converts
@@ -338,27 +339,27 @@ class ShardRouter {
   std::unique_ptr<ShardTransport> transport_;
 
   /// Readers (Query) hold shared; ApplyUpdates/Subscribe hold unique.
-  mutable std::shared_mutex update_mu_;
+  mutable SharedMutex update_mu_;
 
-  RecordId next_global_ = 0;          // guarded by update_mu_
-  uint64_t router_version_ = 0;       // guarded by update_mu_
+  RecordId next_global_ KSPR_GUARDED_BY(update_mu_) = 0;
+  uint64_t router_version_ KSPR_GUARDED_BY(update_mu_) = 0;
 
   /// Update slices that failed after the transport's retry budget, in
   /// arrival order with their original batch_seq — replayed at the start
   /// of the next ApplyUpdates. A shard with a backlog serves stale state
-  /// and is excluded from query scatters. Guarded by update_mu_ (queries
-  /// only read emptiness under the shared lock).
-  std::vector<std::deque<ShardUpdateRequest>> pending_replay_;
+  /// and is excluded from query scatters (queries only read emptiness,
+  /// under the shared lock).
+  std::vector<std::deque<ShardUpdateRequest>> pending_replay_
+      KSPR_GUARDED_BY(update_mu_);
   /// Next ApplyDelta sequence per shard, starting at 1 (0 = unsequenced).
-  /// Guarded by update_mu_ (writer side only).
-  std::vector<uint64_t> next_batch_seq_;
+  std::vector<uint64_t> next_batch_seq_ KSPR_GUARDED_BY(update_mu_);
   /// Set when a failed batch forced a blind cache drop; the next fully
   /// successful update sweep recomputes EVERY subscriber (the untouched
   /// proof needs the failed shards' skyband diffs, which are gone).
-  bool subs_full_sweep_ = false;  // guarded by update_mu_
+  bool subs_full_sweep_ KSPR_GUARDED_BY(update_mu_) = false;
 
-  mutable std::mutex health_mu_;
-  std::vector<ShardHealth> health_;
+  mutable Mutex health_mu_;
+  std::vector<ShardHealth> health_ KSPR_GUARDED_BY(health_mu_);
 
   /// Front-end result cache, keyed on (focal, options, router_version_).
   /// Internally locked; entries restamped across no-op-for-them batches.
@@ -367,13 +368,15 @@ class ShardRouter {
   /// Every k any cache entry or subscriber has used — the set of skyband
   /// cardinalities update batches must report changes for. Grows
   /// monotonically (a stale k only costs a little extra per-shard diff
-  /// work). Guarded by ks_mu_ (Query records ks under the shared lock).
-  mutable std::mutex ks_mu_;
-  std::set<int> active_ks_;
+  /// work); it has its own mutex because Query records ks while holding
+  /// update_mu_ only shared.
+  mutable Mutex ks_mu_;
+  std::set<int> active_ks_ KSPR_GUARDED_BY(ks_mu_);
 
-  mutable std::mutex subs_mu_;
-  SubscriptionId next_subscription_ = 0;
-  std::vector<std::unique_ptr<RouterSubscription>> subs_;
+  mutable Mutex subs_mu_;
+  SubscriptionId next_subscription_ KSPR_GUARDED_BY(subs_mu_) = 0;
+  std::vector<std::unique_ptr<RouterSubscription>> subs_
+      KSPR_GUARDED_BY(subs_mu_);
 };
 
 }  // namespace kspr

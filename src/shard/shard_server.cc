@@ -23,7 +23,7 @@ void ShardServer::Stop() {
   listener_.Close();
   std::vector<std::thread> handlers;
   {
-    std::lock_guard<std::mutex> lock(handlers_mu_);
+    MutexLock lock(&handlers_mu_);
     handlers.swap(handlers_);
   }
   // Handlers notice stop_ at their next poll slice (RecvAll runs under a
@@ -37,7 +37,7 @@ void ShardServer::AcceptLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     net::Socket conn = listener_.Accept(kAcceptPollMs);
     if (!conn.valid()) continue;
-    std::lock_guard<std::mutex> lock(handlers_mu_);
+    MutexLock lock(&handlers_mu_);
     if (stop_.load(std::memory_order_relaxed)) return;
     handlers_.emplace_back(
         [this, c = std::move(conn)]() mutable { ServeConnection(std::move(c)); });
@@ -75,7 +75,7 @@ void ShardServer::ServeConnection(net::Socket conn) {
     net::MessageType response_type = net::MessageType::kError;
     std::vector<uint8_t> response_payload;
     try {
-      std::lock_guard<std::mutex> lock(worker_mu_);
+      MutexLock lock(&worker_mu_);
       switch (request.type) {
         case net::MessageType::kCandidatesRequest: {
           const CandidateRequest req =

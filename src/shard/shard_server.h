@@ -23,10 +23,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "net/socket.h"
 #include "shard/shard_worker.h"
 
@@ -52,15 +52,15 @@ class ShardServer {
   void AcceptLoop();
   void ServeConnection(net::Socket conn);
 
-  ShardWorker* worker_;
   /// Serialises worker access across handler threads (one live client
   /// connection is the common case, but reconnects can overlap briefly).
-  std::mutex worker_mu_;
+  Mutex worker_mu_;
+  ShardWorker* worker_ KSPR_PT_GUARDED_BY(worker_mu_);
   net::Listener listener_;
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
-  std::mutex handlers_mu_;
-  std::vector<std::thread> handlers_;
+  Mutex handlers_mu_;
+  std::vector<std::thread> handlers_ KSPR_GUARDED_BY(handlers_mu_);
 };
 
 }  // namespace kspr

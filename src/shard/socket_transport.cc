@@ -39,10 +39,10 @@ SocketShardTransport::SocketShardTransport(std::vector<uint16_t> ports,
 SocketShardTransport::~SocketShardTransport() {
   for (std::unique_ptr<Shard>& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       shard->stop = true;
     }
-    shard->cv.notify_one();
+    shard->cv.NotifyOne();
   }
   for (std::unique_ptr<Shard>& shard : shards_) shard->thread.join();
 }
@@ -51,9 +51,8 @@ void SocketShardTransport::DrainLoop(Shard* shard) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(shard->mu);
-      shard->cv.wait(lock,
-                     [shard] { return shard->stop || !shard->queue.empty(); });
+      MutexLock lock(&shard->mu);
+      while (!shard->stop && shard->queue.empty()) shard->cv.Wait(shard->mu);
       if (shard->queue.empty()) return;  // stopped and drained
       task = std::move(shard->queue.front());
       shard->queue.pop_front();
@@ -71,10 +70,10 @@ auto SocketShardTransport::Enqueue(size_t shard_index, Fn fn)
   auto task = std::make_shared<std::packaged_task<Result()>>(std::move(fn));
   std::future<Result> future = task->get_future();
   {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->queue.push_back([task] { (*task)(); });
   }
-  shard->cv.notify_one();
+  shard->cv.NotifyOne();
   return future;
 }
 

@@ -30,17 +30,16 @@
 #define KSPR_SHARD_SOCKET_TRANSPORT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "engine/engine_stats.h"
 #include "net/fault_schedule.h"
 #include "net/socket.h"
@@ -96,16 +95,19 @@ class SocketShardTransport : public ShardTransport {
   struct Shard {
     size_t index = 0;
     uint16_t port = 0;
-    net::Socket conn;            // supervisor-thread-only
+    // Thread-confined supervisor state: conn, ever_connected, next_seq and
+    // jitter are touched only from `thread` (inside queued jobs), so they
+    // need no mutex — the queue handoff below provides the happens-before.
+    net::Socket conn;
     bool ever_connected = false; // distinguishes connect from reconnect
-    uint64_t next_seq = 1;       // wire seq; supervisor-thread-only
+    uint64_t next_seq = 1;       // wire seq
     std::unique_ptr<Rng> jitter;
     std::atomic<ShardHealth> health{ShardHealth::kUp};
 
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
-    bool stop = false;
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::function<void()>> queue KSPR_GUARDED_BY(mu);
+    bool stop KSPR_GUARDED_BY(mu) = false;
     std::thread thread;
   };
 

@@ -19,7 +19,7 @@ void BufferPool::ConfigureLevels(std::vector<uint8_t> level_of_slot,
                            std::move(level_capacity));
   // ConfigureLevels resets tracker residency without eviction callbacks;
   // drop our frames to match (setup time: no reference is live).
-  std::lock_guard<std::mutex> lock(frames_mu_);
+  MutexLock lock(&frames_mu_);
   frames_.clear();
   graveyard_.clear();
 }
@@ -32,7 +32,7 @@ const RTree::Node& BufferPool::FetchNode(int id) {
     // A miss triggers OnPageRead under the tracker mutex, which installs
     // the frame before Access returns.
     tracker_.Access(id);
-    std::lock_guard<std::mutex> lock(frames_mu_);
+    MutexLock lock(&frames_mu_);
     auto it = frames_.find(id);
     if (it != frames_.end()) return *it->second;
     // Raced: a concurrent miss evicted this page between our Access and
@@ -49,7 +49,7 @@ void BufferPool::OnPageRead(int page_id) {
                          std::chrono::steady_clock::now() - start)
                          .count(),
                      std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(frames_mu_);
+  MutexLock lock(&frames_mu_);
   auto& slot = frames_[page_id];
   if (slot != nullptr) {
     // Zero-capacity partitions re-read on every access without an
@@ -61,7 +61,7 @@ void BufferPool::OnPageRead(int page_id) {
 }
 
 void BufferPool::OnPageDropped(int page_id) {
-  std::lock_guard<std::mutex> lock(frames_mu_);
+  MutexLock lock(&frames_mu_);
   auto it = frames_.find(page_id);
   if (it == frames_.end()) return;
   graveyard_.push_back(std::move(it->second));
@@ -71,23 +71,23 @@ void BufferPool::OnPageDropped(int page_id) {
 void BufferPool::DetachIo() {
   tracker_.SetListener(nullptr);
   io_enabled_.store(false, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(frames_mu_);
+  MutexLock lock(&frames_mu_);
   frames_.clear();
   graveyard_.clear();
 }
 
 void BufferPool::ReclaimGraveyard() {
-  std::lock_guard<std::mutex> lock(frames_mu_);
+  MutexLock lock(&frames_mu_);
   graveyard_.clear();
 }
 
 size_t BufferPool::frames_resident() const {
-  std::lock_guard<std::mutex> lock(frames_mu_);
+  MutexLock lock(&frames_mu_);
   return frames_.size();
 }
 
 size_t BufferPool::graveyard_size() const {
-  std::lock_guard<std::mutex> lock(frames_mu_);
+  MutexLock lock(&frames_mu_);
   return graveyard_.size();
 }
 

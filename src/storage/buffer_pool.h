@@ -28,10 +28,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "index/rtree.h"
 #include "io/page_tracker.h"
 #include "storage/snapshot_reader.h"
@@ -101,9 +101,11 @@ class BufferPool : public RTree::NodeSource, private PageTracker::Listener {
   std::atomic<bool> io_enabled_{true};
   std::atomic<int64_t> read_ns_{0};
 
-  mutable std::mutex frames_mu_;
-  std::unordered_map<int, std::unique_ptr<RTree::Node>> frames_;
-  std::vector<std::unique_ptr<RTree::Node>> graveyard_;
+  mutable Mutex frames_mu_;
+  std::unordered_map<int, std::unique_ptr<RTree::Node>> frames_
+      KSPR_GUARDED_BY(frames_mu_);
+  std::vector<std::unique_ptr<RTree::Node>> graveyard_
+      KSPR_GUARDED_BY(frames_mu_);
 };
 
 }  // namespace kspr

@@ -1,0 +1,20 @@
+// lint-fixture-expect: wire-count-bound
+// Decoder loop bounded by a raw U32 read: a hostile frame claims 4G
+// elements and the loop believes it.
+#include <cstdint>
+#include <vector>
+
+struct Reader {
+  uint32_t U32();
+  uint64_t U64();
+  uint32_t Count(unsigned min_elem_size);
+};
+
+std::vector<uint32_t> DecodeIds(Reader& r) {
+  std::vector<uint32_t> ids;
+  const uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n; ++i) {
+    ids.push_back(r.U32());
+  }
+  return ids;
+}

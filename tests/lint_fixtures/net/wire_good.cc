@@ -1,0 +1,22 @@
+// lint-fixture-expect: clean
+// Counts that size a loop come from Count(min_elem_size), which caps
+// them against the bytes actually remaining in the frame.
+#include <cstdint>
+#include <vector>
+
+struct Reader {
+  uint32_t U32();
+  uint64_t U64();
+  uint32_t Count(unsigned min_elem_size);
+};
+
+std::vector<uint32_t> DecodeIds(Reader& r) {
+  std::vector<uint32_t> ids;
+  const uint32_t version = r.U32();
+  (void)version;
+  const uint32_t n = r.Count(4);
+  for (uint32_t i = 0; i < n; ++i) {
+    ids.push_back(r.U32());
+  }
+  return ids;
+}

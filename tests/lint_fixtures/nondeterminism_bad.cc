@@ -1,0 +1,12 @@
+// lint-fixture-expect: nondeterminism
+// Unseeded / wall-clock randomness in what should be a replayable path.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int PickShard(int num_shards) {
+  std::srand(time(nullptr));
+  std::mt19937 gen;
+  (void)gen;
+  return rand() % num_shards;
+}

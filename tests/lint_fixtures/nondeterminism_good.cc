@@ -1,0 +1,9 @@
+// lint-fixture-expect: clean
+// Explicitly seeded generators replay; that is the contract.
+#include <cstdint>
+#include <random>
+
+int PickShard(uint64_t seed, int num_shards) {
+  std::mt19937_64 gen(seed);
+  return static_cast<int>(gen() % static_cast<uint64_t>(num_shards));
+}

@@ -1,0 +1,16 @@
+// lint-fixture-expect: clean
+// The same raw primitive, but with a justified per-line suppression.
+#include <mutex>  // lint:allow(raw-mutex) interop with a C library callback
+
+class Counter {
+ public:
+  void Bump() {
+    // lint:allow(raw-mutex) interop with a C library callback
+    std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;  // lint:allow(raw-mutex) interop with a C library callback
+  int n_ = 0;
+};

@@ -1,0 +1,15 @@
+// lint-fixture-expect: raw-mutex
+// A class guarding state with a raw std::mutex instead of kspr::Mutex.
+#include <mutex>
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;
+  int n_ = 0;
+};

@@ -1,0 +1,17 @@
+// lint-fixture-expect: reentrancy-doc
+// A callback-taking API with no re-entrancy contract in its doc comment.
+#ifndef LINT_FIXTURE_REENTRANCY_BAD_H_
+#define LINT_FIXTURE_REENTRANCY_BAD_H_
+
+#include <cstdint>
+#include <functional>
+
+using EventCallback = std::function<void(uint64_t)>;
+
+class Emitter {
+ public:
+  /// Registers a callback for every event.
+  uint64_t Subscribe(EventCallback callback);
+};
+
+#endif  // LINT_FIXTURE_REENTRANCY_BAD_H_

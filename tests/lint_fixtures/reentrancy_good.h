@@ -1,0 +1,19 @@
+// lint-fixture-expect: clean
+// The same API with the contract written where the caller reads it.
+#ifndef LINT_FIXTURE_REENTRANCY_GOOD_H_
+#define LINT_FIXTURE_REENTRANCY_GOOD_H_
+
+#include <cstdint>
+#include <functional>
+
+using EventCallback = std::function<void(uint64_t)>;
+
+class Emitter {
+ public:
+  /// Registers a callback for every event.
+  /// REENTRANCY: the callback runs under the emitter's mutex — keep it
+  /// quick and never call back into the emitter from it.
+  uint64_t Subscribe(EventCallback callback);
+};
+
+#endif  // LINT_FIXTURE_REENTRANCY_GOOD_H_

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint_invariants.py against the fixture corpus.
+
+Every file under tests/lint_fixtures/ (this directory) declares its
+expected outcome on its first line:
+
+    // lint-fixture-expect: clean
+    // lint-fixture-expect: raw-mutex nondeterminism
+
+The driver runs the linter on each fixture in isolation and compares the
+SET of rule ids reported against the declaration — so a fixture meant to
+trip `raw-mutex` fails the self-test if the linter goes quiet on it, and
+a `clean` fixture fails if the linter grows a false positive.
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+REPO_ROOT = FIXTURE_DIR.parent.parent
+LINTER = REPO_ROOT / "scripts" / "lint_invariants.py"
+
+EXPECT_RE = re.compile(r"lint-fixture-expect:\s*(.+)")
+FINDING_RE = re.compile(r"\[([a-z-]+)\]")
+
+
+def expected_rules(path):
+    first_line = path.read_text(encoding="utf-8").splitlines()[0]
+    m = EXPECT_RE.search(first_line)
+    if not m:
+        return None
+    tokens = m.group(1).split()
+    return set() if tokens == ["clean"] else set(tokens)
+
+
+def reported_rules(path):
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), str(path)],
+        capture_output=True, text=True, check=False)
+    return set(FINDING_RE.findall(proc.stdout)), proc.returncode
+
+
+def main():
+    fixtures = sorted(p for p in FIXTURE_DIR.rglob("*")
+                      if p.suffix in {".h", ".cc"})
+    if not fixtures:
+        print("FAIL: no fixtures found")
+        return 1
+
+    failures = 0
+    for fixture in fixtures:
+        name = fixture.relative_to(FIXTURE_DIR)
+        expected = expected_rules(fixture)
+        if expected is None:
+            print(f"FAIL: {name}: missing `// lint-fixture-expect:` header")
+            failures += 1
+            continue
+        reported, returncode = reported_rules(fixture)
+        ok = reported == expected and (returncode != 0) == bool(expected)
+        if ok:
+            label = "clean" if not expected else " ".join(sorted(expected))
+            print(f"PASS: {name}: {label}")
+        else:
+            print(f"FAIL: {name}: expected {sorted(expected) or 'clean'}, "
+                  f"linter reported {sorted(reported) or 'clean'} "
+                  f"(exit {returncode})")
+            failures += 1
+
+    print(f"\n{len(fixtures) - failures}/{len(fixtures)} fixtures behaved "
+          "as declared")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+// lint-fixture-expect: bare-future-wait
+// A scatter that waits on shard futures inline instead of going through
+// ShardRouter::AwaitShard — no deadline, no TransportError conversion.
+#include <future>
+#include <vector>
+
+int SumShards(std::vector<std::future<int>>& futures) {
+  int total = 0;
+  for (auto& future : futures) {
+    future.wait();
+    total += future.get();
+  }
+  return total;
+}

@@ -1,0 +1,18 @@
+// lint-fixture-expect: clean
+// unique_ptr::get() must not trip the rule, and the sanctioned funnel
+// carries its suppression.
+#include <future>
+#include <memory>
+
+struct Worker {
+  int Poll() { return 0; }
+};
+
+int UseWorker(const std::unique_ptr<Worker>& worker) {
+  return worker.get()->Poll();
+}
+
+int AwaitShard(std::future<int>& future) {
+  // lint:allow(bare-future-wait) this IS the funnel
+  return future.get();
+}

@@ -12,10 +12,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -414,6 +416,52 @@ TEST(FaultScheduleTest, ShardScopedRuleOnlyFiresThere) {
   }
   EXPECT_EQ(schedule.Next(1).kind, FaultKind::kNone);
   EXPECT_EQ(schedule.Next(1).kind, FaultKind::kCorrupt);
+}
+
+// Regression: Parse used to install rules/counters into `out` without the
+// schedule's mutex, so a Next() racing an in-place re-parse could observe
+// rules and counters mid-swap. Parse now installs under the lock; this
+// hammers the pair under TSan and checks only sane actions come out.
+TEST(FaultScheduleTest, ReparseInPlaceRacesNext) {
+  FaultSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse("drop@3,delay@5:2", &schedule, &error));
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad_action{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const FaultAction action = schedule.Next(0);
+      switch (action.kind) {
+        case FaultKind::kNone:
+        case FaultKind::kDrop:
+        case FaultKind::kDelay:
+        case FaultKind::kDuplicate:
+        case FaultKind::kCorrupt:
+        case FaultKind::kDisconnect:
+          break;
+        default:
+          bad_action.store(true);
+      }
+    }
+  });
+
+  const char* specs[] = {"dup@2", "corrupt@4#0", "drop@3,delay@5:2",
+                         "disconnect@7"};
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_TRUE(FaultSchedule::Parse(specs[round % 4], &schedule, &error))
+        << error;
+  }
+  stop.store(true);
+  consumer.join();
+  EXPECT_FALSE(bad_action.load());
+
+  // The last installed spec is fully in force: counters restarted, so the
+  // deterministic firing pattern starts from zero.
+  ASSERT_TRUE(FaultSchedule::Parse("drop@3", &schedule, &error));
+  EXPECT_EQ(schedule.Next(0).kind, FaultKind::kNone);
+  EXPECT_EQ(schedule.Next(0).kind, FaultKind::kNone);
+  EXPECT_EQ(schedule.Next(0).kind, FaultKind::kDrop);
 }
 
 }  // namespace

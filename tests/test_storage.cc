@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -526,6 +528,54 @@ TEST(DiskModelTest, TrackerUsesSharedConstant) {
   tracker.Access(1);
   tracker.Access(2);
   EXPECT_EQ(tracker.io_millis(), 2 * DiskModel::kReadLatencyMs);
+}
+
+// Regression: SetListener used to write listener_ without the tracker
+// mutex, racing the locked reads inside Access/Retire — exactly the
+// attach/detach-while-readers-run pattern BufferPool::DetachIo depends
+// on. SetListener now serialises on the mutex; this hammers the pair
+// under TSan and checks detach is a hard cutoff.
+TEST(PageTrackerUnit, SetListenerRacesAccess) {
+  class CountingListener : public PageTracker::Listener {
+   public:
+    void OnPageRead(int) override { reads.fetch_add(1); }
+    void OnPageDropped(int) override { drops.fetch_add(1); }
+    std::atomic<int> reads{0};
+    std::atomic<int> drops{0};
+  };
+
+  PageTracker tracker(4);
+  CountingListener listener;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      int page = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        tracker.Access(page % 16);
+        ++page;
+      }
+    });
+  }
+  for (int round = 0; round < 300; ++round) {
+    tracker.SetListener(&listener);
+    tracker.SetListener(nullptr);
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  // Detached: later misses must not reach the listener.
+  const int reads_at_detach = listener.reads.load();
+  const int drops_at_detach = listener.drops.load();
+  for (int i = 100; i < 120; ++i) tracker.Access(i);
+  EXPECT_EQ(listener.reads.load(), reads_at_detach);
+  EXPECT_EQ(listener.drops.load(), drops_at_detach);
+
+  // Attached: the hooks fire again, on the same mutex as the accesses.
+  tracker.SetListener(&listener);
+  tracker.Access(500);
+  EXPECT_GT(listener.reads.load(), reads_at_detach);
 }
 
 }  // namespace

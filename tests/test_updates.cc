@@ -867,5 +867,87 @@ TEST(EngineUpdates, ConcurrentQueriesDuringUpdates) {
   ASSERT_TRUE(inst.tree().CheckInvariants(inst.data(), &err)) << err;
 }
 
+// Regression: the amortized sweep in ApplyUpdates used to touch slot->ctx
+// under amortized_mu_ alone, leaning on the writer quiesce instead of the
+// slot mutex that guards the context everywhere else. The sweep now takes
+// slot.mu (lock order update_mu_ -> amortized_mu_ -> slot.mu). This drives
+// the sweep's both arms — dead-focal slot eviction and per-delete context
+// invalidation — while reader threads churn the same slot list with
+// amortized queries, then checks the quiesced end state.
+TEST(Amortized, SweepRacesAmortizedQueries) {
+  SyntheticInstance inst(Distribution::kIndependent, 300, 3, 113);
+  EngineOptions opts = SerialEngine(IndexUpdatePolicy::kIncremental,
+                                    /*amortized=*/6);
+  opts.workers = 4;
+  QueryEngine engine(&inst.mutable_data(), &inst.mutable_tree(), opts);
+
+  // Capacity covers all six focals, so the two doomed slots seeded here
+  // are still resident when their records are deleted mid-run — the
+  // sweep's erase path runs deterministically, not only when LRU churn
+  // happens to spare them.
+  std::vector<RecordId> focals;
+  for (size_t i = 0; i < 6; ++i) focals.push_back(inst.sky(i));
+  KsprOptions options = OracleOptions(Algorithm::kCta, 4);
+  for (RecordId doomed : {focals[4], focals[5]}) {
+    QueryRequest seed;
+    seed.focal_id = doomed;
+    seed.options = options;
+    seed.amortized = true;
+    ASSERT_NE(engine.Submit(seed).get().result, nullptr);
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      for (int q = 0; q < 25; ++q) {
+        QueryRequest request;
+        request.focal_id = focals[(t + q) % 4];  // live focals only
+        request.options = options;
+        request.amortized = true;
+        QueryResponse response = engine.Submit(request).get();
+        if (response.result == nullptr) failed.store(true);
+      }
+    });
+  }
+
+  Rng rng(127);
+  bool doomed_deleted = false;
+  for (int round = 0; round < 12; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 4; ++i) batch.inserts.push_back(RandomPoint(3, &rng));
+    if (round == 5) {
+      batch.deletes.push_back(focals[4]);
+      batch.deletes.push_back(focals[5]);
+      doomed_deleted = true;
+    } else {
+      // Random victims keep the per-delete invalidation arm busy.
+      RecordId victim;
+      do {
+        victim = static_cast<RecordId>(rng.UniformInt(inst.data().size()));
+      } while (!inst.data().IsLive(victim) ||
+               std::find(focals.begin(), focals.end(), victim) !=
+                   focals.end());
+      batch.deletes.push_back(victim);
+    }
+    ASSERT_TRUE(engine.ApplyUpdates(batch).applied);
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  ASSERT_TRUE(doomed_deleted);
+
+  // Quiesced: an amortized query on a surviving focal is bitwise equal to
+  // the from-scratch build over the post-churn dataset.
+  QueryRequest request;
+  request.focal_id = focals[0];
+  request.options = options;
+  request.amortized = true;
+  QueryResponse response = engine.Submit(request).get();
+  ASSERT_NE(response.result, nullptr);
+  ExpectBitwiseEqual(*response.result,
+                     FromScratch(inst.data(), focals[0], options),
+                     "post-sweep amortized state");
+}
+
 }  // namespace
 }  // namespace kspr
